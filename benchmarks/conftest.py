@@ -1,0 +1,79 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure or table of the paper:
+
+* a module-scoped fixture regenerates the experiment's result table(s) at the
+  default (scaled-down) size, prints them and writes them under
+  ``benchmarks/results/`` so the series survive the pytest capture;
+* the benchmark functions time the query workloads underlying that experiment
+  on the competing indexes, giving pytest-benchmark comparisons (OIF vs IF vs
+  the other baselines).
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Datasets and indexes are cached process-wide (see ``repro.experiments.cache``),
+so the figure benchmarks share their builds within one pytest session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+from repro.core.interfaces import QueryType, SetContainmentIndex
+from repro.core.records import Dataset
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import cache
+from repro.experiments.report import ResultTable, render_tables
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.queries import WorkloadGenerator
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Dataset used by the per-index timing benchmarks (shared across modules).
+BENCH_DATASET_CONFIG = SyntheticConfig(num_records=40_000, domain_size=2000, zipf_order=0.8, seed=7)
+
+
+def save_tables(name: str, tables: Iterable[ResultTable]) -> str:
+    """Write the rendered tables to ``benchmarks/results/<name>.txt`` and return the text."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = render_tables(list(tables))
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+    return text
+
+
+@pytest.fixture(scope="session")
+def bench_dataset() -> Dataset:
+    """The default synthetic dataset used by the timing benchmarks."""
+    return cache.synthetic_dataset(BENCH_DATASET_CONFIG)
+
+
+def run_workload_once(
+    index: SetContainmentIndex,
+    dataset: Dataset,
+    query_type: QueryType | str,
+    sizes: tuple[int, ...] = (2, 4, 8),
+    queries_per_size: int = 3,
+    seed: int = 17,
+) -> float:
+    """Run one workload with a cold cache per query; returns mean page accesses.
+
+    This is the unit of work the benchmark functions time: it covers B-tree /
+    hash lookups, block decoding and merging — the full query path.
+    """
+    generator = WorkloadGenerator(dataset, seed=seed)
+    workload = generator.workload(query_type, sizes, queries_per_size)
+    runner = ExperimentRunner(drop_cache_per_query=True)
+    return runner.run_workload(index, workload).overall().mean_page_accesses
+
+
+def build_cached_index(dataset_key: object, name: str, factory, dataset: Dataset):
+    """Build (or reuse) an index for the timing benchmarks."""
+    index = cache.cached_index(dataset_key, name, lambda: factory(dataset))
+    index.name = name
+    return index

@@ -1,0 +1,61 @@
+"""Impact of the OIF ordering (Section 5): OIF vs unordered B-tree vs IF.
+
+The paper isolates the contribution of the lexicographic ordering + metadata
+by comparing the OIF against a B-tree over the same blocked inverted lists but
+without any record reordering.  This benchmark regenerates that comparison for
+subset queries across query sizes (which vary the selectivity) and times the
+subset workload on all three structures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile, UnorderedBTreeInvertedFile
+from repro.core import OrderedInvertedFile
+from repro.experiments import ordering_ablation
+
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+
+
+@pytest.fixture(scope="module")
+def ablation_table():
+    table = ordering_ablation(num_records=40_000, queries_per_size=5)
+    save_tables("ablation_ordering", [table])
+    return table
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("IF", InvertedFile),
+        ("UBT", UnorderedBTreeInvertedFile),
+        ("OIF", OrderedInvertedFile),
+    ],
+)
+def test_subset_workload(benchmark, ablation_table, bench_dataset, name, factory):
+    index = build_cached_index(BENCH_DATASET_CONFIG, name, factory, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(index, bench_dataset, "subset"),
+        kwargs={"sizes": (2, 3, 4, 6, 8)},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_oif_variants_without_metadata(benchmark, bench_dataset):
+    """Extra ablation: the OIF with the metadata table disabled."""
+    index = build_cached_index(
+        BENCH_DATASET_CONFIG,
+        "OIF-no-metadata",
+        lambda dataset: OrderedInvertedFile(dataset, use_metadata=False),
+        bench_dataset,
+    )
+    benchmark.pedantic(
+        run_workload_once,
+        args=(index, bench_dataset, "subset"),
+        kwargs={"sizes": (2, 3, 4, 6, 8)},
+        rounds=3,
+        iterations=1,
+    )

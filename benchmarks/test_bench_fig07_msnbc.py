@@ -1,0 +1,73 @@
+"""Figure 7, row 2 (msnbc): containment queries on the simulated category log.
+
+Reproduces the second row of the paper's Figure 7 — the msnbc dataset has a
+tiny vocabulary (17 categories) and a near-uniform item distribution, so every
+inverted list is very long; the experiment shows how both indexes behave when
+|D| / |I| is huge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.datasets.msnbc import MsnbcConfig
+from repro.experiments import cache, figure7
+
+from conftest import run_workload_once, save_tables
+
+MSNBC_CONFIG = MsnbcConfig(num_sessions=40_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def figure7_msnbc_table():
+    table = figure7("msnbc", queries_per_size=5, num_sessions=40_000, seed=11)
+    save_tables("figure7_msnbc", [table])
+    return table
+
+
+@pytest.fixture(scope="module")
+def msnbc_dataset():
+    return cache.msnbc_dataset(MSNBC_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def msnbc_oif(msnbc_dataset):
+    return cache.cached_index(MSNBC_CONFIG, "OIF", lambda: OrderedInvertedFile(msnbc_dataset))
+
+
+@pytest.fixture(scope="module")
+def msnbc_if(msnbc_dataset):
+    return cache.cached_index(MSNBC_CONFIG, "IF", lambda: InvertedFile(msnbc_dataset))
+
+
+@pytest.mark.parametrize("query_type", ["subset", "equality", "superset"])
+def test_msnbc_oif_queries(benchmark, figure7_msnbc_table, msnbc_dataset, msnbc_oif, query_type):
+    pages = benchmark.pedantic(
+        run_workload_once,
+        args=(msnbc_oif, msnbc_dataset, query_type),
+        kwargs={"sizes": (2, 4, 7)},
+        rounds=3,
+        iterations=1,
+    )
+    assert pages >= 0
+
+
+@pytest.mark.parametrize("query_type", ["subset", "equality", "superset"])
+def test_msnbc_if_queries(benchmark, figure7_msnbc_table, msnbc_dataset, msnbc_if, query_type):
+    pages = benchmark.pedantic(
+        run_workload_once,
+        args=(msnbc_if, msnbc_dataset, query_type),
+        kwargs={"sizes": (2, 4, 7)},
+        rounds=3,
+        iterations=1,
+    )
+    assert pages >= 0
+
+
+def test_msnbc_oif_beats_if_on_page_accesses(figure7_msnbc_table):
+    """The headline qualitative result of Figure 7 row 2."""
+    if_pages = [row["IF_pages"] for row in figure7_msnbc_table.rows]
+    oif_pages = [row["OIF_pages"] for row in figure7_msnbc_table.rows]
+    assert sum(oif_pages) < sum(if_pages)

@@ -1,0 +1,73 @@
+"""Figure 7, row 1 (msweb): containment queries on the simulated web log.
+
+Reproduces the first row of the paper's Figure 7 — mean disk page accesses of
+the IF and the OIF for subset / equality / superset queries of size 2..7 over
+the (simulated, replicated) msweb dataset — and times the three workloads on
+both indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.datasets.msweb import MswebConfig
+from repro.experiments import cache, figure7
+
+from conftest import run_workload_once, save_tables
+
+MSWEB_CONFIG = MswebConfig(num_sessions=8_000, replicas=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def figure7_msweb_table():
+    table = figure7("msweb", queries_per_size=5, num_sessions=8_000, replicas=3, seed=11)
+    save_tables("figure7_msweb", [table])
+    return table
+
+
+@pytest.fixture(scope="module")
+def msweb_dataset():
+    return cache.msweb_dataset(MSWEB_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def msweb_oif(msweb_dataset):
+    return cache.cached_index(MSWEB_CONFIG, "OIF", lambda: OrderedInvertedFile(msweb_dataset))
+
+
+@pytest.fixture(scope="module")
+def msweb_if(msweb_dataset):
+    return cache.cached_index(MSWEB_CONFIG, "IF", lambda: InvertedFile(msweb_dataset))
+
+
+@pytest.mark.parametrize("query_type", ["subset", "equality", "superset"])
+def test_msweb_oif_queries(benchmark, figure7_msweb_table, msweb_dataset, msweb_oif, query_type):
+    pages = benchmark.pedantic(
+        run_workload_once,
+        args=(msweb_oif, msweb_dataset, query_type),
+        kwargs={"sizes": (2, 4, 7)},
+        rounds=3,
+        iterations=1,
+    )
+    assert pages >= 0
+
+
+@pytest.mark.parametrize("query_type", ["subset", "equality", "superset"])
+def test_msweb_if_queries(benchmark, figure7_msweb_table, msweb_dataset, msweb_if, query_type):
+    pages = benchmark.pedantic(
+        run_workload_once,
+        args=(msweb_if, msweb_dataset, query_type),
+        kwargs={"sizes": (2, 4, 7)},
+        rounds=3,
+        iterations=1,
+    )
+    assert pages >= 0
+
+
+def test_msweb_oif_beats_if_on_page_accesses(figure7_msweb_table):
+    """The headline qualitative result of Figure 7 row 1."""
+    if_pages = [row["IF_pages"] for row in figure7_msweb_table.rows]
+    oif_pages = [row["OIF_pages"] for row in figure7_msweb_table.rows]
+    assert sum(oif_pages) < sum(if_pages)

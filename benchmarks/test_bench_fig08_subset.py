@@ -1,0 +1,55 @@
+"""Figure 8: subset queries on synthetic data (|I|, |D|, |qs| and zipf sweeps).
+
+Regenerates all four panels of the paper's Figure 8 at the scaled-down default
+size (the |D| sweep keeps the paper's 1:5:10:50 proportions) and times the
+subset workload on the classic inverted file and the OIF.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.experiments import figure8
+from repro.experiments.figures import DEFAULT_SCALE
+
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+
+
+@pytest.fixture(scope="module")
+def figure8_tables():
+    tables = figure8(DEFAULT_SCALE)
+    save_tables("figure8_subset", tables.values())
+    return tables
+
+
+def test_subset_workload_oif(benchmark, figure8_tables, bench_dataset):
+    oif = build_cached_index(BENCH_DATASET_CONFIG, "OIF", OrderedInvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(oif, bench_dataset, "subset"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_subset_workload_if(benchmark, figure8_tables, bench_dataset):
+    inverted = build_cached_index(BENCH_DATASET_CONFIG, "IF", InvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(inverted, bench_dataset, "subset"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_subset_scaling_shape(figure8_tables):
+    """As |D| grows the IF's cost rises faster than the OIF's (Figure 8, panel 2)."""
+    table = figure8_tables["database"]
+    if_series = table.column("IF_pages")
+    oif_series = table.column("OIF_pages")
+    assert if_series[-1] > if_series[0]
+    assert (if_series[-1] / max(oif_series[-1], 0.1)) >= (
+        if_series[0] / max(oif_series[0], 0.1)
+    )

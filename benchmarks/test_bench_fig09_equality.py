@@ -1,0 +1,54 @@
+"""Figure 9: equality queries on synthetic data (|I|, |D|, |qs| and zipf sweeps).
+
+The paper's headline for equality queries is that the OIF's cost is almost
+independent of the database size (the RoI is a single point located through
+the B-tree), while the IF must still fetch whole lists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.experiments import figure9
+from repro.experiments.figures import DEFAULT_SCALE
+
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+
+
+@pytest.fixture(scope="module")
+def figure9_tables():
+    tables = figure9(DEFAULT_SCALE)
+    save_tables("figure9_equality", tables.values())
+    return tables
+
+
+def test_equality_workload_oif(benchmark, figure9_tables, bench_dataset):
+    oif = build_cached_index(BENCH_DATASET_CONFIG, "OIF", OrderedInvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(oif, bench_dataset, "equality"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_equality_workload_if(benchmark, figure9_tables, bench_dataset):
+    inverted = build_cached_index(BENCH_DATASET_CONFIG, "IF", InvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(inverted, bench_dataset, "equality"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_equality_oif_cost_stays_flat(figure9_tables):
+    """OIF equality cost barely grows along the |D| sweep; the IF's keeps rising."""
+    table = figure9_tables["database"]
+    if_series = table.column("IF_pages")
+    oif_series = table.column("OIF_pages")
+    assert if_series[-1] > if_series[0]
+    assert oif_series[-1] <= oif_series[0] * 3
+    assert all(oif <= anchor for oif, anchor in zip(oif_series, if_series))

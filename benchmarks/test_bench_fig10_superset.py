@@ -1,0 +1,52 @@
+"""Figure 10: superset queries on synthetic data (|I|, |D|, |qs| and zipf sweeps).
+
+Superset queries allow the least pruning of the three predicates, but the OIF
+still outperforms the IF thanks to the per-list Ranges of Interest and the
+metadata table (which resolves every record's most frequent item without I/O).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.experiments import figure10
+from repro.experiments.figures import DEFAULT_SCALE
+
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+
+
+@pytest.fixture(scope="module")
+def figure10_tables():
+    tables = figure10(DEFAULT_SCALE)
+    save_tables("figure10_superset", tables.values())
+    return tables
+
+
+def test_superset_workload_oif(benchmark, figure10_tables, bench_dataset):
+    oif = build_cached_index(BENCH_DATASET_CONFIG, "OIF", OrderedInvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(oif, bench_dataset, "superset"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_superset_workload_if(benchmark, figure10_tables, bench_dataset):
+    inverted = build_cached_index(BENCH_DATASET_CONFIG, "IF", InvertedFile, bench_dataset)
+    benchmark.pedantic(
+        run_workload_once,
+        args=(inverted, bench_dataset, "superset"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_superset_oif_wins_along_database_sweep(figure10_tables):
+    """The OIF systematically outperforms the IF as |D| grows (Figure 10, panel 2)."""
+    table = figure10_tables["database"]
+    if_series = table.column("IF_pages")
+    oif_series = table.column("OIF_pages")
+    assert oif_series[-1] <= if_series[-1]

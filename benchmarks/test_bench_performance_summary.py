@@ -1,0 +1,46 @@
+"""Performance summary (Section 5): average query cost per predicate, IF vs OIF.
+
+The paper's summary reports the average evaluation time over all three
+predicates (133 ms for the IF vs 25 ms for the OIF on the 1M-record dataset).
+This benchmark regenerates the per-predicate table at the scaled-down size and
+times a mixed workload (subset + equality + superset) on both indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile
+from repro.core import OrderedInvertedFile
+from repro.experiments import performance_summary
+
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+
+
+@pytest.fixture(scope="module")
+def summary_table():
+    table = performance_summary(num_records=40_000)
+    save_tables("performance_summary", [table])
+    return table
+
+
+def _mixed_workload(index, dataset):
+    total = 0.0
+    for query_type in ("subset", "equality", "superset"):
+        total += run_workload_once(index, dataset, query_type, sizes=(4,), queries_per_size=5)
+    return total
+
+
+def test_mixed_workload_oif(benchmark, summary_table, bench_dataset):
+    oif = build_cached_index(BENCH_DATASET_CONFIG, "OIF", OrderedInvertedFile, bench_dataset)
+    benchmark.pedantic(_mixed_workload, args=(oif, bench_dataset), rounds=3, iterations=1)
+
+
+def test_mixed_workload_if(benchmark, summary_table, bench_dataset):
+    inverted = build_cached_index(BENCH_DATASET_CONFIG, "IF", InvertedFile, bench_dataset)
+    benchmark.pedantic(_mixed_workload, args=(inverted, bench_dataset), rounds=3, iterations=1)
+
+
+def test_summary_oif_wins_on_average(summary_table):
+    average_row = summary_table.rows[-1]
+    assert average_row["OIF_total_ms"] <= average_row["IF_total_ms"]

@@ -1,0 +1,69 @@
+"""Batch updates (Section 4.4 / performance summary): OIF rebuild vs IF append.
+
+The paper inserts 200K records into a 1M-record dataset and reports the OIF's
+batch update to be ~3-5x slower per record than the IF's (it must re-sort and
+rebuild), both growing linearly with the update size, and concludes the OIF
+wins overall whenever queries are not vastly outnumbered by updates.  This
+benchmark regenerates the scaled-down table and times the two merge paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.updates import UpdatableIF, UpdatableOIF
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import cache, update_tradeoff
+
+from conftest import save_tables
+
+BASE_CONFIG = SyntheticConfig(num_records=20_000, domain_size=2000, zipf_order=0.8, seed=7)
+BATCH_CONFIG = SyntheticConfig(num_records=2_000, domain_size=2000, zipf_order=0.8, seed=8)
+
+
+@pytest.fixture(scope="module")
+def update_table():
+    table = update_tradeoff(num_records=30_000, update_fractions=(0.05, 0.1, 0.2))
+    save_tables("update_tradeoff", [table])
+    return table
+
+
+@pytest.fixture(scope="module")
+def base_dataset():
+    return cache.synthetic_dataset(BASE_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def batch_transactions():
+    return [set(record.items) for record in cache.synthetic_dataset(BATCH_CONFIG)]
+
+
+def _merge_into_if(dataset, batch):
+    updatable = UpdatableIF(dataset)
+    updatable.insert(batch)
+    return updatable.flush().merge_seconds
+
+
+def _merge_into_oif(dataset, batch):
+    updatable = UpdatableOIF(dataset)
+    updatable.insert(batch)
+    return updatable.flush().merge_seconds
+
+
+def test_if_batch_merge(benchmark, update_table, base_dataset, batch_transactions):
+    benchmark.pedantic(
+        _merge_into_if, args=(base_dataset, batch_transactions), rounds=2, iterations=1
+    )
+
+
+def test_oif_batch_merge(benchmark, update_table, base_dataset, batch_transactions):
+    benchmark.pedantic(
+        _merge_into_oif, args=(base_dataset, batch_transactions), rounds=2, iterations=1
+    )
+
+
+def test_update_cost_is_roughly_linear(update_table):
+    """Doubling the batch roughly doubles the merge time for both indexes."""
+    rows = update_table.rows
+    assert rows[-1]["OIF_seconds"] > rows[0]["OIF_seconds"]
+    assert rows[-1]["IF_seconds"] >= rows[0]["IF_seconds"]

@@ -1,0 +1,98 @@
+"""Market-basket analysis: containment queries over retail transactions.
+
+Run with::
+
+    python examples/market_basket.py
+
+The paper motivates the OIF with exactly this scenario: a supermarket chain
+logging billions of baskets over a limited product catalogue, where analysts
+ask containment questions such as "which baskets contain both espresso and
+oat milk?" (subset), "which baskets consist of exactly this promo bundle?"
+(equality) and "which baskets could have been served entirely from the
+clearance aisle?" (superset).  The example generates a skewed synthetic
+basket log, runs those questions on the classic inverted file and on the OIF,
+and prints answers together with the disk page accesses each index needed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import InvertedFile, OrderedInvertedFile
+from repro.core.records import Dataset
+
+PRODUCTS = [
+    # a skewed catalogue: staples first (bought often), specialty items last
+    "milk", "bread", "eggs", "bananas", "coffee", "butter", "rice", "pasta",
+    "tomatoes", "cheese", "chicken", "yogurt", "apples", "onions", "potatoes",
+    "cereal", "orange-juice", "chocolate", "tuna", "olive-oil", "espresso",
+    "oat-milk", "quinoa", "saffron", "truffle-oil", "matcha", "kimchi",
+    "tempeh", "rye-flour", "star-anise",
+]
+
+
+def simulate_baskets(num_baskets: int, seed: int = 2024) -> Dataset:
+    """Generate a skewed basket log: staples appear far more often than specialties."""
+    rng = random.Random(seed)
+    weights = [1.0 / (position + 1) ** 0.9 for position in range(len(PRODUCTS))]
+    baskets = []
+    for _ in range(num_baskets):
+        basket_size = rng.randint(2, 9)
+        basket = set(rng.choices(PRODUCTS, weights=weights, k=basket_size))
+        baskets.append(basket)
+    return Dataset.from_transactions(baskets)
+
+
+def main() -> None:
+    dataset = simulate_baskets(15_000)
+    print(
+        f"basket log: {len(dataset)} baskets, {dataset.domain_size} products, "
+        f"average basket size {dataset.average_length:.1f}\n"
+    )
+
+    oif = OrderedInvertedFile(dataset)
+    inverted_file = InvertedFile(dataset)
+
+    analyses = [
+        (
+            "subset",
+            {"espresso", "oat-milk"},
+            "baskets containing espresso AND oat milk (cross-sell analysis)",
+        ),
+        (
+            "subset",
+            {"milk", "bread", "eggs"},
+            "baskets with the breakfast staples",
+        ),
+        (
+            "equality",
+            {"pasta", "tomatoes", "olive-oil"},
+            "baskets that are exactly the pasta promo bundle",
+        ),
+        (
+            "superset",
+            {"milk", "bread", "eggs", "butter", "cheese", "yogurt"},
+            "baskets that could be served entirely from the dairy & bakery aisle",
+        ),
+    ]
+
+    for predicate, items, description in analyses:
+        print(f"{description}\n  query: {predicate} {sorted(items)}")
+        for index in (inverted_file, oif):
+            index.drop_cache()
+            result = index.measured_query(predicate, items)
+            print(
+                f"  {index.name:>3}: {result.cardinality:5d} baskets, "
+                f"{result.page_accesses:4d} page accesses, "
+                f"{result.io_time_ms:7.2f} ms simulated I/O"
+            )
+        print()
+
+    print(
+        "The OIF answers every analysis with fewer disk page accesses because the\n"
+        "frequency ordering confines each query to a small range of its inverted lists."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduce one of the paper's figures programmatically.
+
+Run with::
+
+    python examples/reproduce_figure.py [fig7-msweb|fig7-msnbc|fig8|fig9|fig10] [base_records]
+
+This is the scripting counterpart of ``repro-oif experiment ...``: it calls the
+experiment functions in :mod:`repro.experiments.figures` directly, which is the
+route to take when you want to change sweep parameters (domain sizes, query
+sizes, skew values) or push the dataset sizes towards the paper's scale.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import figure7, figure8, figure9, figure10, render_tables
+from repro.experiments.figures import SyntheticScale
+
+
+def main(which: str = "fig9", base_records: int = 10_000) -> None:
+    scale = SyntheticScale(base_records=base_records, queries_per_size=3)
+    if which == "fig7-msweb":
+        tables = [figure7("msweb", queries_per_size=3)]
+    elif which == "fig7-msnbc":
+        tables = [figure7("msnbc", queries_per_size=3)]
+    elif which == "fig8":
+        tables = list(figure8(scale).values())
+    elif which == "fig10":
+        tables = list(figure10(scale).values())
+    else:
+        tables = list(figure9(scale).values())
+    print(render_tables(tables))
+    print(
+        "\nColumns ending in _pages are mean disk page accesses per query — the metric\n"
+        "the paper plots; _io_ms is simulated I/O time, _cpu_ms measured CPU time."
+    )
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "fig9"
+    base = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    main(which, base)

@@ -1,0 +1,61 @@
+"""repro — a reproduction of the Ordered Inverted File (OIF), EDBT 2011.
+
+The package implements Terrovitis et al., "Efficient Answering of Set
+Containment Queries for Skewed Item Distributions": the OIF index, the classic
+inverted-file baseline, an unordered B-tree ablation, a signature-file
+extension baseline, a simulated disk storage engine with page-access
+accounting, dataset generators, query workloads and the full experiment suite.
+
+Quick start::
+
+    from repro import Dataset, OrderedInvertedFile
+
+    data = Dataset.from_transactions([
+        {"milk", "bread"},
+        {"milk", "bread", "eggs"},
+        {"eggs"},
+    ])
+    oif = OrderedInvertedFile(data)
+    oif.subset_query({"milk", "bread"})      # -> [1, 2]
+    oif.equality_query({"eggs"})             # -> [3]
+    oif.superset_query({"milk", "bread"})    # -> [1]
+"""
+
+from repro.baselines import (
+    InvertedFile,
+    NaiveScanIndex,
+    SignatureFile,
+    UnorderedBTreeInvertedFile,
+)
+from repro.core import (
+    Dataset,
+    ItemOrder,
+    OrderedInvertedFile,
+    QueryResult,
+    QueryType,
+    Record,
+    SetContainmentIndex,
+    Vocabulary,
+)
+from repro.errors import ReproError
+from repro.storage import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Record",
+    "Vocabulary",
+    "ItemOrder",
+    "OrderedInvertedFile",
+    "InvertedFile",
+    "UnorderedBTreeInvertedFile",
+    "SignatureFile",
+    "NaiveScanIndex",
+    "SetContainmentIndex",
+    "QueryType",
+    "QueryResult",
+    "Environment",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline access methods the OIF is compared against.
+
+* :class:`InvertedFile` — the classic inverted file (the paper's main
+  competitor), hash-organized with whole-list values.
+* :class:`UnorderedBTreeInvertedFile` — blocked lists in a B-tree without the
+  OIF's ordering (the "impact of the ordering" ablation).
+* :class:`SignatureFile` — superimposed-coding signature file (related-work
+  extension baseline).
+* :class:`NaiveScanIndex` — brute-force oracle used as ground truth in tests.
+"""
+
+from repro.baselines.inverted_file import IFBuildReport, InvertedFile
+from repro.baselines.naive import NaiveScanIndex
+from repro.baselines.signature_file import SignatureFile
+from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
+
+__all__ = [
+    "InvertedFile",
+    "IFBuildReport",
+    "NaiveScanIndex",
+    "SignatureFile",
+    "UnorderedBTreeInvertedFile",
+]

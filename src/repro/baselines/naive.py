@@ -1,0 +1,52 @@
+"""Brute-force oracle: answers containment queries by scanning the dataset.
+
+This is not one of the paper's competitors — it exists so that every index in
+the library can be checked against ground truth, both in unit tests and in the
+hypothesis property tests.  It implements the same
+:class:`~repro.core.interfaces.SetContainmentIndex` interface, with a dummy
+storage environment so the instrumentation code paths stay uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.interfaces import SetContainmentIndex
+from repro.core.items import Item
+from repro.core.records import Dataset
+from repro.errors import QueryError
+from repro.storage.kvstore import Environment
+
+
+class NaiveScanIndex(SetContainmentIndex):
+    """Exact but index-free evaluation of the three containment predicates."""
+
+    name = "naive"
+
+    def __init__(self, dataset: Dataset, env: Environment | None = None) -> None:
+        super().__init__(dataset, env or Environment(cache_bytes=4096, page_size=4096))
+
+    def subset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check(items)
+        return sorted(
+            record.record_id for record in self.dataset if query <= record.items
+        )
+
+    def equality_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check(items)
+        return sorted(
+            record.record_id for record in self.dataset if query == record.items
+        )
+
+    def superset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check(items)
+        return sorted(
+            record.record_id for record in self.dataset if record.items <= query
+        )
+
+    @staticmethod
+    def _check(items: Iterable[Item]) -> frozenset:
+        query = frozenset(items)
+        if not query:
+            raise QueryError("containment queries require a non-empty query set")
+        return query

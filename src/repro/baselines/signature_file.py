@@ -1,0 +1,208 @@
+"""Signature file baseline (superimposed coding).
+
+Signature files are the classic alternative to inverted files for containment
+queries (Section 6, "Signatures"; Faloutsos & Christodoulakis).  The paper
+does not evaluate them — prior studies [21, 49] already showed inverted files
+dominate for low-cardinality set-values — but the library includes a
+sequential signature file as an *extension baseline* so users can reproduce
+that prior finding on the same substrate.
+
+Each record is summarised by an ``F``-bit signature obtained by OR-ing the
+hashes of its items (``m`` bits set per item).  Signatures are stored
+sequentially in pages; a query scans the whole signature file, keeps the
+records whose signature is compatible with the query signature, and verifies
+every candidate against the actual record (false positives are possible,
+false negatives are not):
+
+* subset — candidate if ``record_sig & query_sig == query_sig``;
+* equality — same test plus a length check at verification time;
+* superset — candidate if ``record_sig & ~query_sig == 0``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.core.interfaces import SetContainmentIndex
+from repro.core.items import Item, ItemOrder
+from repro.core.records import Dataset
+from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
+from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.recordstore import RecordStore
+
+
+def _item_signature(rank: int, signature_bits: int, bits_per_item: int) -> int:
+    """Deterministic ``bits_per_item``-bit signature of one item rank."""
+    signature = 0
+    state = rank + 0x9E3779B9
+    for _ in range(bits_per_item):
+        # xorshift-style mixing: cheap, deterministic across runs.
+        state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 7
+        state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+        signature |= 1 << (state % signature_bits)
+    return signature
+
+
+class SignatureFile(SetContainmentIndex):
+    """Sequential signature file with verification against a record store."""
+
+    name = "SIG"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        env: Environment | None = None,
+        *,
+        signature_bits: int = 64,
+        bits_per_item: int = 4,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_bytes: int = PAPER_CACHE_BYTES,
+        build: bool = True,
+    ) -> None:
+        if env is None:
+            env = Environment(page_size=page_size, cache_bytes=cache_bytes)
+        super().__init__(dataset, env)
+        if signature_bits % 8:
+            raise IndexBuildError("signature width must be a multiple of 8 bits")
+        if not 1 <= bits_per_item <= signature_bits:
+            raise IndexBuildError(
+                f"bits_per_item must be in [1, {signature_bits}], got {bits_per_item}"
+            )
+        self.signature_bits = signature_bits
+        self.bits_per_item = bits_per_item
+        self._signature_bytes = signature_bits // 8
+        self._order: ItemOrder | None = None
+        self._record_ids: list[int] = []
+        self._signature_pages: list[int] = []
+        self._per_page = 0
+        self._record_store: RecordStore | None = None
+        self.build_seconds = 0.0
+        if build:
+            self.build()
+
+    # -- construction --------------------------------------------------------------
+
+    def build(self) -> None:
+        """Compute all signatures and lay them out sequentially in pages."""
+        start = time.perf_counter()
+        self._order = self.dataset.vocabulary.frequency_order()
+        entry_size = 4 + self._signature_bytes  # record id + signature
+        self._per_page = max(1, self.env.page_size // entry_size)
+
+        self._record_store = RecordStore(self.env.pool)
+        self._record_ids = []
+        self._signature_pages = []
+
+        buffer = bytearray()
+        count_in_page = 0
+        for record in sorted(self.dataset, key=lambda r: r.record_id):
+            ranks = sorted(self._order.rank_of(item) for item in record.items)
+            self._record_store.append(record.record_id, ranks)
+            signature = self.record_signature(record.items)
+            buffer += record.record_id.to_bytes(4, "big")
+            buffer += signature.to_bytes(self._signature_bytes, "big")
+            self._record_ids.append(record.record_id)
+            count_in_page += 1
+            if count_in_page == self._per_page:
+                self._flush_signature_page(buffer)
+                buffer = bytearray()
+                count_in_page = 0
+        if buffer:
+            self._flush_signature_page(buffer)
+        self.env.pool.flush()
+        self.build_seconds = time.perf_counter() - start
+
+    def _flush_signature_page(self, buffer: bytearray) -> None:
+        page_id = self.env.pool.allocate_page()
+        self.env.pool.put_page(page_id, bytes(buffer))
+        self._signature_pages.append(page_id)
+
+    # -- signatures ----------------------------------------------------------------
+
+    def record_signature(self, items: Iterable[Item]) -> int:
+        """Superimposed signature of a set of items (unknown items are skipped)."""
+        if self._order is None:
+            raise IndexNotBuiltError("the signature file has not been built yet")
+        signature = 0
+        for item in items:
+            rank = self._order.try_rank_of(item)
+            if rank is not None:
+                signature |= _item_signature(rank, self.signature_bits, self.bits_per_item)
+        return signature
+
+    def _scan_signatures(self) -> Iterable[tuple[int, int]]:
+        """Yield ``(record_id, signature)`` for every record, page by page."""
+        entry_size = 4 + self._signature_bytes
+        remaining = len(self._record_ids)
+        for page_id in self._signature_pages:
+            data = bytes(self.env.pool.get_page(page_id))
+            in_page = min(self._per_page, remaining)
+            for slot in range(in_page):
+                offset = slot * entry_size
+                record_id = int.from_bytes(data[offset : offset + 4], "big")
+                signature = int.from_bytes(
+                    data[offset + 4 : offset + entry_size], "big"
+                )
+                yield record_id, signature
+            remaining -= in_page
+
+    def _verify(self, record_id: int) -> frozenset:
+        """Fetch the record's items from the record store (one page access)."""
+        assert self._record_store is not None and self._order is not None
+        ranks = self._record_store.fetch(record_id)
+        return frozenset(self._order.item_at(rank) for rank in ranks)
+
+    # -- query evaluation ----------------------------------------------------------
+
+    def subset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        if any(self.order.try_rank_of(item) is None for item in query):
+            return []
+        query_signature = self.record_signature(query)
+        result: list[int] = []
+        for record_id, signature in self._scan_signatures():
+            if signature & query_signature == query_signature:
+                if query <= self._verify(record_id):
+                    result.append(record_id)
+        return sorted(result)
+
+    def equality_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        if any(self.order.try_rank_of(item) is None for item in query):
+            return []
+        query_signature = self.record_signature(query)
+        result: list[int] = []
+        for record_id, signature in self._scan_signatures():
+            if signature == query_signature:
+                if query == self._verify(record_id):
+                    result.append(record_id)
+        return sorted(result)
+
+    def superset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        query_signature = self.record_signature(query)
+        mask = (1 << self.signature_bits) - 1
+        complement = mask & ~query_signature
+        result: list[int] = []
+        for record_id, signature in self._scan_signatures():
+            if signature & complement == 0:
+                if self._verify(record_id) <= query:
+                    result.append(record_id)
+        return sorted(result)
+
+    @property
+    def order(self) -> ItemOrder:
+        """Frequency order of the vocabulary (used only to hash items)."""
+        if self._order is None:
+            raise IndexNotBuiltError("the signature file has not been built yet")
+        return self._order
+
+    @staticmethod
+    def _check_query(items: Iterable[Item]) -> frozenset:
+        query = frozenset(items)
+        if not query:
+            raise QueryError("containment queries require a non-empty query set")
+        return query

@@ -1,0 +1,231 @@
+"""Unordered B-tree inverted file: the "impact of the ordering" ablation.
+
+Section 5 of the paper asks whether the OIF's gains come from the special
+record ordering + metadata, or merely from indexing the inverted lists with a
+B-tree.  To answer it, the authors build a B-tree over the inverted lists with
+the *same block size* as the OIF but **without any reordering** of the
+records, and with only the record id as the block key.  This module
+reproduces that competitor:
+
+* records keep their original ids;
+* each item's list is split into blocks of ``block_capacity`` postings;
+* the block key is ``(item, last record id in the block)``;
+* query evaluation can skip to intermediate points of a list through the
+  B-tree (like a skip list), but — lacking the lexicographic ordering — it has
+  no Range of Interest: subset/equality queries must scan the first list in
+  full, and superset queries must scan every involved list in full.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator
+
+from repro.compression.postings import Posting, PostingBlockCodec
+from repro.core.interfaces import SetContainmentIndex
+from repro.core.items import Item, ItemOrder
+from repro.core.records import Dataset
+from repro.core.sequence import decode_rank, encode_rank
+from repro.errors import IndexNotBuiltError, QueryError
+from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+
+
+class UnorderedBTreeInvertedFile(SetContainmentIndex):
+    """Blocked, B-tree-indexed inverted lists over unordered record ids."""
+
+    name = "UBT"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        env: Environment | None = None,
+        *,
+        block_capacity: int = 128,
+        max_block_bytes: int | None = None,
+        compress: bool = True,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_bytes: int = PAPER_CACHE_BYTES,
+        build: bool = True,
+    ) -> None:
+        if env is None:
+            env = Environment(page_size=page_size, cache_bytes=cache_bytes)
+        super().__init__(dataset, env)
+        self.block_capacity = block_capacity
+        self.max_block_bytes = (
+            max_block_bytes if max_block_bytes is not None else env.page_size // 2
+        )
+        self.compress = compress
+        self._codec = PostingBlockCodec(compress=compress)
+        self._order: ItemOrder | None = None
+        self._table = None
+        self.num_blocks = 0
+        self.build_seconds = 0.0
+        if build:
+            self.build()
+
+    # -- construction --------------------------------------------------------------
+
+    def build(self) -> None:
+        """(Re)build the blocked inverted lists from the dataset."""
+        start = time.perf_counter()
+        vocabulary = self.dataset.vocabulary
+        self._order = vocabulary.frequency_order()
+
+        lists: dict[int, list[Posting]] = {}
+        for record in sorted(self.dataset, key=lambda r: r.record_id):
+            for item in record.items:
+                rank = self._order.rank_of(item)
+                lists.setdefault(rank, []).append(Posting(record.record_id, record.length))
+
+        table = self.env.create_table(self._fresh_table_name(), access_method="btree")
+        self.num_blocks = 0
+
+        def entries() -> Iterator[tuple[bytes, bytes]]:
+            for rank in sorted(lists):
+                postings = lists[rank]
+                for block in self._chunk(postings):
+                    self.num_blocks += 1
+                    key = encode_rank(rank) + encode_rank(block[-1].record_id)
+                    yield key, self._codec.encode(block)
+
+        table.bulk_load(entries())
+        self.env.pool.flush()
+        self._table = table
+        self.build_seconds = time.perf_counter() - start
+
+    def _chunk(self, postings: list[Posting]) -> Iterator[list[Posting]]:
+        block: list[Posting] = []
+        for posting in postings:
+            block.append(posting)
+            if len(block) >= self.block_capacity or (
+                len(block) > 1 and self._codec.encoded_size(block) > self.max_block_bytes
+            ):
+                if self._codec.encoded_size(block) > self.max_block_bytes and len(block) > 1:
+                    last = block.pop()
+                    yield block
+                    block = [last]
+                else:
+                    yield block
+                    block = []
+        if block:
+            yield block
+
+    _table_counter = 0
+
+    def _fresh_table_name(self) -> str:
+        UnorderedBTreeInvertedFile._table_counter += 1
+        return f"ubt_blocks_{UnorderedBTreeInvertedFile._table_counter}"
+
+    # -- list access ---------------------------------------------------------------
+
+    @property
+    def order(self) -> ItemOrder:
+        """Frequency order of the vocabulary (used to pick the shortest list first)."""
+        if self._order is None:
+            raise IndexNotBuiltError("the unordered B-tree index has not been built yet")
+        return self._order
+
+    def scan_list(
+        self, rank: int, low_id: int = 0, high_id: int | None = None
+    ) -> Iterator[Posting]:
+        """Yield the postings of one list, optionally limited to an id window.
+
+        The B-tree lets the scan start at the first block whose last id is >=
+        ``low_id`` and stop once a block's last id passes ``high_id`` — the
+        "access to intermediate points" that this baseline shares with the OIF.
+        """
+        if self._table is None:
+            raise IndexNotBuiltError("the unordered B-tree index has not been built yet")
+        seek = encode_rank(rank) + encode_rank(low_id)
+        for key, value in self._table.cursor(seek):
+            key_rank = decode_rank(key, 0)
+            if key_rank != rank:
+                return
+            last_id = decode_rank(key, 4)
+            for posting in self._codec.decode(value):
+                if posting.record_id < low_id:
+                    continue
+                if high_id is not None and posting.record_id > high_id:
+                    return
+                yield posting
+            if high_id is not None and last_id >= high_id:
+                return
+
+    # -- query evaluation ----------------------------------------------------------
+
+    def subset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        ranks = self._known_ranks(query)
+        if ranks is None:
+            return []
+        # Least frequent item first: its list is the shortest.
+        ranks.sort(key=lambda rank: -rank)
+        candidates = {posting.record_id for posting in self.scan_list(ranks[0])}
+        for rank in ranks[1:]:
+            if not candidates:
+                return []
+            low, high = min(candidates), max(candidates)
+            found = {
+                posting.record_id
+                for posting in self.scan_list(rank, low, high)
+                if posting.record_id in candidates
+            }
+            candidates = found
+        return sorted(candidates)
+
+    def equality_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        cardinality = len(query)
+        ranks = self._known_ranks(query)
+        if ranks is None:
+            return []
+        ranks.sort(key=lambda rank: -rank)
+        candidates = {
+            posting.record_id
+            for posting in self.scan_list(ranks[0])
+            if posting.length == cardinality
+        }
+        for rank in ranks[1:]:
+            if not candidates:
+                return []
+            low, high = min(candidates), max(candidates)
+            candidates = {
+                posting.record_id
+                for posting in self.scan_list(rank, low, high)
+                if posting.length == cardinality and posting.record_id in candidates
+            }
+        return sorted(candidates)
+
+    def superset_query(self, items: Iterable[Item]) -> list[int]:
+        query = self._check_query(items)
+        occurrences: dict[int, int] = {}
+        lengths: dict[int, int] = {}
+        for item in sorted(query, key=str):
+            rank = self.order.try_rank_of(item)
+            if rank is None:
+                continue
+            for posting in self.scan_list(rank):
+                occurrences[posting.record_id] = occurrences.get(posting.record_id, 0) + 1
+                lengths[posting.record_id] = posting.length
+        return sorted(
+            record_id
+            for record_id, count in occurrences.items()
+            if count == lengths[record_id]
+        )
+
+    def _known_ranks(self, query: frozenset) -> list[int] | None:
+        ranks: list[int] = []
+        for item in sorted(query, key=str):
+            rank = self.order.try_rank_of(item)
+            if rank is None:
+                return None
+            ranks.append(rank)
+        return ranks
+
+    @staticmethod
+    def _check_query(items: Iterable[Item]) -> frozenset:
+        query = frozenset(items)
+        if not query:
+            raise QueryError("containment queries require a non-empty query set")
+        return query

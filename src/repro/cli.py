@@ -1,0 +1,220 @@
+"""Command-line interface for the OIF reproduction.
+
+The CLI exposes the workflows a downstream user needs without writing Python:
+
+* ``repro-oif generate`` — produce a synthetic / msweb / msnbc transaction file;
+* ``repro-oif query`` — build an index over a transaction file and answer a
+  containment query, printing the matching record ids and the I/O cost;
+* ``repro-oif compare`` — replay a generated workload on the IF and the OIF
+  and print the mean page accesses per query size;
+* ``repro-oif experiment`` — regenerate one of the paper's figures/tables.
+
+Run ``repro-oif <command> --help`` for the options of each command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.baselines import InvertedFile, SignatureFile, UnorderedBTreeInvertedFile
+from repro.core import OrderedInvertedFile, QueryType
+from repro.core.records import Dataset
+from repro.datasets import (
+    MsnbcConfig,
+    MswebConfig,
+    SyntheticConfig,
+    generate_msnbc,
+    generate_msweb,
+    generate_synthetic,
+    read_transactions,
+    write_transactions,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentRunner,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    if_factory,
+    oif_factory,
+    ordering_ablation,
+    performance_summary,
+    render_tables,
+    skew_robustness,
+    space_overhead,
+    update_tradeoff,
+)
+from repro.experiments.figures import SyntheticScale
+from repro.workloads import WorkloadGenerator
+
+_INDEX_CLASSES = {
+    "oif": OrderedInvertedFile,
+    "if": InvertedFile,
+    "ubt": UnorderedBTreeInvertedFile,
+    "sig": SignatureFile,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oif",
+        description="Ordered Inverted File (EDBT 2011) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a dataset as a transaction file")
+    generate.add_argument("output", help="path of the transaction file to write")
+    generate.add_argument(
+        "--kind", choices=("synthetic", "msweb", "msnbc"), default="synthetic"
+    )
+    generate.add_argument("--records", type=int, default=20_000)
+    generate.add_argument("--domain", type=int, default=2000)
+    generate.add_argument("--zipf", type=float, default=0.8)
+    generate.add_argument("--seed", type=int, default=7)
+
+    query = sub.add_parser("query", help="answer one containment query over a transaction file")
+    query.add_argument("data", help="transaction file (one record per line)")
+    query.add_argument("predicate", choices=("subset", "equality", "superset"))
+    query.add_argument("items", nargs="+", help="query items")
+    query.add_argument("--index", choices=sorted(_INDEX_CLASSES), default="oif")
+    query.add_argument("--limit", type=int, default=20, help="max record ids to print")
+
+    compare = sub.add_parser("compare", help="compare IF and OIF on a generated workload")
+    compare.add_argument("data", help="transaction file (one record per line)")
+    compare.add_argument("--predicate", choices=("subset", "equality", "superset"), default="subset")
+    compare.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4, 5])
+    compare.add_argument("--queries-per-size", type=int, default=5)
+    compare.add_argument("--seed", type=int, default=17)
+
+    experiment = sub.add_parser("experiment", help="regenerate one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=(
+            "fig7-msweb",
+            "fig7-msnbc",
+            "fig8",
+            "fig9",
+            "fig10",
+            "space",
+            "ordering",
+            "updates",
+            "summary",
+            "skew",
+        ),
+    )
+    experiment.add_argument(
+        "--records", type=int, default=20_000, help="base synthetic dataset size"
+    )
+    experiment.add_argument("--queries-per-size", type=int, default=5)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        dataset = generate_synthetic(
+            SyntheticConfig(
+                num_records=args.records,
+                domain_size=args.domain,
+                zipf_order=args.zipf,
+                seed=args.seed,
+            )
+        )
+    elif args.kind == "msweb":
+        dataset = generate_msweb(MswebConfig(num_sessions=args.records, seed=args.seed))
+    else:
+        dataset = generate_msnbc(MsnbcConfig(num_sessions=args.records, seed=args.seed))
+    write_transactions(dataset, args.output)
+    print(
+        f"wrote {len(dataset)} records over {dataset.domain_size} items "
+        f"(avg length {dataset.average_length:.2f}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = read_transactions(args.data)
+    index_class = _INDEX_CLASSES[args.index]
+    index = index_class(dataset)
+    result = index.measured_query(QueryType.parse(args.predicate), args.items)
+    shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
+    suffix = " ..." if result.cardinality > args.limit else ""
+    print(f"{result.cardinality} matching records: {shown}{suffix}")
+    print(
+        f"cost: {result.page_accesses} page accesses "
+        f"({result.random_reads} random, {result.sequential_reads} sequential), "
+        f"{result.io_time_ms:.2f} ms simulated I/O, {result.cpu_time_ms:.2f} ms CPU"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = read_transactions(args.data)
+    generator = WorkloadGenerator(dataset, seed=args.seed)
+    workload = generator.workload(args.predicate, args.sizes, args.queries_per_size)
+    runner = ExperimentRunner()
+    results = runner.compare(dataset, workload, (if_factory(), oif_factory()))
+    print(f"{args.predicate} queries over {args.data} ({len(dataset)} records)")
+    header = f"{'|qs|':>5}  " + "  ".join(f"{name:>12}" for name in results)
+    print(header)
+    for size in args.sizes:
+        row = [f"{size:>5}"]
+        for name, run in results.items():
+            costs = {cost.group: cost for cost in run.by_query_size()}
+            cost = costs.get(size)
+            row.append(f"{cost.mean_page_accesses:>12.1f}" if cost else f"{'-':>12}")
+        print("  ".join(row))
+    print("(mean disk page accesses per query; lower is better)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = SyntheticScale(base_records=args.records, queries_per_size=args.queries_per_size)
+    name = args.name
+    if name == "fig7-msweb":
+        tables = [figure7("msweb", queries_per_size=args.queries_per_size)]
+    elif name == "fig7-msnbc":
+        tables = [figure7("msnbc", queries_per_size=args.queries_per_size)]
+    elif name == "fig8":
+        tables = list(figure8(scale).values())
+    elif name == "fig9":
+        tables = list(figure9(scale).values())
+    elif name == "fig10":
+        tables = list(figure10(scale).values())
+    elif name == "space":
+        tables = [space_overhead(num_records=args.records)]
+    elif name == "ordering":
+        tables = [ordering_ablation(num_records=args.records, queries_per_size=args.queries_per_size)]
+    elif name == "updates":
+        tables = [update_tradeoff(num_records=min(args.records, 10_000))]
+    elif name == "summary":
+        tables = [performance_summary(num_records=args.records)]
+    else:
+        tables = [skew_robustness(num_records=args.records)]
+    print(render_tables(tables))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used both by ``python -m repro.cli`` and the console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_experiment(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

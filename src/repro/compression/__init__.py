@@ -1,0 +1,34 @@
+"""Compression primitives used by the inverted-file indexes.
+
+The subpackage contains the v-byte integer codec, the d-gap transform for
+sorted id lists, and posting-list / posting-block codecs built on top of them.
+"""
+
+from repro.compression.dgap import gaps_from_ids, ids_from_gaps
+from repro.compression.postings import (
+    Posting,
+    PostingBlockCodec,
+    PostingListCodec,
+    postings_from_pairs,
+)
+from repro.compression.vbyte import (
+    decode_sequence,
+    decode_uint,
+    encode_sequence,
+    encode_uint,
+    encoded_size,
+)
+
+__all__ = [
+    "Posting",
+    "PostingBlockCodec",
+    "PostingListCodec",
+    "postings_from_pairs",
+    "gaps_from_ids",
+    "ids_from_gaps",
+    "encode_uint",
+    "decode_uint",
+    "encode_sequence",
+    "decode_sequence",
+    "encoded_size",
+]

@@ -1,0 +1,64 @@
+"""d-gap transform for sorted posting lists.
+
+Inverted lists reference records in increasing id order.  Instead of storing
+the absolute ids, both the OIF and the classic inverted file store *d-gaps*:
+the difference between consecutive ids.  Gaps are small for dense lists, so
+they compress much better under v-byte than raw ids (Section 3, "Compression").
+
+The first element of a gap sequence is the absolute first id; every following
+element is ``id[i] - id[i - 1]``.  Because record ids are unique and sorted,
+all gaps after the first are strictly positive; a zero or negative gap is a
+sign of corruption and is rejected on decode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CompressionError
+
+
+def gaps_from_ids(ids: Sequence[int]) -> list[int]:
+    """Convert a strictly increasing id sequence to d-gaps.
+
+    Raises :class:`CompressionError` if the input is not strictly increasing or
+    contains negative ids.
+    """
+    gaps: list[int] = []
+    previous: int | None = None
+    for record_id in ids:
+        if record_id < 0:
+            raise CompressionError(f"record ids must be non-negative, got {record_id}")
+        if previous is None:
+            gaps.append(record_id)
+        else:
+            gap = record_id - previous
+            if gap <= 0:
+                raise CompressionError(
+                    f"ids must be strictly increasing, got {previous} then {record_id}"
+                )
+            gaps.append(gap)
+        previous = record_id
+    return gaps
+
+
+def ids_from_gaps(gaps: Sequence[int]) -> list[int]:
+    """Convert a d-gap sequence back to absolute ids.
+
+    Raises :class:`CompressionError` if a gap after the first is not positive.
+    """
+    ids: list[int] = []
+    current = 0
+    for position, gap in enumerate(gaps):
+        if position == 0:
+            if gap < 0:
+                raise CompressionError(f"first id must be non-negative, got {gap}")
+            current = gap
+        else:
+            if gap <= 0:
+                raise CompressionError(
+                    f"gaps after the first must be positive, got {gap} at {position}"
+                )
+            current += gap
+        ids.append(current)
+    return ids

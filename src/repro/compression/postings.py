@@ -1,0 +1,150 @@
+"""Posting representation and posting-list codecs.
+
+Both indexes in the paper store *postings* of the form ``(record_id, length)``:
+the id of a record that contains the item, plus the cardinality of that
+record's set-value.  The length is what lets equality and superset queries
+prune candidates without fetching the records themselves (Section 2).
+
+Wire format
+-----------
+A posting list (or OIF block) is a sequence of ``(id, length)`` pairs, both
+v-byte encoded, with ids stored as d-gaps when compression is enabled::
+
+    varint id_or_gap, varint length, varint id_or_gap, varint length, ...
+
+There is deliberately **no leading count**: the storage layer already delimits
+values exactly, and keeping the payload a pure concatenation of postings means
+a batch update can *append* freshly encoded postings to an existing list
+without decoding it (see :meth:`PostingListCodec.encode_continuation`) — the
+cheap in-place append that makes the classic inverted file's updates faster
+than the OIF's rebuild, as the paper reports.
+
+Two codecs are provided:
+
+* :class:`PostingListCodec` — encodes a full posting list (used by the classic
+  inverted file, which stores each item's entire list as one value).
+* :class:`PostingBlockCodec` — encodes one OIF block of postings.  Blocks are
+  independent units, so each block restarts the d-gap sequence with an absolute
+  first id (this is the small space overhead the paper mentions for the OIF).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.compression import vbyte
+from repro.errors import CompressionError
+
+
+class Posting(NamedTuple):
+    """One inverted-list entry: a record id and the record's set cardinality."""
+
+    record_id: int
+    length: int
+
+
+def postings_from_pairs(pairs: Iterable[tuple[int, int]]) -> list[Posting]:
+    """Build a list of :class:`Posting` from ``(record_id, length)`` pairs."""
+    return [Posting(record_id, length) for record_id, length in pairs]
+
+
+def _validate(postings: Sequence[Posting], previous_id: int = -1) -> None:
+    previous = previous_id
+    for posting in postings:
+        if posting.record_id <= previous:
+            raise CompressionError(
+                "postings must be sorted by strictly increasing record id; "
+                f"got {previous} then {posting.record_id}"
+            )
+        if posting.length < 0:
+            raise CompressionError(
+                f"record length must be non-negative, got {posting.length}"
+            )
+        previous = posting.record_id
+
+
+class PostingListCodec:
+    """Codec for a complete inverted list (one item's postings).
+
+    Parameters
+    ----------
+    compress:
+        When ``True`` (default) the ids are stored as d-gaps; when ``False``
+        they are stored as absolute values.  Both variants use v-byte for the
+        integers themselves, mirroring the paper's byte-wise scheme.
+    """
+
+    def __init__(self, compress: bool = True) -> None:
+        self.compress = compress
+
+    def encode(self, postings: Sequence[Posting]) -> bytes:
+        """Serialize ``postings`` (sorted by record id) into bytes."""
+        _validate(postings)
+        return self._encode_from(postings, previous_id=0)
+
+    def encode_continuation(self, postings: Sequence[Posting], previous_last_id: int) -> bytes:
+        """Serialize postings that will be appended after an existing list.
+
+        ``previous_last_id`` is the last record id already stored in the list;
+        with compression enabled the first new id is encoded as a gap from it,
+        so the concatenation ``old_bytes + continuation_bytes`` decodes to the
+        merged list without ever decoding ``old_bytes``.
+        """
+        if previous_last_id < 0:
+            raise CompressionError("previous_last_id must be non-negative")
+        _validate(postings, previous_id=previous_last_id)
+        return self._encode_from(postings, previous_id=previous_last_id)
+
+    def _encode_from(self, postings: Sequence[Posting], previous_id: int) -> bytes:
+        out = bytearray()
+        previous = previous_id if self.compress else 0
+        for posting in postings:
+            if self.compress:
+                vbyte.encode_uint(posting.record_id - previous, out)
+                previous = posting.record_id
+            else:
+                vbyte.encode_uint(posting.record_id, out)
+            vbyte.encode_uint(posting.length, out)
+        return bytes(out)
+
+    def decode(self, data: bytes, offset: int = 0) -> list[Posting]:
+        """Deserialize a posting list previously produced by :meth:`encode`.
+
+        Decoding runs to the end of ``data``: values are exactly delimited by
+        the storage layer, so no explicit count is needed.
+        """
+        postings: list[Posting] = []
+        position = offset
+        end = len(data)
+        current = 0
+        while position < end:
+            value, position = vbyte.decode_uint(data, position)
+            length, position = vbyte.decode_uint(data, position)
+            if self.compress:
+                current += value
+                postings.append(Posting(current, length))
+            else:
+                postings.append(Posting(value, length))
+        return postings
+
+    def encoded_size(self, postings: Sequence[Posting]) -> int:
+        """Return the byte size of :meth:`encode` without materialising it."""
+        total = 0
+        previous = 0
+        for posting in postings:
+            if self.compress:
+                total += vbyte.encoded_size(posting.record_id - previous)
+                previous = posting.record_id
+            else:
+                total += vbyte.encoded_size(posting.record_id)
+            total += vbyte.encoded_size(posting.length)
+        return total
+
+
+class PostingBlockCodec(PostingListCodec):
+    """Codec for one OIF block.
+
+    Identical wire format to :class:`PostingListCodec`; the distinction exists
+    because blocks are encoded independently (each restarts its d-gap chain),
+    and because the OIF build path sizes blocks by their encoded size.
+    """

@@ -1,0 +1,38 @@
+"""Core of the reproduction: the Ordered Inverted File and its building blocks.
+
+The subpackage contains the item order and sequence forms (Section 3), the
+metadata table (Theorem 1), the Range-of-Interest machinery (Section 4), the
+OIF index itself and the batch-update layer (Section 4.4).
+"""
+
+from repro.core.interfaces import QueryResult, QueryType, SetContainmentIndex
+from repro.core.items import Item, ItemOrder, Vocabulary
+from repro.core.metadata import MetadataRegion, MetadataTable
+from repro.core.oif import OIFBuildReport, OrderedInvertedFile
+from repro.core.ordering import OrderedDataset, order_dataset
+from repro.core.records import Dataset, Record
+from repro.core.roi import RangeOfInterest, equality_roi, subset_roi, superset_rois
+from repro.core.sequence import SequenceForm, sequence_form
+
+__all__ = [
+    "Item",
+    "ItemOrder",
+    "Vocabulary",
+    "Record",
+    "Dataset",
+    "SequenceForm",
+    "sequence_form",
+    "OrderedDataset",
+    "order_dataset",
+    "MetadataRegion",
+    "MetadataTable",
+    "RangeOfInterest",
+    "subset_roi",
+    "equality_roi",
+    "superset_rois",
+    "OrderedInvertedFile",
+    "OIFBuildReport",
+    "QueryType",
+    "QueryResult",
+    "SetContainmentIndex",
+]

@@ -1,0 +1,148 @@
+"""Public interface shared by every set-containment index in the library.
+
+The paper compares several access methods (the OIF, the classic inverted
+file, an unordered B-tree variant, and — in related work — signature files).
+All of them answer the same three predicates, so they implement one abstract
+base class, :class:`SetContainmentIndex`, and the experiment runner treats
+them interchangeably.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.items import Item
+from repro.core.records import Dataset
+from repro.errors import QueryError
+from repro.storage.kvstore import Environment
+from repro.storage.stats import IOStatistics
+
+
+class QueryType(enum.Enum):
+    """The three containment predicates of Section 2."""
+
+    SUBSET = "subset"
+    EQUALITY = "equality"
+    SUPERSET = "superset"
+
+    @classmethod
+    def parse(cls, value: "QueryType | str") -> "QueryType":
+        """Accept either an enum member or its string name/value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise QueryError(
+                f"unknown query type {value!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer of one containment query plus the I/O it caused."""
+
+    query_type: QueryType
+    query_items: frozenset
+    record_ids: tuple[int, ...]
+    page_accesses: int
+    random_reads: int
+    sequential_reads: int
+    io_time_ms: float
+    cpu_time_ms: float
+
+    @property
+    def cardinality(self) -> int:
+        """Number of matching records."""
+        return len(self.record_ids)
+
+    @property
+    def total_time_ms(self) -> float:
+        """Simulated I/O time plus measured CPU time."""
+        return self.io_time_ms + self.cpu_time_ms
+
+
+class SetContainmentIndex(ABC):
+    """Abstract base class for indexes answering containment queries.
+
+    Subclasses must implement the three ``*_query`` methods, returning record
+    ids of the *source dataset* (never internal ids) as a sorted list.
+    """
+
+    #: Human-readable name used in experiment reports ("IF", "OIF", ...).
+    name: str = "index"
+
+    def __init__(self, dataset: Dataset, env: Environment) -> None:
+        self.dataset = dataset
+        self.env = env
+
+    # -- queries -------------------------------------------------------------------
+
+    @abstractmethod
+    def subset_query(self, items: Iterable[Item]) -> list[int]:
+        """Records ``t`` with ``qs ⊆ t.s``."""
+
+    @abstractmethod
+    def equality_query(self, items: Iterable[Item]) -> list[int]:
+        """Records ``t`` with ``qs = t.s``."""
+
+    @abstractmethod
+    def superset_query(self, items: Iterable[Item]) -> list[int]:
+        """Records ``t`` with ``t.s ⊆ qs``."""
+
+    def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
+        """Dispatch to the right predicate by :class:`QueryType`."""
+        query_type = QueryType.parse(query_type)
+        if query_type is QueryType.SUBSET:
+            return self.subset_query(items)
+        if query_type is QueryType.EQUALITY:
+            return self.equality_query(items)
+        return self.superset_query(items)
+
+    # -- instrumentation -----------------------------------------------------------
+
+    @property
+    def stats(self) -> IOStatistics:
+        """The I/O counters shared with the index's storage environment."""
+        return self.env.stats
+
+    @property
+    def index_size_bytes(self) -> int:
+        """On-disk footprint of the index structures (allocated pages)."""
+        return self.env.size_bytes
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool so the next query starts cold."""
+        self.env.drop_cache()
+
+    def measured_query(
+        self, query_type: "QueryType | str", items: Iterable[Item]
+    ) -> QueryResult:
+        """Run a query and package the answer together with its cost.
+
+        The buffer pool is *not* dropped here; the experiment runner decides
+        the caching regime (the paper keeps a minimal cache across queries).
+        """
+        import time
+
+        query_type = QueryType.parse(query_type)
+        item_set = frozenset(items)
+        before = self.stats.snapshot()
+        start = time.perf_counter()
+        record_ids = tuple(self.query(query_type, item_set))
+        cpu_seconds = time.perf_counter() - start
+        delta = self.stats.since(before)
+        return QueryResult(
+            query_type=query_type,
+            query_items=item_set,
+            record_ids=record_ids,
+            page_accesses=delta.page_reads,
+            random_reads=delta.random_reads,
+            sequential_reads=delta.sequential_reads,
+            io_time_ms=delta.io_time_ms(self.stats.disk_model),
+            cpu_time_ms=cpu_seconds * 1000.0,
+        )

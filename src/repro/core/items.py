@@ -1,0 +1,139 @@
+"""Item vocabulary and the frequency-based total order ``<_D`` (Equation 1).
+
+The OIF orders the items of the active domain by *support* (how many records
+contain the item), breaking ties by the items' natural (alphanumeric) order:
+
+    o_i <_D o_j  iff  s(o_i) > s(o_j), or s(o_i) = s(o_j) and o_i < o_j
+
+The most frequent item is therefore the *smallest* in ``<_D``.  Internally the
+library works with **ranks**: rank 0 is the smallest (most frequent) item,
+rank ``|I| - 1`` the largest (least frequent).  Every sequence form, tag, RoI
+bound and metadata region is expressed in rank space, which makes comparisons
+cheap and key encodings compact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import DatasetError, QueryError
+
+Item = Hashable
+
+
+class Vocabulary:
+    """The active domain of the set-valued attribute, with support counts."""
+
+    def __init__(self, supports: Mapping[Item, int]) -> None:
+        if not supports:
+            raise DatasetError("a vocabulary cannot be empty")
+        for item, support in supports.items():
+            if support <= 0:
+                raise DatasetError(f"item {item!r} has non-positive support {support}")
+        self._supports: dict[Item, int] = dict(supports)
+
+    @classmethod
+    def from_transactions(cls, transactions: Iterable[Iterable[Item]]) -> "Vocabulary":
+        """Count item supports over an iterable of item collections."""
+        counter: Counter = Counter()
+        for transaction in transactions:
+            for item in set(transaction):
+                counter[item] += 1
+        return cls(counter)
+
+    def support(self, item: Item) -> int:
+        """Number of records that contain ``item`` (0 if unknown)."""
+        return self._supports.get(item, 0)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._supports
+
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._supports)
+
+    def items_with_support(self) -> Iterator[tuple[Item, int]]:
+        """Iterate ``(item, support)`` pairs in unspecified order."""
+        return iter(self._supports.items())
+
+    def frequency_order(self) -> "ItemOrder":
+        """Build the ``<_D`` total order of Equation 1 over this vocabulary."""
+        ordered = sorted(
+            self._supports.items(), key=lambda pair: (-pair[1], _sort_token(pair[0]))
+        )
+        return ItemOrder([item for item, _ in ordered], supports=self._supports)
+
+
+def _sort_token(item: Item) -> tuple[str, str]:
+    """Tie-break key for items of heterogeneous types (alphabetic order)."""
+    return (type(item).__name__, str(item))
+
+
+class ItemOrder:
+    """A total order over items; position 0 is the smallest item in ``<_D``.
+
+    Besides the paper's frequency order, any explicit item sequence can be
+    used (e.g. alphanumeric order), which the ablation experiments exploit.
+    """
+
+    def __init__(self, items_in_order: Sequence[Item], supports: Mapping[Item, int] | None = None) -> None:
+        if not items_in_order:
+            raise DatasetError("an item order cannot be empty")
+        self._items: list[Item] = list(items_in_order)
+        self._rank: dict[Item, int] = {}
+        for rank, item in enumerate(self._items):
+            if item in self._rank:
+                raise DatasetError(f"item {item!r} appears twice in the order")
+            self._rank[item] = rank
+        self._supports = dict(supports) if supports is not None else {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._rank
+
+    @property
+    def max_rank(self) -> int:
+        """Rank of the largest (least frequent) item, i.e. ``|I| - 1``."""
+        return len(self._items) - 1
+
+    def rank_of(self, item: Item) -> int:
+        """Return the rank of ``item``; raises :class:`QueryError` if unknown."""
+        try:
+            return self._rank[item]
+        except KeyError:
+            raise QueryError(f"item {item!r} is not part of the indexed vocabulary") from None
+
+    def try_rank_of(self, item: Item) -> int | None:
+        """Return the rank of ``item`` or ``None`` if it is not in the domain."""
+        return self._rank.get(item)
+
+    def item_at(self, rank: int) -> Item:
+        """Inverse of :meth:`rank_of`."""
+        if not 0 <= rank < len(self._items):
+            raise QueryError(f"rank {rank} out of range for a domain of {len(self._items)} items")
+        return self._items[rank]
+
+    def support(self, item: Item) -> int:
+        """Support recorded for ``item`` at order-construction time (0 if unknown)."""
+        return self._supports.get(item, 0)
+
+    def ranks_of(self, items: Iterable[Item]) -> tuple[int, ...]:
+        """Map ``items`` to their ranks, sorted ascending (the sequence form order)."""
+        return tuple(sorted(self._rank[item] for item in items))
+
+    def items_of(self, ranks: Iterable[int]) -> tuple[Item, ...]:
+        """Map ranks back to items, preserving the given order."""
+        return tuple(self.item_at(rank) for rank in ranks)
+
+    def compare(self, left: Item, right: Item) -> int:
+        """Three-way ``<_D`` comparison: negative if ``left <_D right``."""
+        return self.rank_of(left) - self.rank_of(right)
+
+    def items_in_order(self) -> tuple[Item, ...]:
+        """All items, smallest (most frequent) first."""
+        return tuple(self._items)

@@ -1,0 +1,120 @@
+"""The OIF metadata table (Theorem 1).
+
+After records are renumbered in lexicographic sequence-form order, all records
+whose *smallest* (most frequent) item is ``o`` occupy one contiguous region
+``[l, u]`` of the id space.  The OIF therefore never stores a posting for a
+record's smallest item; it stores the region boundaries in a small metadata
+table instead, which removes one posting per record (``1/l`` of all postings,
+with ``l`` the average record length).
+
+For superset queries the table also needs the boundary ``u1`` of the
+sub-region ``[l, u1]`` that holds the *single-item* records ``{o}`` (see the
+footnote to Definition 4): these records appear in no inverted list at all, so
+the superset algorithm adds them straight from the metadata.
+
+The metadata table is tiny (one entry per item) and, as in the paper, is kept
+in main memory; consulting it costs no page accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class MetadataRegion:
+    """Id region of the records whose smallest item has a given rank.
+
+    Attributes
+    ----------
+    item_rank:
+        Rank of the smallest item shared by every record in the region.
+    lower / upper:
+        First and last record id of the region (inclusive).
+    singleton_upper:
+        Last id of the single-item records ``{item}``; equals ``lower - 1``
+        when the region contains no single-item record (so the singleton range
+        ``[lower, singleton_upper]`` is empty).
+    """
+
+    item_rank: int
+    lower: int
+    upper: int
+    singleton_upper: int
+
+    def __contains__(self, record_id: int) -> bool:
+        return self.lower <= record_id <= self.upper
+
+    @property
+    def size(self) -> int:
+        """Number of record ids covered by the region."""
+        return self.upper - self.lower + 1
+
+    @property
+    def singleton_ids(self) -> range:
+        """Ids of the single-item records ``{item}`` inside the region."""
+        return range(self.lower, self.singleton_upper + 1)
+
+    @property
+    def multi_item_ids(self) -> range:
+        """Ids of the records in the region that have two or more items."""
+        return range(self.singleton_upper + 1, self.upper + 1)
+
+
+class MetadataTable:
+    """In-memory map from item rank to its :class:`MetadataRegion`."""
+
+    def __init__(self, regions: Mapping[int, MetadataRegion]) -> None:
+        self._regions: dict[int, MetadataRegion] = dict(regions)
+
+    def region_for(self, item_rank: int) -> MetadataRegion | None:
+        """Region of records whose smallest item has ``item_rank`` (or ``None``)."""
+        return self._regions.get(item_rank)
+
+    def contains(self, item_rank: int, record_id: int) -> bool:
+        """Is ``record_id`` a record whose smallest item has ``item_rank``?"""
+        region = self._regions.get(item_rank)
+        return region is not None and record_id in region
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[MetadataRegion]:
+        return iter(self._regions.values())
+
+    def covered_postings(self) -> int:
+        """Total number of postings the metadata table replaces."""
+        return sum(region.size for region in self._regions.values())
+
+    def validate_partition(self, num_records: int) -> None:
+        """Check that the regions partition ``[1, num_records]`` without gaps.
+
+        Used by the test suite: the regions must be disjoint, contiguous and
+        ordered by item rank (more frequent items own earlier regions).
+        """
+        regions = sorted(self._regions.values(), key=lambda region: region.lower)
+        expected_next = 1
+        previous_rank = -1
+        for region in regions:
+            if region.lower != expected_next:
+                raise AssertionError(
+                    f"metadata regions leave a gap before id {region.lower} "
+                    f"(expected {expected_next})"
+                )
+            if region.upper < region.lower:
+                raise AssertionError(f"region for rank {region.item_rank} is inverted")
+            if not region.lower - 1 <= region.singleton_upper <= region.upper:
+                raise AssertionError(
+                    f"singleton boundary {region.singleton_upper} outside region "
+                    f"[{region.lower}, {region.upper}]"
+                )
+            if region.item_rank <= previous_rank:
+                raise AssertionError("metadata regions are not ordered by item rank")
+            previous_rank = region.item_rank
+            expected_next = region.upper + 1
+        if expected_next != num_records + 1:
+            raise AssertionError(
+                f"metadata regions cover ids up to {expected_next - 1}, "
+                f"but the dataset has {num_records} records"
+            )

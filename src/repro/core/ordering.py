@@ -1,0 +1,164 @@
+"""Record reordering: from an arbitrary dataset to the OIF's ordered id space.
+
+Building an OIF starts by (1) deriving the frequency order ``<_D`` over the
+items, (2) computing each record's sequence form, (3) sorting the records
+lexicographically on those sequence forms, and (4) assigning new dense ids
+1..N in that order (Figure 3 of the paper).  The result — an
+:class:`OrderedDataset` — also carries the metadata table of Theorem 1 and the
+mappings between original and internal ids, which the query API uses to return
+results in terms of the caller's original ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.items import ItemOrder
+from repro.core.metadata import MetadataRegion, MetadataTable
+from repro.core.records import Dataset, Record
+from repro.core.sequence import SequenceForm, sequence_form
+from repro.errors import IndexBuildError
+
+
+@dataclass
+class OrderedDataset:
+    """A dataset renumbered into the OIF's lexicographic id space.
+
+    Attributes
+    ----------
+    order:
+        The ``<_D`` item order used for the renumbering.
+    sequence_forms:
+        ``sequence_forms[i]`` is the sequence form of the record with internal
+        id ``i + 1`` (internal ids are dense and start at 1).
+    lengths:
+        ``lengths[i]`` is the cardinality of record ``i + 1``.
+    new_to_old / old_to_new:
+        Mappings between internal ids and the ids of the source dataset.
+    metadata:
+        The Theorem 1 regions, always computed (indexes may ignore it).
+    """
+
+    order: ItemOrder
+    sequence_forms: list[SequenceForm]
+    lengths: list[int]
+    new_to_old: list[int]
+    old_to_new: dict[int, int]
+    metadata: MetadataTable
+    source: Dataset = field(repr=False)
+
+    @property
+    def num_records(self) -> int:
+        """Number of records (internal ids run from 1 to this value)."""
+        return len(self.sequence_forms)
+
+    def sequence_form_of(self, internal_id: int) -> SequenceForm:
+        """Sequence form of the record with the given internal id."""
+        self._check_internal_id(internal_id)
+        return self.sequence_forms[internal_id - 1]
+
+    def length_of(self, internal_id: int) -> int:
+        """Set cardinality of the record with the given internal id."""
+        self._check_internal_id(internal_id)
+        return self.lengths[internal_id - 1]
+
+    def original_id(self, internal_id: int) -> int:
+        """Map an internal id back to the source dataset's record id."""
+        self._check_internal_id(internal_id)
+        return self.new_to_old[internal_id - 1]
+
+    def internal_id(self, original_id: int) -> int:
+        """Map a source record id to its internal id."""
+        try:
+            return self.old_to_new[original_id]
+        except KeyError:
+            raise IndexBuildError(f"unknown original record id {original_id}") from None
+
+    def record(self, internal_id: int) -> Record:
+        """Fetch the source record for an internal id."""
+        return self.source.get(self.original_id(internal_id))
+
+    def _check_internal_id(self, internal_id: int) -> None:
+        if not 1 <= internal_id <= len(self.sequence_forms):
+            raise IndexBuildError(
+                f"internal id {internal_id} out of range 1..{len(self.sequence_forms)}"
+            )
+
+
+def order_dataset(dataset: Dataset, order: ItemOrder | None = None) -> OrderedDataset:
+    """Renumber ``dataset`` into lexicographic sequence-form order.
+
+    Parameters
+    ----------
+    dataset:
+        The source records (ids may be arbitrary).
+    order:
+        The item order to use.  Defaults to the frequency order of Equation 1
+        derived from the dataset itself; the ablation experiments pass other
+        orders here.
+    """
+    if order is None:
+        order = dataset.vocabulary.frequency_order()
+
+    keyed: list[tuple[SequenceForm, int, int]] = []
+    for record in dataset:
+        form = sequence_form(record.items, order)
+        keyed.append((form, record.record_id, record.length))
+    keyed.sort(key=lambda entry: (entry[0], entry[1]))
+
+    sequence_forms: list[SequenceForm] = []
+    lengths: list[int] = []
+    new_to_old: list[int] = []
+    old_to_new: dict[int, int] = {}
+    for internal_id, (form, original_id, length) in enumerate(keyed, start=1):
+        sequence_forms.append(form)
+        lengths.append(length)
+        new_to_old.append(original_id)
+        old_to_new[original_id] = internal_id
+
+    metadata = _build_metadata(sequence_forms)
+    return OrderedDataset(
+        order=order,
+        sequence_forms=sequence_forms,
+        lengths=lengths,
+        new_to_old=new_to_old,
+        old_to_new=old_to_new,
+        metadata=metadata,
+        source=dataset,
+    )
+
+
+def _build_metadata(sequence_forms: Sequence[SequenceForm]) -> MetadataTable:
+    """Derive the Theorem 1 regions from the sorted sequence forms."""
+    regions: dict[int, MetadataRegion] = {}
+    current_rank: int | None = None
+    region_start = 1
+    singleton_upper = 0
+
+    def close_region(end_id: int) -> None:
+        if current_rank is None:
+            return
+        regions[current_rank] = MetadataRegion(
+            item_rank=current_rank,
+            lower=region_start,
+            upper=end_id,
+            singleton_upper=singleton_upper,
+        )
+
+    for internal_id, form in enumerate(sequence_forms, start=1):
+        if not form:
+            raise IndexBuildError(
+                f"record with internal id {internal_id} has an empty set-value; "
+                "the OIF requires at least one item per record"
+            )
+        smallest = form[0]
+        if smallest != current_rank:
+            close_region(internal_id - 1)
+            current_rank = smallest
+            region_start = internal_id
+            singleton_upper = region_start - 1
+        if len(form) == 1:
+            singleton_upper = internal_id
+    close_region(len(sequence_forms))
+    return MetadataTable(regions)

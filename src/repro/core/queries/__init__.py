@@ -1,0 +1,12 @@
+"""Query evaluation algorithms for the Ordered Inverted File.
+
+Each predicate has its own module; all of them operate purely in internal-id /
+rank space and return internal record ids.  The :class:`OrderedInvertedFile`
+wraps them and translates results back to the caller's original record ids.
+"""
+
+from repro.core.queries.equality import evaluate_equality
+from repro.core.queries.subset import evaluate_subset
+from repro.core.queries.superset import evaluate_superset
+
+__all__ = ["evaluate_subset", "evaluate_equality", "evaluate_superset"]

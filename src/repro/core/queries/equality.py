@@ -1,0 +1,78 @@
+"""Equality query evaluation over the OIF (Section 4.2).
+
+An equality query returns the records whose set-value is *exactly* the query
+set.  On the OIF the Range of Interest collapses to a single point — the
+query's own sequence form — so each involved list contributes only the one or
+two blocks whose tag range covers that point.  Together with the cardinality
+filter (postings carry the record length) and the metadata region of the
+query's smallest item, the cost becomes ``O(|qs| · log |D|)`` page accesses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.roi import equality_roi
+from repro.core.sequence import SequenceForm
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.core.oif import OrderedInvertedFile
+
+
+def evaluate_equality(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+    """Return the internal ids of records whose sequence form equals ``query_ranks``."""
+    roi = equality_roi(query_ranks, oif.domain_size)
+    cardinality = len(query_ranks)
+    smallest = query_ranks[0]
+
+    meta_region = oif.metadata.region_for(smallest) if oif.use_metadata else None
+    if oif.use_metadata and meta_region is None:
+        # No record has the query's smallest item as its own smallest item,
+        # hence no record can equal the query set.
+        return []
+
+    if cardinality == 1:
+        return _single_item_equality(oif, smallest)
+
+    # The smallest query item's list never holds postings for records equal to
+    # the query (their smallest item is the query's smallest item, which the
+    # metadata table covers), so with metadata enabled that list is skipped.
+    ranks_to_scan = query_ranks[1:] if oif.use_metadata else query_ranks
+
+    candidates: dict[int, int] | None = None
+    for item_rank in reversed(ranks_to_scan):
+        found: dict[int, int] = {}
+        for _block_key, block in oif.scan_blocks(item_rank, roi):
+            for posting in block.postings():
+                if posting.length != cardinality:
+                    continue
+                if candidates is not None and posting.record_id not in candidates:
+                    continue
+                found[posting.record_id] = posting.length
+        candidates = found
+        if not candidates:
+            return []
+
+    assert candidates is not None
+    if oif.use_metadata:
+        assert meta_region is not None
+        result = [record_id for record_id in candidates if record_id in meta_region]
+    else:
+        result = list(candidates)
+    return sorted(result)
+
+
+def _single_item_equality(oif: "OrderedInvertedFile", item_rank: int) -> list[int]:
+    """Equality query with a single item: only records equal to ``{item}`` match."""
+    if oif.use_metadata:
+        region = oif.metadata.region_for(item_rank)
+        if region is None:
+            return []
+        return list(region.singleton_ids)
+    roi = equality_roi((item_rank,), oif.domain_size)
+    result: list[int] = []
+    for _block_key, block in oif.scan_blocks(item_rank, roi):
+        for posting in block.postings():
+            if posting.length == 1:
+                result.append(posting.record_id)
+    return sorted(result)

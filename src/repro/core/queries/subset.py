@@ -1,0 +1,126 @@
+"""Subset query evaluation over the OIF (Algorithm 1).
+
+A subset query returns every record that contains *all* query items.  The
+evaluation follows the paper:
+
+1. Compute the Range of Interest ``RoI_sub`` (Definition 2).
+2. Seed the candidate set from the inverted list of the **largest** (least
+   frequent) query item, restricted to the RoI — its list is the shortest, so
+   the initial candidate set is small.
+3. Intersect with the remaining query items' lists in decreasing rank order.
+   Only the blocks whose tags overlap the RoI are fetched via the B-tree, and
+   the scanned range is progressively narrowed to the ids still in the
+   candidate set (lines 5–15 of Algorithm 1).
+4. For the smallest query item, records whose smallest item *is* that item
+   carry no posting (the metadata table replaces it), so candidates falling in
+   its metadata region are accepted without touching the list (lines 11–14).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.roi import RangeOfInterest, subset_roi
+from repro.core.sequence import SequenceForm
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.core.oif import OrderedInvertedFile
+
+
+def evaluate_subset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+    """Return the internal ids of records containing every rank in ``query_ranks``."""
+    roi = subset_roi(query_ranks, oif.domain_size)
+    if len(query_ranks) == 1:
+        return _single_item_subset(oif, query_ranks[0])
+
+    smallest = query_ranks[0]
+    largest = query_ranks[-1]
+    meta_region = oif.metadata.region_for(smallest) if oif.use_metadata else None
+
+    # Step 1: candidates from the least frequent item's list, inside the RoI.
+    candidates: dict[int, int] = {}
+    for _block_key, block in oif.scan_blocks(largest, roi):
+        for posting in block.postings():
+            candidates[posting.record_id] = posting.length
+    if not candidates:
+        return []
+
+    lowest_candidate = min(candidates)
+    highest_candidate = max(candidates)
+    # Tag bounds observed while scanning: every remaining candidate's sequence
+    # form lies between these two block tags, so later scans can be restricted
+    # to the corresponding sub-range of each list (line 15 of Algorithm 1 —
+    # "using the B-tree we can access only this region").
+    narrowed_lower = roi.lower
+    narrowed_upper = roi.upper
+
+    # Step 2: merge-join with the remaining lists, least frequent first.
+    for position in range(len(query_ranks) - 2, -1, -1):
+        item_rank = query_ranks[position]
+        survivors: dict[int, int] = {}
+        scan_range = (
+            RangeOfInterest(lower=narrowed_lower, upper=narrowed_upper)
+            if oif.narrow_candidate_range
+            else roi
+        )
+        previous_tag = scan_range.lower
+        first_survivor_lower = None
+        last_survivor_upper = None
+        for block_key, block in oif.scan_blocks(item_rank, scan_range):
+            if oif.narrow_candidate_range and block_key.last_id < lowest_candidate:
+                # The block precedes every remaining candidate: its data page
+                # is never touched; only its key was read from the leaf.
+                previous_tag = block_key.tag
+                continue
+            found_here = False
+            for posting in block.postings():
+                if posting.record_id in candidates:
+                    survivors[posting.record_id] = posting.length
+                    found_here = True
+            if found_here:
+                if first_survivor_lower is None:
+                    first_survivor_lower = previous_tag
+                last_survivor_upper = block_key.tag
+            previous_tag = block_key.tag
+            if oif.narrow_candidate_range and block_key.last_id >= highest_candidate:
+                # Every candidate id has been covered: later blocks cannot
+                # contribute, so the scan stops early.
+                break
+
+        if position == 0 and meta_region is not None:
+            # Candidates whose smallest item is the query's smallest item have
+            # no posting in its list; the in-memory metadata region vouches for
+            # them instead.
+            for record_id, length in candidates.items():
+                if record_id in meta_region:
+                    survivors[record_id] = length
+
+        candidates = survivors
+        if not candidates:
+            return []
+        lowest_candidate = min(candidates)
+        highest_candidate = max(candidates)
+        if oif.narrow_candidate_range and first_survivor_lower is not None:
+            # Tighten the tag window around the surviving candidates.  The
+            # bounds come from block tags already read, so this costs nothing.
+            # Lower-bound tightening is always safe (even with truncated tags);
+            # upper-bound tightening is only exact for full tags, because a
+            # truncated tag under-approximates the block's true last record.
+            narrowed_lower = max(narrowed_lower, first_survivor_lower)
+            if last_survivor_upper is not None and oif.tag_prefix is None:
+                narrowed_upper = min(narrowed_upper, last_survivor_upper)
+
+    return sorted(candidates)
+
+
+def _single_item_subset(oif: "OrderedInvertedFile", item_rank: int) -> list[int]:
+    """Subset query with a single item: the item's full list plus its metadata region."""
+    roi = subset_roi((item_rank,), oif.domain_size)
+    result: list[int] = []
+    for _block_key, block in oif.scan_blocks(item_rank, roi):
+        result.extend(posting.record_id for posting in block.postings())
+    if oif.use_metadata:
+        region = oif.metadata.region_for(item_rank)
+        if region is not None:
+            result.extend(range(region.lower, region.upper + 1))
+    return sorted(result)

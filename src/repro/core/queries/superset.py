@@ -1,0 +1,155 @@
+"""Superset query evaluation over the OIF (Algorithm 2).
+
+A superset query returns the records whose set-value is contained in the query
+set (every item of the record appears in ``qs``).  The evaluation merges the
+inverted lists of the query items while counting, for every encountered
+record, how many of its items have been seen (``found``).  A record is an
+answer exactly when ``found`` reaches its stored length; it is discarded as
+soon as the number of *unexamined* query items can no longer make up the
+difference.
+
+The Range of Interest differs per list (Definition 4): for the query item
+``q_i`` the candidate records are grouped by their smallest item ``q_j``
+(``j <= i`` — a record that is a subset of ``qs`` can only have a query item
+as its smallest item), and each group occupies one contiguous range of the
+ordered id space.  The last group (``j = i``) consists of records whose
+smallest item is ``q_i`` itself; those records carry no posting for ``q_i``,
+so that group is served from the in-memory metadata table: its single-item
+records are immediate answers and its multi-item records get their ``found``
+counter bumped for free (lines 22–24 of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.roi import RangeOfInterest, superset_rois
+from repro.core.sequence import SequenceForm
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.core.oif import OrderedInvertedFile
+
+
+@dataclass
+class _Candidate:
+    """Bookkeeping for one potentially matching record."""
+
+    length: int
+    found: int = 0
+
+
+def evaluate_superset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+    """Return the internal ids of records whose items are all in ``query_ranks``."""
+    query_size = len(query_ranks)
+    rois_per_item = superset_rois(query_ranks, oif.domain_size)
+    largest = query_ranks[-1]
+
+    candidates: dict[int, _Candidate] = {}
+    results: list[int] = []
+
+    # Items are processed from the least to the most frequent, as in
+    # Algorithm 2; after processing the item at position ``idx`` there remain
+    # ``idx`` query items that can still contribute one occurrence each.
+    for idx in range(query_size - 1, -1, -1):
+        item_rank = query_ranks[idx]
+        list_ranges = list(rois_per_item[item_rank])
+        if not oif.use_metadata:
+            # Without the metadata table, the records whose smallest item is
+            # ``q_idx`` live in the list too, so their range is scanned as well.
+            list_ranges.append(
+                RangeOfInterest(lower=(item_rank,), upper=tuple(sorted({item_rank, largest})))
+            )
+
+        _scan_item_ranges(
+            oif,
+            item_rank=item_rank,
+            ranges=list_ranges,
+            remaining_items=idx,
+            candidates=candidates,
+            results=results,
+        )
+
+        if oif.use_metadata:
+            _apply_metadata_region(oif, item_rank, candidates, results)
+
+        # Prune candidates that cannot reach their full length any more.
+        if idx:
+            doomed = [
+                record_id
+                for record_id, candidate in candidates.items()
+                if candidate.length - candidate.found > idx
+            ]
+            for record_id in doomed:
+                del candidates[record_id]
+
+    return sorted(results)
+
+
+def _scan_item_ranges(
+    oif: "OrderedInvertedFile",
+    *,
+    item_rank: int,
+    ranges: list[RangeOfInterest],
+    remaining_items: int,
+    candidates: dict[int, _Candidate],
+    results: list[int],
+) -> None:
+    """Scan one item's list over its Ranges of Interest, updating candidates."""
+    # A record first encountered here can collect at most one occurrence now
+    # plus one per still-unexamined query item (its smallest item's occurrence
+    # is covered by that item's metadata region or list, both not yet visited).
+    max_new_length = 1 + remaining_items
+    last_processed_id = 0
+
+    for roi in ranges:
+        for block_key, block in oif.scan_blocks(item_rank, roi):
+            if block_key.last_id <= last_processed_id:
+                # The previous range's trailing block already covered this one
+                # (the check of line 21 in Algorithm 2): skip re-processing.
+                continue
+            for posting in block.postings():
+                if posting.record_id <= last_processed_id:
+                    continue
+                candidate = candidates.get(posting.record_id)
+                if candidate is not None:
+                    candidate.found += 1
+                    if candidate.found == candidate.length:
+                        results.append(posting.record_id)
+                        del candidates[posting.record_id]
+                elif posting.length <= max_new_length:
+                    if posting.length == 1:
+                        # A single-item record found in a list can only be the
+                        # item itself, hence an immediate answer.
+                        results.append(posting.record_id)
+                    else:
+                        candidates[posting.record_id] = _Candidate(
+                            length=posting.length, found=1
+                        )
+            last_processed_id = max(last_processed_id, block_key.last_id)
+
+
+def _apply_metadata_region(
+    oif: "OrderedInvertedFile",
+    item_rank: int,
+    candidates: dict[int, _Candidate],
+    results: list[int],
+) -> None:
+    """Credit the metadata region of ``item_rank`` (lines 22–24 of Algorithm 2)."""
+    region = oif.metadata.region_for(item_rank)
+    if region is None:
+        return
+    # Single-item records {item} are answers by definition.
+    results.extend(region.singleton_ids)
+    # Multi-item records whose smallest item is this one get one more
+    # occurrence without any page access.
+    if region.multi_item_ids:
+        completed: list[int] = []
+        for record_id, candidate in candidates.items():
+            if region.singleton_upper < record_id <= region.upper:
+                candidate.found += 1
+                if candidate.found == candidate.length:
+                    completed.append(record_id)
+        for record_id in completed:
+            results.append(record_id)
+            del candidates[record_id]

@@ -1,0 +1,168 @@
+"""Records and datasets of set-valued data.
+
+A record has a unique id and a set-valued attribute (Section 2's relation
+``D(id, s)``).  A :class:`Dataset` is an in-memory collection of records plus
+the derived vocabulary; it is the input to every index in the library and to
+the brute-force oracle used for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.core.items import Item, Vocabulary
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Record:
+    """One row of the relation: a unique id and a set-valued attribute."""
+
+    record_id: int
+    items: frozenset
+
+    def __post_init__(self) -> None:
+        if self.record_id < 0:
+            raise DatasetError(f"record ids must be non-negative, got {self.record_id}")
+        if not isinstance(self.items, frozenset):
+            object.__setattr__(self, "items", frozenset(self.items))
+
+    @property
+    def length(self) -> int:
+        """Cardinality of the set-value (the ``l`` stored in postings)."""
+        return len(self.items)
+
+    def contains_all(self, items: Iterable[Item]) -> bool:
+        """Subset predicate: does this record contain every item of ``items``?"""
+        return set(items) <= self.items
+
+    def contained_in(self, items: Iterable[Item]) -> bool:
+        """Superset predicate: are all of this record's items inside ``items``?"""
+        return self.items <= set(items)
+
+    def equals(self, items: Iterable[Item]) -> bool:
+        """Equality predicate: is the set-value exactly ``items``?"""
+        return self.items == set(items)
+
+
+class Dataset:
+    """An ordered collection of records sharing one item domain."""
+
+    def __init__(self, records: Sequence[Record]) -> None:
+        if not records:
+            raise DatasetError("a dataset must contain at least one record")
+        self._records: list[Record] = list(records)
+        seen: set[int] = set()
+        for record in self._records:
+            if record.record_id in seen:
+                raise DatasetError(f"duplicate record id {record.record_id}")
+            seen.add(record.record_id)
+        self._by_id: dict[int, Record] = {r.record_id: r for r in self._records}
+        self._vocabulary: Vocabulary | None = None
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Iterable[Iterable[Item]],
+        start_id: int = 1,
+        allow_empty: bool = False,
+    ) -> "Dataset":
+        """Build a dataset from raw item collections, assigning dense ids.
+
+        Empty transactions are rejected unless ``allow_empty`` is set, because
+        the paper's data (market baskets, web sessions) always has at least one
+        item per record.
+        """
+        records: list[Record] = []
+        next_id = start_id
+        for transaction in transactions:
+            items = frozenset(transaction)
+            if not items and not allow_empty:
+                raise DatasetError(
+                    f"transaction at position {next_id - start_id} is empty; "
+                    "pass allow_empty=True to keep empty records"
+                )
+            records.append(Record(next_id, items))
+            next_id += 1
+        return cls(records)
+
+    # -- container protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def get(self, record_id: int) -> Record:
+        """Fetch a record by id; raises :class:`DatasetError` if missing."""
+        try:
+            return self._by_id[record_id]
+        except KeyError:
+            raise DatasetError(f"no record with id {record_id}") from None
+
+    def has_id(self, record_id: int) -> bool:
+        """Return whether a record with ``record_id`` exists."""
+        return record_id in self._by_id
+
+    @property
+    def record_ids(self) -> list[int]:
+        """All record ids, in dataset order."""
+        return [record.record_id for record in self._records]
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The active domain with support counts (computed lazily, then cached)."""
+        if self._vocabulary is None:
+            self._vocabulary = Vocabulary.from_transactions(
+                record.items for record in self._records
+            )
+        return self._vocabulary
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct items across all records (``|I|``)."""
+        return len(self.vocabulary)
+
+    @property
+    def average_length(self) -> float:
+        """Average set-value cardinality (the ``l`` of Section 3's metadata analysis)."""
+        return sum(record.length for record in self._records) / len(self._records)
+
+    @property
+    def total_postings(self) -> int:
+        """Total number of (record, item) pairs, i.e. the size of a plain inverted file."""
+        return sum(record.length for record in self._records)
+
+    def data_size_bytes(self, bytes_per_value: int = 4) -> int:
+        """Rough size of the raw data, used as the denominator of the space experiment.
+
+        Each record is charged ``bytes_per_value`` for its id plus
+        ``bytes_per_value`` per item, mirroring how the paper relates index
+        size to "the original data".
+        """
+        return sum(
+            bytes_per_value * (1 + record.length) for record in self._records
+        )
+
+    def extend(self, transactions: Iterable[Iterable[Item]]) -> list[Record]:
+        """Append new records (used by the update experiments); returns them."""
+        next_id = max(self._by_id) + 1 if self._by_id else 1
+        added: list[Record] = []
+        for transaction in transactions:
+            items = frozenset(transaction)
+            if not items:
+                raise DatasetError("cannot append an empty transaction")
+            record = Record(next_id, items)
+            self._records.append(record)
+            self._by_id[next_id] = record
+            added.append(record)
+            next_id += 1
+        self._vocabulary = None
+        return added

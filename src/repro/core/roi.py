@@ -1,0 +1,107 @@
+"""Range-of-Interest (RoI) computation for the three containment predicates.
+
+The RoI of a query is the region of the ordered id space that can possibly
+contain answers (Section 4).  Because records are sorted by sequence form, an
+RoI is expressed here as a pair of sequence-form bounds ``(lower, upper)``
+over item *ranks*; the query evaluators translate these bounds into B-tree
+seek keys and block-scan stop conditions.
+
+* Subset queries (Definition 2): one range per query; the lower bound is
+  ``{o_1, ..., o_qn}`` (every domain item up to the query's largest item) and
+  the upper bound is ``qs ∪ {o_N}`` (the query plus the domain's largest
+  item).
+* Equality queries (Definition 3): a single point — the query itself.
+* Superset queries (Definition 4): a different set of ranges per inverted
+  list.  For the i-th query item there is one range per possible smallest item
+  ``o_qj`` (j <= i); the last of them coincides with the metadata region of
+  ``o_qi`` and is therefore served from the metadata table instead of the
+  list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sequence import SequenceForm
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class RangeOfInterest:
+    """A closed range of sequence forms ``[lower, upper]``."""
+
+    lower: SequenceForm
+    upper: SequenceForm
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise QueryError(
+                f"inverted range of interest: lower {self.lower} > upper {self.upper}"
+            )
+
+    def contains(self, form: SequenceForm) -> bool:
+        """Whether a sequence form falls inside the range."""
+        return self.lower <= form <= self.upper
+
+
+def _validate_query(query_ranks: SequenceForm, domain_size: int) -> None:
+    if not query_ranks:
+        raise QueryError("query sets must contain at least one item")
+    if list(query_ranks) != sorted(set(query_ranks)):
+        raise QueryError(f"query ranks must be strictly increasing, got {query_ranks}")
+    if query_ranks[-1] >= domain_size:
+        raise QueryError(
+            f"query rank {query_ranks[-1]} outside the domain of {domain_size} items"
+        )
+
+
+def subset_roi(query_ranks: SequenceForm, domain_size: int) -> RangeOfInterest:
+    """RoI for a subset query (Definition 2).
+
+    ``query_ranks`` is the query's sequence form; ``domain_size`` is ``|I|``.
+    """
+    _validate_query(query_ranks, domain_size)
+    largest_query_rank = query_ranks[-1]
+    lower = tuple(range(largest_query_rank + 1))
+    max_rank = domain_size - 1
+    upper = query_ranks if largest_query_rank == max_rank else query_ranks + (max_rank,)
+    return RangeOfInterest(lower=lower, upper=upper)
+
+
+def equality_roi(query_ranks: SequenceForm, domain_size: int) -> RangeOfInterest:
+    """RoI for an equality query (Definition 3): the single point ``qs``."""
+    _validate_query(query_ranks, domain_size)
+    return RangeOfInterest(lower=query_ranks, upper=query_ranks)
+
+
+def superset_rois(
+    query_ranks: SequenceForm, domain_size: int
+) -> dict[int, list[RangeOfInterest]]:
+    """RoIs for a superset query (Definition 4), one list of ranges per query item.
+
+    For the query item with rank ``q_i`` the returned ranges are ordered by
+    their position in the id space and grouped by the candidate's smallest
+    item ``q_j`` (j <= i):
+
+    * ranges for ``j < i`` cover records whose smallest item is ``q_j``; these
+      are scanned from ``q_i``'s inverted list;
+    * the final range (``j = i``) covers records whose smallest item is
+      ``q_i`` itself; those records carry no posting for ``q_i`` (the metadata
+      table replaces it), so the evaluator serves that range from the metadata
+      instead of returning it here.
+
+    The dictionary therefore maps each query rank ``q_i`` to its *list* ranges
+    only (possibly empty for the smallest query item).
+    """
+    _validate_query(query_ranks, domain_size)
+    largest = query_ranks[-1]
+    rois: dict[int, list[RangeOfInterest]] = {}
+    for i, rank_i in enumerate(query_ranks):
+        ranges: list[RangeOfInterest] = []
+        for j in range(i):
+            rank_j = query_ranks[j]
+            lower = tuple(query_ranks[j : i + 1])
+            upper = tuple(sorted({rank_j, rank_i, largest}))
+            ranges.append(RangeOfInterest(lower=lower, upper=upper))
+        rois[rank_i] = ranges
+    return rois

@@ -1,0 +1,28 @@
+"""Dataset generators and loaders.
+
+* :mod:`repro.datasets.synthetic` — Zipfian synthetic data (the paper's main
+  experimental workload);
+* :mod:`repro.datasets.msweb` / :mod:`repro.datasets.msnbc` — statistical
+  simulators of the two UCI KDD real datasets used in Figure 7;
+* :mod:`repro.datasets.io` — plain transaction-file reading/writing.
+"""
+
+from repro.datasets.io import iter_transactions, read_transactions, write_transactions
+from repro.datasets.msnbc import MsnbcConfig
+from repro.datasets.msnbc import generate_dataset as generate_msnbc
+from repro.datasets.msweb import MswebConfig
+from repro.datasets.msweb import generate_dataset as generate_msweb
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.synthetic import generate_dataset as generate_synthetic
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_synthetic",
+    "MswebConfig",
+    "generate_msweb",
+    "MsnbcConfig",
+    "generate_msnbc",
+    "read_transactions",
+    "write_transactions",
+    "iter_transactions",
+]

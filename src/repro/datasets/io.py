@@ -1,0 +1,83 @@
+"""Reading and writing datasets as plain transaction files.
+
+The on-disk format is the one commonly used for market-basket data (and by
+the FIMI / UCI repositories): one transaction per line, items separated by
+whitespace.  Record ids are implicit line numbers (starting at 1) unless the
+``with_ids`` variant is used, which prefixes each line with ``<id>|``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+from repro.core.records import Dataset, Record
+from repro.errors import DatasetError
+
+
+def write_transactions(dataset: Dataset, path: str | os.PathLike, with_ids: bool = False) -> None:
+    """Write ``dataset`` to ``path`` in transaction-file format.
+
+    Items are written in their natural sorted order; with ``with_ids`` the
+    original record ids are preserved, otherwise they become line numbers on
+    re-load.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(dataset, handle, with_ids)
+
+
+def _write(dataset: Dataset, handle: TextIO, with_ids: bool) -> None:
+    for record in dataset:
+        items = " ".join(str(item) for item in sorted(record.items, key=str))
+        if with_ids:
+            handle.write(f"{record.record_id}|{items}\n")
+        else:
+            handle.write(f"{items}\n")
+
+
+def read_transactions(path: str | os.PathLike) -> Dataset:
+    """Read a transaction file written by :func:`write_transactions` (either variant).
+
+    Lines that are empty or start with ``#`` are skipped.  All items are read
+    back as strings.
+    """
+    records: list[Record] = []
+    implicit_id = 1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "|" in line:
+                id_part, _, items_part = line.partition("|")
+                try:
+                    record_id = int(id_part)
+                except ValueError:
+                    raise DatasetError(
+                        f"{path}:{line_number}: malformed record id {id_part!r}"
+                    ) from None
+            else:
+                record_id = implicit_id
+                items_part = line
+            items = frozenset(items_part.split())
+            if not items:
+                raise DatasetError(f"{path}:{line_number}: transaction has no items")
+            records.append(Record(record_id, items))
+            implicit_id += 1
+    if not records:
+        raise DatasetError(f"{path}: no transactions found")
+    return Dataset(records)
+
+
+def iter_transactions(path: str | os.PathLike) -> Iterable[frozenset]:
+    """Stream the item sets of a transaction file without building a Dataset."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "|" in line:
+                _, _, line = line.partition("|")
+            items = frozenset(line.split())
+            if items:
+                yield items

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the OIF reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers can
+catch a single base class. The subclasses are grouped by subsystem: storage
+engine, compression codecs, index construction and query evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Base class for failures inside the simulated storage engine."""
+
+
+class PageError(StorageError):
+    """A page id is out of range or a page payload has an illegal size."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was misused (e.g. zero capacity, unknown page)."""
+
+
+class BTreeError(StorageError):
+    """Structural failure or misuse of the disk-resident B+-tree."""
+
+
+class DuplicateKeyError(BTreeError):
+    """An insert tried to add a key that already exists in a unique index."""
+
+
+class KeyNotFoundError(StorageError):
+    """A point lookup did not find the requested key."""
+
+
+class HashFileError(StorageError):
+    """Structural failure or misuse of the hash-organized table."""
+
+
+class CompressionError(ReproError):
+    """A codec was fed malformed data (e.g. truncated v-byte stream)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index construction / usage failures.
+
+    The trailing underscore avoids shadowing the built-in :class:`IndexError`.
+    """
+
+
+class IndexBuildError(IndexError_):
+    """The index could not be built from the supplied dataset."""
+
+
+class IndexNotBuiltError(IndexError_):
+    """A query was issued against an index that has not been built yet."""
+
+
+class QueryError(ReproError):
+    """A containment query was malformed (e.g. empty query set, unknown item)."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or a generator received invalid parameters."""
+
+
+class WorkloadError(ReproError):
+    """A query workload could not be generated with the requested parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent or cannot be executed."""

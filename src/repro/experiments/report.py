@@ -1,0 +1,100 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment in :mod:`repro.experiments.figures` returns a
+:class:`ResultTable`; this module turns those tables into aligned text output
+so that the benchmark harness and the CLI can print the same series the paper
+plots (one row per sweep point, one column per index and metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A titled table of result rows (dictionaries sharing the same keys)."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one row; unknown columns are appended to the column list."""
+        for column in values:
+            if column not in self.columns:
+                self.columns.append(column)
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text."""
+        return render_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` with aligned columns and a title rule."""
+    header = list(table.columns)
+    body = [[_format_cell(row.get(column)) for column in header] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_tables(tables: Iterable[ResultTable]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(table.to_text() for table in tables)
+
+
+def summarize_ratio(
+    table: ResultTable, numerator: str, denominator: str
+) -> float:
+    """Mean ratio ``numerator / denominator`` over the table rows (for quick checks)."""
+    ratios: list[float] = []
+    for row in table.rows:
+        top = row.get(numerator)
+        bottom = row.get(denominator)
+        if isinstance(top, (int, float)) and isinstance(bottom, (int, float)) and bottom:
+            ratios.append(float(top) / float(bottom))
+    return sum(ratios) / len(ratios) if ratios else float("nan")
+
+
+def format_series(label: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One-line rendering of a plotted series (x -> y pairs)."""
+    pairs = ", ".join(f"{x}:{_format_cell(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

@@ -1,0 +1,171 @@
+"""Experiment runner: builds indexes, replays workloads, aggregates costs.
+
+The runner reproduces the paper's measurement methodology (Section 5,
+"Performance evaluation"):
+
+* the database cache is set to the Berkeley DB minimum (32 KB) and the buffer
+  pool is emptied before each query, so the reported *disk page accesses* are
+  cache misses against an effectively cold cache;
+* every query is charged with the page accesses, simulated I/O time (random
+  and sequential accesses priced separately) and measured CPU time it caused;
+* per group (usually one query size) the runner reports the mean over the
+  group's queries, which is what the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.baselines.inverted_file import InvertedFile
+from repro.baselines.signature_file import SignatureFile
+from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
+from repro.core.interfaces import QueryResult, QueryType, SetContainmentIndex
+from repro.core.oif import OrderedInvertedFile
+from repro.core.records import Dataset
+from repro.errors import ExperimentError
+from repro.workloads.queries import Query, Workload
+
+IndexBuilder = Callable[[Dataset], SetContainmentIndex]
+
+
+@dataclass(frozen=True)
+class IndexFactory:
+    """A named recipe for building an index over a dataset."""
+
+    name: str
+    build: IndexBuilder
+
+    def __call__(self, dataset: Dataset) -> SetContainmentIndex:
+        return self.build(dataset)
+
+
+def oif_factory(name: str = "OIF", **kwargs) -> IndexFactory:
+    """Factory for the Ordered Inverted File (keyword args forwarded to it)."""
+    return IndexFactory(name, lambda dataset: OrderedInvertedFile(dataset, **kwargs))
+
+
+def if_factory(name: str = "IF", **kwargs) -> IndexFactory:
+    """Factory for the classic inverted file baseline."""
+    return IndexFactory(name, lambda dataset: InvertedFile(dataset, **kwargs))
+
+
+def unordered_btree_factory(name: str = "UBT", **kwargs) -> IndexFactory:
+    """Factory for the unordered B-tree ablation baseline."""
+    return IndexFactory(name, lambda dataset: UnorderedBTreeInvertedFile(dataset, **kwargs))
+
+
+def signature_factory(name: str = "SIG", **kwargs) -> IndexFactory:
+    """Factory for the signature-file extension baseline."""
+    return IndexFactory(name, lambda dataset: SignatureFile(dataset, **kwargs))
+
+
+DEFAULT_FACTORIES: tuple[IndexFactory, ...] = (if_factory(), oif_factory())
+
+
+@dataclass
+class GroupCost:
+    """Aggregated cost of one (index, query type, group) cell of a figure."""
+
+    index_name: str
+    query_type: QueryType
+    group: object
+    num_queries: int
+    mean_page_accesses: float
+    mean_random_reads: float
+    mean_sequential_reads: float
+    mean_io_ms: float
+    mean_cpu_ms: float
+    mean_answers: float
+
+    @property
+    def mean_total_ms(self) -> float:
+        """Mean simulated I/O time plus measured CPU time."""
+        return self.mean_io_ms + self.mean_cpu_ms
+
+
+@dataclass
+class RunResult:
+    """All measurements of one workload replay on one index."""
+
+    index_name: str
+    query_type: QueryType
+    results: list[QueryResult] = field(default_factory=list)
+
+    def group_by(self, key: Callable[[QueryResult], object]) -> list[GroupCost]:
+        """Aggregate the raw per-query results into group means."""
+        grouped: dict[object, list[QueryResult]] = {}
+        for result in self.results:
+            grouped.setdefault(key(result), []).append(result)
+        costs: list[GroupCost] = []
+        for group, members in sorted(grouped.items(), key=lambda pair: str(pair[0])):
+            count = len(members)
+            costs.append(
+                GroupCost(
+                    index_name=self.index_name,
+                    query_type=self.query_type,
+                    group=group,
+                    num_queries=count,
+                    mean_page_accesses=sum(m.page_accesses for m in members) / count,
+                    mean_random_reads=sum(m.random_reads for m in members) / count,
+                    mean_sequential_reads=sum(m.sequential_reads for m in members) / count,
+                    mean_io_ms=sum(m.io_time_ms for m in members) / count,
+                    mean_cpu_ms=sum(m.cpu_time_ms for m in members) / count,
+                    mean_answers=sum(m.cardinality for m in members) / count,
+                )
+            )
+        return costs
+
+    def by_query_size(self) -> list[GroupCost]:
+        """Aggregate by ``|qs|`` — the grouping used by most of the figures."""
+        return self.group_by(lambda result: len(result.query_items))
+
+    def overall(self, group_label: object = "all") -> GroupCost:
+        """Collapse the whole run into a single group."""
+        groups = self.group_by(lambda _result: group_label)
+        if not groups:
+            raise ExperimentError("cannot aggregate an empty run")
+        return groups[0]
+
+
+class ExperimentRunner:
+    """Replays workloads against indexes under the paper's caching regime."""
+
+    def __init__(self, drop_cache_per_query: bool = True) -> None:
+        self.drop_cache_per_query = drop_cache_per_query
+
+    def run_queries(
+        self,
+        index: SetContainmentIndex,
+        queries: Iterable[Query],
+        query_type: QueryType | None = None,
+    ) -> RunResult:
+        """Run ``queries`` on ``index`` and collect per-query measurements."""
+        queries = list(queries)
+        if not queries:
+            raise ExperimentError("cannot run an empty workload")
+        resolved_type = query_type or queries[0].query_type
+        run = RunResult(index_name=index.name, query_type=resolved_type)
+        for query in queries:
+            if self.drop_cache_per_query:
+                index.drop_cache()
+            run.results.append(index.measured_query(query.query_type, query.items))
+        return run
+
+    def run_workload(self, index: SetContainmentIndex, workload: Workload) -> RunResult:
+        """Run a generated :class:`~repro.workloads.queries.Workload`."""
+        return self.run_queries(index, workload.queries, workload.query_type)
+
+    def compare(
+        self,
+        dataset: Dataset,
+        workload: Workload,
+        factories: Sequence[IndexFactory] = DEFAULT_FACTORIES,
+    ) -> dict[str, RunResult]:
+        """Build every index over ``dataset`` and replay ``workload`` on each."""
+        results: dict[str, RunResult] = {}
+        for factory in factories:
+            index = factory(dataset)
+            index.name = factory.name
+            results[factory.name] = self.run_workload(index, workload)
+        return results

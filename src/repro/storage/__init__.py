@@ -1,0 +1,36 @@
+"""Simulated disk storage engine (pager, buffer pool, B+-tree, hash file).
+
+This subpackage replaces the Berkeley DB substrate of the original paper with
+a pure-Python engine whose buffer pool counts disk page accesses — the metric
+every experiment in the paper reports.
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.hashfile import HashFile
+from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment, Table
+from repro.storage.pager import (
+    DEFAULT_PAGE_SIZE,
+    FilePageFile,
+    MemoryPageFile,
+    PageFile,
+)
+from repro.storage.recordstore import RecordStore
+from repro.storage.stats import DiskModel, IOSnapshot, IOStatistics
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "HashFile",
+    "Environment",
+    "Table",
+    "PAPER_CACHE_BYTES",
+    "PageFile",
+    "MemoryPageFile",
+    "FilePageFile",
+    "DEFAULT_PAGE_SIZE",
+    "RecordStore",
+    "DiskModel",
+    "IOSnapshot",
+    "IOStatistics",
+]

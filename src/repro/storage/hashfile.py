@@ -1,0 +1,242 @@
+"""Hash-organized table with overflow value chains.
+
+This is the storage layout the paper uses for the *classic inverted file*
+baseline ("the most efficient implementation scheme reported" [30]): each
+tuple has an item as its key and the item's **whole inverted list** as its
+value, and the relation is hash-organized on the key.  Berkeley DB "always
+retrieves the whole tuple", so fetching an item's list costs one bucket-page
+access plus every data page the list occupies — which is exactly what makes
+long lists expensive and what the OIF avoids.
+
+Layout
+------
+* a fixed directory of ``num_buckets`` bucket pages, allocated contiguously at
+  creation;
+* bucket pages store small entries ``(key, first_data_page, page_count,
+  value_length)`` and chain to overflow bucket pages when a bucket fills up;
+* values are stored on dedicated data pages allocated contiguously per value,
+  so scanning one value is sequential I/O (the paper's assumption that each
+  inverted list is stored contiguously on disk).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import HashFileError, KeyNotFoundError
+from repro.storage.buffer_pool import BufferPool
+
+_BUCKET_HEADER = struct.Struct("<HI")  # entry count, next overflow bucket page
+# key length, first data page, page count, value length, offset in first page
+_ENTRY_HEADER = struct.Struct("<HIIIH")
+_NO_PAGE = 0xFFFFFFFF
+
+
+@dataclass
+class _Entry:
+    key: bytes
+    first_page: int
+    page_count: int
+    value_length: int
+    offset: int = 0
+
+    def byte_size(self) -> int:
+        return _ENTRY_HEADER.size + len(self.key)
+
+
+def _hash_key(key: bytes) -> int:
+    """Deterministic 32-bit hash (crc32), stable across interpreter runs."""
+    return zlib.crc32(key) & 0xFFFFFFFF
+
+
+class HashFile:
+    """A disk-resident hash table mapping byte keys to (possibly large) values."""
+
+    def __init__(self, pool: BufferPool, num_buckets: int = 64) -> None:
+        if num_buckets <= 0:
+            raise HashFileError(f"number of buckets must be positive, got {num_buckets}")
+        self.pool = pool
+        self.page_size = pool.page_file.page_size
+        self.num_buckets = num_buckets
+        self._bucket_pages = [pool.allocate_page() for _ in range(num_buckets)]
+        for page_id in self._bucket_pages:
+            self._write_bucket(page_id, [], _NO_PAGE)
+        self._data_payload = self.page_size
+        # Small values are packed together onto shared data pages so that a
+        # relation with many short lists does not waste a page per list.
+        self._pack_page: int | None = None
+        self._pack_used = 0
+
+    # -- public API ----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, replace: bool = False) -> None:
+        """Store ``value`` under ``key``.
+
+        The value is written to a freshly allocated, contiguous run of data
+        pages.  With ``replace=False`` storing an existing key raises
+        :class:`HashFileError`; with ``replace=True`` the directory entry is
+        repointed to the new pages (the old pages are not reclaimed — the
+        paper's inverted file is likewise rebuilt in batch rather than updated
+        in place).
+        """
+        if len(key) > 0xFFFF:
+            raise HashFileError("keys are limited to 65535 bytes")
+        existing = self._find_entry(key)
+        if existing is not None and not replace:
+            raise HashFileError(f"key {key!r} already present")
+
+        entry = self._store_value(key, value)
+        if existing is not None:
+            self._replace_entry(key, entry)
+        else:
+            self._append_entry(entry)
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch the whole value stored under ``key``.
+
+        Models the Berkeley DB behaviour of always retrieving the full tuple:
+        every data page of the value is read through the buffer pool.
+        Raises :class:`KeyNotFoundError` when the key is absent.
+        """
+        entry = self._find_entry(key)
+        if entry is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return self._read_value(entry)
+
+    def contains(self, key: bytes) -> bool:
+        """Return whether ``key`` is present (touches only bucket pages)."""
+        return self._find_entry(key) is not None
+
+    def value_page_count(self, key: bytes) -> int:
+        """Number of data pages occupied by the value of ``key``."""
+        entry = self._find_entry(key)
+        if entry is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return entry.page_count
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate all keys (bucket by bucket, order unspecified)."""
+        for bucket_page in self._bucket_pages:
+            page_id = bucket_page
+            while page_id != _NO_PAGE:
+                entries, next_page = self._read_bucket(page_id)
+                for entry in entries:
+                    yield entry.key
+                page_id = next_page
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- bucket management ---------------------------------------------------------
+
+    def _bucket_for(self, key: bytes) -> int:
+        return self._bucket_pages[_hash_key(key) % self.num_buckets]
+
+    def _find_entry(self, key: bytes) -> _Entry | None:
+        page_id = self._bucket_for(key)
+        while page_id != _NO_PAGE:
+            entries, next_page = self._read_bucket(page_id)
+            for entry in entries:
+                if entry.key == key:
+                    return entry
+            page_id = next_page
+        return None
+
+    def _append_entry(self, entry: _Entry) -> None:
+        page_id = self._bucket_for(entry.key)
+        while True:
+            entries, next_page = self._read_bucket(page_id)
+            used = _BUCKET_HEADER.size + sum(e.byte_size() for e in entries)
+            if used + entry.byte_size() <= self.page_size:
+                entries.append(entry)
+                self._write_bucket(page_id, entries, next_page)
+                return
+            if next_page == _NO_PAGE:
+                overflow = self.pool.allocate_page()
+                self._write_bucket(overflow, [entry], _NO_PAGE)
+                self._write_bucket(page_id, entries, overflow)
+                return
+            page_id = next_page
+
+    def _replace_entry(self, key: bytes, new_entry: _Entry) -> None:
+        page_id = self._bucket_for(key)
+        while page_id != _NO_PAGE:
+            entries, next_page = self._read_bucket(page_id)
+            for index, entry in enumerate(entries):
+                if entry.key == key:
+                    entries[index] = new_entry
+                    self._write_bucket(page_id, entries, next_page)
+                    return
+            page_id = next_page
+        raise HashFileError(f"entry for key {key!r} vanished during replace")
+
+    def _read_bucket(self, page_id: int) -> tuple[list[_Entry], int]:
+        data = bytes(self.pool.get_page(page_id))
+        count, next_page = _BUCKET_HEADER.unpack_from(data, 0)
+        offset = _BUCKET_HEADER.size
+        entries: list[_Entry] = []
+        for _ in range(count):
+            key_len, first_page, page_count, value_length, value_offset = (
+                _ENTRY_HEADER.unpack_from(data, offset)
+            )
+            offset += _ENTRY_HEADER.size
+            key = data[offset : offset + key_len]
+            offset += key_len
+            entries.append(_Entry(key, first_page, page_count, value_length, value_offset))
+        return entries, next_page
+
+    def _write_bucket(self, page_id: int, entries: list[_Entry], next_page: int) -> None:
+        out = bytearray(_BUCKET_HEADER.pack(len(entries), next_page))
+        for entry in entries:
+            out += _ENTRY_HEADER.pack(
+                len(entry.key),
+                entry.first_page,
+                entry.page_count,
+                entry.value_length,
+                entry.offset,
+            )
+            out += entry.key
+        if len(out) > self.page_size:
+            raise HashFileError("bucket page overflowed; this indicates a split bug")
+        self.pool.put_page(page_id, bytes(out))
+
+    # -- value pages ---------------------------------------------------------------
+
+    def _store_value(self, key: bytes, value: bytes) -> _Entry:
+        """Write ``value`` to data pages and return the directory entry for it."""
+        if len(value) <= self._data_payload:
+            return self._store_packed(key, value)
+        page_count = (len(value) + self._data_payload - 1) // self._data_payload
+        first_page = None
+        for index in range(page_count):
+            page_id = self.pool.allocate_page()
+            if first_page is None:
+                first_page = page_id
+            chunk = value[index * self._data_payload : (index + 1) * self._data_payload]
+            self.pool.put_page(page_id, chunk)
+        assert first_page is not None
+        return _Entry(key, first_page, page_count, len(value), offset=0)
+
+    def _store_packed(self, key: bytes, value: bytes) -> _Entry:
+        """Append a small value to the current shared data page (or open a new one)."""
+        if self._pack_page is None or self._pack_used + len(value) > self._data_payload:
+            self._pack_page = self.pool.allocate_page()
+            self._pack_used = 0
+        page = self.pool.get_page(self._pack_page)
+        offset = self._pack_used
+        page[offset : offset + len(value)] = value
+        self.pool.mark_dirty(self._pack_page)
+        self._pack_used += len(value)
+        return _Entry(key, self._pack_page, 1, len(value), offset=offset)
+
+    def _read_value(self, entry: _Entry) -> bytes:
+        if entry.page_count == 1:
+            data = self.pool.get_page(entry.first_page)
+            return bytes(data[entry.offset : entry.offset + entry.value_length])
+        out = bytearray()
+        for index in range(entry.page_count):
+            out += self.pool.get_page(entry.first_page + index)
+        return bytes(out[: entry.value_length])

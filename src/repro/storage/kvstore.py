@@ -1,0 +1,183 @@
+"""Berkeley-DB-like facade over the simulated storage engine.
+
+The paper implements both indexes on Berkeley DB, which exposes *relations*
+(tables) of key/value pairs with a choice of access method — a B+-tree or a
+hash table — on top of a shared page cache.  :class:`Environment` and
+:class:`Table` reproduce that programming model:
+
+* an :class:`Environment` owns the page file, the buffer pool (whose size is
+  the "database cache" the paper sets to its 32 KB minimum) and the shared
+  :class:`~repro.storage.stats.IOStatistics`;
+* a :class:`Table` is created with ``access_method='btree'`` (used by the OIF
+  and the unordered B-tree baseline) or ``access_method='hash'`` (used by the
+  classic inverted file), and offers ``put`` / ``get`` / ``cursor`` calls.
+
+All indexes in the library allocate their tables from an environment, so one
+set of I/O counters captures everything a query touches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.btree import BTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.hashfile import HashFile
+from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePageFile, MemoryPageFile, PageFile
+from repro.storage.stats import DiskModel, IOStatistics
+
+#: Cache size used by the paper's experiments (the Berkeley DB minimum).
+PAPER_CACHE_BYTES = 32 * 1024
+
+
+class Environment:
+    """Shared storage context: page file + buffer pool + I/O statistics."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_bytes: int = PAPER_CACHE_BYTES,
+        path: str | None = None,
+        disk_model: DiskModel | None = None,
+    ) -> None:
+        if cache_bytes < page_size:
+            raise StorageError(
+                f"cache of {cache_bytes} bytes cannot hold a single {page_size}-byte page"
+            )
+        self.page_size = page_size
+        self.stats = IOStatistics(disk_model=disk_model or DiskModel())
+        self.page_file: PageFile
+        if path is None:
+            self.page_file = MemoryPageFile(page_size)
+        else:
+            self.page_file = FilePageFile(path, page_size)
+        self.cache_pages = max(1, cache_bytes // page_size)
+        self.pool = BufferPool(self.page_file, capacity=self.cache_pages, stats=self.stats)
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, access_method: str = "btree", **kwargs: int) -> "Table":
+        """Create (and register) a table with the given access method."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists in this environment")
+        table = Table(self, name, access_method, **kwargs)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> "Table":
+        """Return a previously created table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no table named {name!r} in this environment") from None
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters (used between experiment phases)."""
+        self.stats.reset()
+
+    def drop_cache(self) -> None:
+        """Flush and empty the buffer pool, forcing subsequent reads to miss.
+
+        The paper circumvents the OS cache and uses a minimal database cache;
+        calling this between queries reproduces a cold(ish) cache.
+        """
+        self.pool.clear()
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the allocated pages (the on-disk footprint)."""
+        return self.page_file.num_pages * self.page_size
+
+    def close(self) -> None:
+        """Flush dirty pages and close the backing file."""
+        self.pool.flush()
+        self.page_file.close()
+
+
+class Table:
+    """One key/value relation, backed by either a B+-tree or a hash table."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        access_method: str = "btree",
+        num_buckets: int = 64,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.access_method = access_method
+        if access_method == "btree":
+            self._btree: BTree | None = BTree(env.pool)
+            self._hash: HashFile | None = None
+        elif access_method == "hash":
+            self._btree = None
+            self._hash = HashFile(env.pool, num_buckets=num_buckets)
+        else:
+            raise StorageError(
+                f"unknown access method {access_method!r}; expected 'btree' or 'hash'"
+            )
+
+    # -- common operations ---------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, replace: bool = False) -> None:
+        """Insert or (with ``replace=True``) overwrite one key/value pair."""
+        if self._btree is not None:
+            self._btree.insert(key, value, replace=replace)
+        else:
+            assert self._hash is not None
+            self._hash.put(key, value, replace=replace)
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch the value for ``key``; raises ``KeyNotFoundError`` if absent."""
+        if self._btree is not None:
+            return self._btree.get(key)
+        assert self._hash is not None
+        return self._hash.get(key)
+
+    def contains(self, key: bytes) -> bool:
+        """Membership test."""
+        if self._btree is not None:
+            return self._btree.contains(key)
+        assert self._hash is not None
+        return self._hash.contains(key)
+
+    def __len__(self) -> int:
+        if self._btree is not None:
+            return len(self._btree)
+        assert self._hash is not None
+        return len(self._hash)
+
+    # -- B-tree-only operations ----------------------------------------------------
+
+    def bulk_load(self, entries: Iterable[tuple[bytes, bytes]], fill_factor: float = 0.9) -> None:
+        """Bulk load sorted entries (B-tree tables only)."""
+        self._require_btree().bulk_load(entries, fill_factor=fill_factor)
+
+    def cursor(self, start_key: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        """Range cursor from the first key >= ``start_key`` (B-tree tables only).
+
+        Equivalent to Berkeley DB's ``DB_SET_RANGE`` cursor positioning.
+        """
+        return self._require_btree().seek(start_key)
+
+    def delete(self, key: bytes) -> None:
+        """Delete one key (B-tree tables only)."""
+        self._require_btree().delete(key)
+
+    @property
+    def btree(self) -> BTree:
+        """Expose the underlying B-tree (for invariant checks in tests)."""
+        return self._require_btree()
+
+    @property
+    def hashfile(self) -> HashFile:
+        """Expose the underlying hash file (for page accounting in tests)."""
+        if self._hash is None:
+            raise StorageError(f"table {self.name!r} does not use the hash access method")
+        return self._hash
+
+    def _require_btree(self) -> BTree:
+        if self._btree is None:
+            raise StorageError(f"table {self.name!r} does not use the btree access method")
+        return self._btree

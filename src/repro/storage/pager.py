@@ -1,0 +1,141 @@
+"""Fixed-size page files: the lowest layer of the simulated storage engine.
+
+The engine models secondary storage as an array of fixed-size pages.  Two
+backends are provided:
+
+* :class:`MemoryPageFile` — pages live in a Python list.  This is the default
+  for tests and benchmarks; "disk" accesses are still accounted by the buffer
+  pool above, so the page-access figures are unaffected by the backend.
+* :class:`FilePageFile` — pages live in a real file on disk, for users who
+  want a persistent index.
+
+Both expose the same minimal interface (:class:`PageFile`): allocate, read,
+write, page count.  Pages are identified by dense integer ids starting at 0,
+so consecutive ids correspond to physically adjacent locations — which is what
+lets the I/O statistics distinguish sequential from random reads.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from repro.errors import PageError
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFile(ABC):
+    """Abstract array of fixed-size pages addressed by dense integer ids."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise PageError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+
+    @abstractmethod
+    def allocate(self) -> int:
+        """Allocate a new zero-filled page and return its id."""
+
+    @abstractmethod
+    def read(self, page_id: int) -> bytearray:
+        """Return a copy of the page payload (exactly ``page_size`` bytes)."""
+
+    @abstractmethod
+    def write(self, page_id: int, data: bytes) -> None:
+        """Overwrite a page; ``data`` must not exceed ``page_size`` bytes."""
+
+    @property
+    @abstractmethod
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+    # -- shared validation helpers -------------------------------------------------
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self.num_pages:
+            raise PageError(
+                f"page id {page_id} out of range (file has {self.num_pages} pages)"
+            )
+
+    def _check_payload(self, data: bytes) -> bytes:
+        if len(data) > self.page_size:
+            raise PageError(
+                f"payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if len(data) < self.page_size:
+            return bytes(data) + b"\x00" * (self.page_size - len(data))
+        return bytes(data)
+
+
+class MemoryPageFile(PageFile):
+    """Page file backed by an in-process list of byte strings."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: list[bytes] = []
+
+    def allocate(self) -> int:
+        self._pages.append(b"\x00" * self.page_size)
+        return len(self._pages) - 1
+
+    def read(self, page_id: int) -> bytearray:
+        self._check_page_id(page_id)
+        return bytearray(self._pages[page_id])
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_page_id(page_id)
+        self._pages[page_id] = self._check_payload(data)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+
+class FilePageFile(PageFile):
+    """Page file backed by a regular file on the local filesystem."""
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.path = path
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise PageError(
+                f"existing file {path!r} has size {size}, not a multiple of the "
+                f"page size {page_size}"
+            )
+        self._num_pages = size // page_size
+
+    def allocate(self) -> int:
+        page_id = self._num_pages
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._num_pages += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytearray:
+        self._check_page_id(page_id)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read of page {page_id} from {self.path!r}")
+        return bytearray(data)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_page_id(page_id)
+        self._file.seek(page_id * self.page_size)
+        self._file.write(self._check_payload(data))
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()

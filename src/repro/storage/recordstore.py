@@ -1,0 +1,84 @@
+"""Sequential record store: the "data file" that holds the actual set-values.
+
+The inverted indexes only return record ids; whenever an access method needs
+to *verify* a candidate against the actual set-value (the signature-file
+baseline does this for every candidate, and applications often fetch the
+matching records afterwards), it reads the record from this store.
+
+Records are packed sequentially into pages in id order — mirroring the paper's
+observation that the reordered records can simply be placed sequentially on
+disk so that ids double as physical addresses.  A small in-memory directory
+maps record ids to the page that holds them, so fetching one record costs one
+page access (plus buffer-pool hits for neighbours).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.compression import vbyte
+from repro.errors import DatasetError, KeyNotFoundError
+from repro.storage.buffer_pool import BufferPool
+
+
+class RecordStore:
+    """Append-only, page-packed storage of ``(record_id, item ranks)`` rows."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        self.page_size = pool.page_file.page_size
+        self._directory: dict[int, int] = {}
+        self._current_page: int | None = None
+        self._current_used = 0
+        self._count = 0
+
+    def append(self, record_id: int, ranks: Sequence[int]) -> None:
+        """Store one record; ids may arrive in any order but must be unique."""
+        if record_id in self._directory:
+            raise DatasetError(f"record {record_id} already stored")
+        payload = bytearray()
+        vbyte.encode_uint(record_id, payload)
+        vbyte.encode_uint(len(ranks), payload)
+        for rank in ranks:
+            vbyte.encode_uint(rank, payload)
+        if len(payload) > self.page_size:
+            raise DatasetError(
+                f"record {record_id} with {len(ranks)} items does not fit in a page"
+            )
+        if self._current_page is None or self._current_used + len(payload) > self.page_size:
+            self._current_page = self.pool.allocate_page()
+            self._current_used = 0
+        page = self.pool.get_page(self._current_page)
+        page[self._current_used : self._current_used + len(payload)] = payload
+        self.pool.mark_dirty(self._current_page)
+        self._directory[record_id] = self._current_page
+        self._current_used += len(payload)
+        self._count += 1
+
+    def build(self, rows: Iterable[tuple[int, Sequence[int]]]) -> None:
+        """Bulk-append many records."""
+        for record_id, ranks in rows:
+            self.append(record_id, ranks)
+
+    def fetch(self, record_id: int) -> list[int]:
+        """Return the item ranks of ``record_id`` (one page access on a cache miss)."""
+        page_id = self._directory.get(record_id)
+        if page_id is None:
+            raise KeyNotFoundError(f"record {record_id} is not in the store")
+        data = bytes(self.pool.get_page(page_id))
+        offset = 0
+        while offset < len(data):
+            stored_id, offset = vbyte.decode_uint(data, offset)
+            count, offset = vbyte.decode_uint(data, offset)
+            ranks, offset = vbyte.decode_sequence_with_offset(data, count, offset)
+            if stored_id == record_id:
+                return ranks
+            if stored_id == 0 and count == 0:
+                break
+        raise KeyNotFoundError(f"record {record_id} missing from its directory page")
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._directory

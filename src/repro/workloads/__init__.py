@@ -1,0 +1,5 @@
+"""Query workload generation (the paper's query methodology)."""
+
+from repro.workloads.queries import Query, Workload, WorkloadGenerator, answer_counts
+
+__all__ = ["Query", "Workload", "WorkloadGenerator", "answer_counts"]

@@ -1,0 +1,136 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide the paper's running example (Figure 1), a couple of
+synthetic datasets of different shapes, and helpers for building indexes over
+them.  Module-scoped caching keeps the suite fast: indexes are rebuilt only
+when a test mutates them (none do — updates go through dedicated wrappers).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    InvertedFile,
+    NaiveScanIndex,
+    SignatureFile,
+    UnorderedBTreeInvertedFile,
+)
+from repro.core import Dataset, OrderedInvertedFile
+
+# The example relation of Figure 1 (ids 101..118 over items a..j).
+PAPER_TRANSACTIONS = [
+    {"g", "b", "a", "d"},
+    {"a", "e", "b"},
+    {"f", "e", "a", "b"},
+    {"d", "b", "a"},
+    {"a", "b", "f", "c"},
+    {"c", "a"},
+    {"d", "h"},
+    {"b", "a", "f"},
+    {"b", "c"},
+    {"j", "b", "g"},
+    {"a", "c", "b"},
+    {"i", "d"},
+    {"a"},
+    {"a", "d"},
+    {"j", "c", "a"},
+    {"i", "c"},
+    {"a", "c", "h"},
+    {"d", "c"},
+]
+
+
+def make_skewed_transactions(
+    num_records: int,
+    vocabulary: str = "abcdefghijklmnopqrst",
+    max_length: int = 6,
+    seed: int = 1234,
+    skew: float = 0.6,
+) -> list[set[str]]:
+    """Small skewed random transactions used across the suite."""
+    rng = random.Random(seed)
+    items = list(vocabulary)
+    weights = [(position + 1) ** (-skew) for position in range(len(items))]
+    transactions = []
+    for _ in range(num_records):
+        size = rng.randint(1, max_length)
+        transactions.append(set(rng.choices(items, weights=weights, k=size)))
+    return transactions
+
+
+@pytest.fixture(scope="session")
+def paper_dataset() -> Dataset:
+    """The relation of Figure 1 with the paper's original record ids."""
+    return Dataset.from_transactions(PAPER_TRANSACTIONS, start_id=101)
+
+
+@pytest.fixture(scope="session")
+def skewed_dataset() -> Dataset:
+    """A 500-record skewed dataset over 20 items."""
+    return Dataset.from_transactions(make_skewed_transactions(500))
+
+
+@pytest.fixture(scope="session")
+def larger_dataset() -> Dataset:
+    """A 2000-record dataset over a 60-item vocabulary (multi-block lists)."""
+    vocabulary = "".join(chr(ord("A") + i) for i in range(26)) + "".join(
+        chr(ord("a") + i) for i in range(26)
+    ) + "01234567"
+    return Dataset.from_transactions(
+        make_skewed_transactions(2000, vocabulary=vocabulary, max_length=8, seed=77)
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_oif(paper_dataset: Dataset) -> OrderedInvertedFile:
+    return OrderedInvertedFile(paper_dataset)
+
+
+@pytest.fixture(scope="session")
+def skewed_oif(skewed_dataset: Dataset) -> OrderedInvertedFile:
+    return OrderedInvertedFile(skewed_dataset)
+
+
+@pytest.fixture(scope="session")
+def skewed_oif_no_metadata(skewed_dataset: Dataset) -> OrderedInvertedFile:
+    return OrderedInvertedFile(skewed_dataset, use_metadata=False)
+
+
+@pytest.fixture(scope="session")
+def skewed_if(skewed_dataset: Dataset) -> InvertedFile:
+    return InvertedFile(skewed_dataset)
+
+
+@pytest.fixture(scope="session")
+def skewed_ubt(skewed_dataset: Dataset) -> UnorderedBTreeInvertedFile:
+    return UnorderedBTreeInvertedFile(skewed_dataset)
+
+
+@pytest.fixture(scope="session")
+def skewed_sig(skewed_dataset: Dataset) -> SignatureFile:
+    return SignatureFile(skewed_dataset)
+
+
+@pytest.fixture(scope="session")
+def skewed_oracle(skewed_dataset: Dataset) -> NaiveScanIndex:
+    return NaiveScanIndex(skewed_dataset)
+
+
+@pytest.fixture(scope="session")
+def paper_oracle(paper_dataset: Dataset) -> NaiveScanIndex:
+    return NaiveScanIndex(paper_dataset)
+
+
+def sample_queries(dataset: Dataset, count: int, max_size: int, seed: int) -> list[frozenset]:
+    """Query sets drawn from existing records (the paper's methodology)."""
+    rng = random.Random(seed)
+    records = list(dataset)
+    queries = []
+    for _ in range(count):
+        record = rng.choice(records)
+        size = rng.randint(1, min(max_size, record.length))
+        queries.append(frozenset(rng.sample(sorted(record.items, key=str), size)))
+    return queries

@@ -1,0 +1,151 @@
+"""Unit tests for posting blocks, block keys and the block writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.postings import Posting, PostingBlockCodec
+from repro.core.blocks import (
+    BlockKey,
+    BlockWriter,
+    PostingBlock,
+    TagLookup,
+    decode_block_entry,
+    encode_block,
+    item_prefix,
+    search_key,
+)
+from repro.errors import IndexBuildError
+
+
+def simple_tags(num_records=1000):
+    """Tag lookup where record i has sequence form (i,) — enough for writer tests."""
+    return TagLookup([(i,) for i in range(1, num_records + 1)])
+
+
+class TestBlockKey:
+    def test_encode_decode_round_trip(self):
+        key = BlockKey(item_rank=3, tag=(0, 4, 9), last_id=77)
+        assert BlockKey.decode(key.encode()) == key
+
+    def test_empty_tag(self):
+        key = BlockKey(item_rank=0, tag=(), last_id=5)
+        assert BlockKey.decode(key.encode()) == key
+
+    def test_keys_order_by_item_then_tag_then_id(self):
+        keys = [
+            BlockKey(0, (0, 1), 4),
+            BlockKey(0, (0, 1), 9),
+            BlockKey(0, (0, 2), 1),
+            BlockKey(0, (1,), 2),
+            BlockKey(1, (0,), 1),
+        ]
+        encoded = [key.encode() for key in keys]
+        assert encoded == sorted(encoded)
+
+    def test_search_key_precedes_real_blocks_with_same_tag(self):
+        probe = search_key(2, (0, 5))
+        real = BlockKey(2, (0, 5), 1).encode()
+        assert probe < real
+
+    def test_item_prefix_orders_items(self):
+        assert item_prefix(0) < item_prefix(1) < item_prefix(500)
+
+
+class TestPostingBlock:
+    def test_block_properties(self):
+        block = PostingBlock(item_rank=2, postings=[Posting(4, 2), Posting(9, 3)], tag=(1, 5))
+        assert block.first_id == 4
+        assert block.last_id == 9
+        assert block.key() == BlockKey(2, (1, 5), 9)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(IndexBuildError):
+            PostingBlock(item_rank=0, postings=[], tag=())
+
+    def test_encode_decode_entry(self):
+        codec = PostingBlockCodec()
+        block = PostingBlock(item_rank=1, postings=[Posting(3, 2), Posting(10, 4)], tag=(0, 3))
+        key, value = encode_block(block, codec)
+        decoded_key, postings = decode_block_entry(key, value, codec)
+        assert decoded_key == block.key()
+        assert postings == block.postings
+
+
+class TestBlockWriter:
+    def test_blocks_close_at_capacity(self):
+        writer = BlockWriter(0, PostingBlockCodec(), simple_tags(), block_capacity=3)
+        blocks = []
+        for i in range(1, 8):
+            block = writer.add(Posting(i, 1))
+            if block:
+                blocks.append(block)
+        tail = writer.finish()
+        if tail:
+            blocks.append(tail)
+        assert [len(block.postings) for block in blocks] == [3, 3, 1]
+        assert [block.last_id for block in blocks] == [3, 6, 7]
+
+    def test_blocks_close_on_byte_budget(self):
+        writer = BlockWriter(
+            0, PostingBlockCodec(), simple_tags(), block_capacity=10_000, max_block_bytes=12
+        )
+        blocks = []
+        for i in range(1, 30):
+            block = writer.add(Posting(i, 1))
+            if block:
+                blocks.append(block)
+        tail = writer.finish()
+        if tail:
+            blocks.append(tail)
+        codec = PostingBlockCodec()
+        for block in blocks:
+            assert len(codec.encode(block.postings)) <= 12 + 4
+        assert sum(len(block.postings) for block in blocks) == 29
+
+    def test_tag_is_sequence_form_of_last_record(self):
+        lookup = TagLookup([(0, 5), (0, 7), (1, 2)])
+        writer = BlockWriter(0, PostingBlockCodec(), lookup, block_capacity=2)
+        block = None
+        for posting in [Posting(1, 2), Posting(2, 2)]:
+            block = writer.add(posting) or block
+        assert block is not None
+        assert block.tag == (0, 7)
+
+    def test_tag_prefix_truncation(self):
+        lookup = TagLookup([(0, 5, 9, 12)])
+        writer = BlockWriter(
+            0, PostingBlockCodec(), lookup, block_capacity=1, tag_prefix=2
+        )
+        block = writer.add(Posting(1, 4))
+        assert block is not None
+        assert block.tag == (0, 5)
+
+    def test_finish_on_empty_writer_returns_none(self):
+        writer = BlockWriter(0, PostingBlockCodec(), simple_tags())
+        assert writer.finish() is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IndexBuildError):
+            BlockWriter(0, PostingBlockCodec(), simple_tags(), block_capacity=0)
+        with pytest.raises(IndexBuildError):
+            BlockWriter(0, PostingBlockCodec(), simple_tags(), max_block_bytes=0)
+
+    def test_no_postings_are_lost_or_reordered(self):
+        writer = BlockWriter(
+            0, PostingBlockCodec(), simple_tags(), block_capacity=7, max_block_bytes=64
+        )
+        postings = [Posting(i, i % 5 + 1) for i in range(1, 200)]
+        blocks = []
+        for posting in postings:
+            block = writer.add(posting)
+            if block:
+                blocks.append(block)
+        tail = writer.finish()
+        if tail:
+            blocks.append(tail)
+        flattened = [posting for block in blocks for posting in block.postings]
+        assert flattened == postings
+        # Block keys must be strictly increasing so bulk load accepts them.
+        keys = [block.key().encode() for block in blocks]
+        assert keys == sorted(set(keys))

@@ -1,0 +1,211 @@
+"""Unit and property tests for the disk-resident B+-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BTreeError, DuplicateKeyError, KeyNotFoundError
+from repro.storage.btree import BTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import MemoryPageFile
+from repro.storage.stats import IOStatistics
+
+
+def make_tree(page_size=512, capacity=64):
+    pager = MemoryPageFile(page_size=page_size)
+    stats = IOStatistics()
+    pool = BufferPool(pager, capacity=capacity, stats=stats)
+    return BTree(pool), stats
+
+
+def key(i: int) -> bytes:
+    return f"k{i:08d}".encode()
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.first_key() is None
+        assert not tree.contains(b"missing")
+
+    def test_insert_and_get(self):
+        tree, _ = make_tree()
+        tree.insert(b"alpha", b"1")
+        tree.insert(b"beta", b"2")
+        assert tree.get(b"alpha") == b"1"
+        assert tree.get(b"beta") == b"2"
+
+    def test_missing_key_raises(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        with pytest.raises(KeyNotFoundError):
+            tree.get(b"b")
+
+    def test_duplicate_insert_rejected(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(b"a", b"2")
+
+    def test_replace_overwrites(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        tree.insert(b"a", b"2", replace=True)
+        assert tree.get(b"a") == b"2"
+
+    def test_delete(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        tree.insert(b"b", b"2")
+        tree.delete(b"a")
+        assert not tree.contains(b"a")
+        assert tree.contains(b"b")
+
+    def test_delete_missing_raises(self):
+        tree, _ = make_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(b"nope")
+
+    def test_oversized_entry_rejected(self):
+        tree, _ = make_tree(page_size=128)
+        with pytest.raises(BTreeError):
+            tree.insert(b"k", b"v" * 1000)
+
+    def test_items_are_sorted(self):
+        tree, _ = make_tree()
+        for i in [5, 1, 9, 3, 7]:
+            tree.insert(key(i), str(i).encode())
+        assert [k for k, _ in tree.items()] == [key(i) for i in [1, 3, 5, 7, 9]]
+
+
+class TestSplitsAndScale:
+    def test_many_inserts_force_splits(self):
+        tree, _ = make_tree(page_size=256)
+        values = list(range(300))
+        random.Random(3).shuffle(values)
+        for i in values:
+            tree.insert(key(i), f"value-{i}".encode())
+        assert len(tree) == 300
+        assert tree.height > 1
+        tree.check_invariants()
+        for i in range(300):
+            assert tree.get(key(i)) == f"value-{i}".encode()
+
+    def test_seek_returns_suffix_in_order(self):
+        tree, _ = make_tree(page_size=256)
+        for i in range(0, 100, 2):
+            tree.insert(key(i), b"x")
+        found = [k for k, _ in tree.seek(key(51))]
+        assert found == [key(i) for i in range(52, 100, 2)]
+
+    def test_seek_on_exact_key_includes_it(self):
+        tree, _ = make_tree()
+        for i in range(10):
+            tree.insert(key(i), b"x")
+        found = [k for k, _ in tree.seek(key(4))]
+        assert found[0] == key(4)
+
+    def test_seek_past_end_is_empty(self):
+        tree, _ = make_tree()
+        tree.insert(key(1), b"x")
+        assert list(tree.seek(key(2))) == []
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        tree, _ = make_tree(page_size=256)
+        entries = [(key(i), f"payload-{i}".encode()) for i in range(500)]
+        tree.bulk_load(iter(entries))
+        assert len(tree) == 500
+        tree.check_invariants()
+        assert tree.get(key(250)) == b"payload-250"
+
+    def test_bulk_load_empty(self):
+        tree, _ = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_single_entry(self):
+        tree, _ = make_tree()
+        tree.bulk_load([(b"only", b"one")])
+        assert tree.get(b"only") == b"one"
+        assert tree.height == 1
+
+    def test_bulk_load_rejects_unsorted(self):
+        tree, _ = make_tree()
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(b"b", b"1"), (b"a", b"2")])
+
+    def test_bulk_load_rejects_duplicates(self):
+        tree, _ = make_tree()
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(b"a", b"1"), (b"a", b"2")])
+
+    def test_bulk_load_rejects_bad_fill_factor(self):
+        tree, _ = make_tree()
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(b"a", b"1")], fill_factor=2.0)
+
+    def test_bulk_loaded_leaves_are_mostly_sequential_pages(self):
+        tree, stats = make_tree(page_size=256, capacity=4)
+        entries = [(key(i), b"v" * 40) for i in range(400)]
+        tree.bulk_load(iter(entries))
+        tree.pool.clear()
+        stats.reset()
+        list(tree.items())
+        # A full scan should be dominated by sequential leaf reads.
+        assert stats.sequential_reads > stats.random_reads
+
+    def test_insert_after_bulk_load(self):
+        tree, _ = make_tree(page_size=256)
+        tree.bulk_load([(key(i), b"v") for i in range(0, 100, 2)])
+        tree.insert(key(51), b"new")
+        assert tree.get(key(51)) == b"new"
+        tree.check_invariants()
+
+    def test_reopen_from_meta_page(self):
+        pager = MemoryPageFile(page_size=256)
+        pool = BufferPool(pager, capacity=16)
+        tree = BTree(pool)
+        tree.bulk_load([(key(i), b"v") for i in range(50)])
+        reopened = BTree(pool, meta_page_id=tree.meta_page_id)
+        assert reopened.get(key(25)) == b"v"
+        assert len(reopened) == 50
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=12),
+                st.binary(min_size=0, max_size=20),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_dict_semantics(self, operations):
+        tree, _ = make_tree(page_size=256)
+        model: dict[bytes, bytes] = {}
+        for key_bytes, value in operations:
+            tree.insert(key_bytes, value, replace=True)
+            model[key_bytes] = value
+        assert sorted(model) == [k for k, _ in tree.items()]
+        for key_bytes, value in model.items():
+            assert tree.get(key_bytes) == value
+        tree.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=5000), max_size=200), st.data())
+    def test_seek_matches_sorted_list(self, ids, data):
+        tree, _ = make_tree(page_size=512)
+        entries = sorted((key(i), str(i).encode()) for i in ids)
+        tree.bulk_load(entries)
+        probe = data.draw(st.integers(min_value=0, max_value=5001))
+        expected = [k for k, _ in entries if k >= key(probe)]
+        assert [k for k, _ in tree.seek(key(probe))] == expected

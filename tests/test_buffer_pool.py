@@ -1,0 +1,127 @@
+"""Unit tests for the LRU buffer pool and its cache-miss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import MemoryPageFile
+from repro.storage.stats import IOStatistics
+
+
+def make_pool(capacity=2, page_size=64):
+    pager = MemoryPageFile(page_size=page_size)
+    stats = IOStatistics()
+    return BufferPool(pager, capacity=capacity, stats=stats), pager, stats
+
+
+class TestBasics:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(MemoryPageFile(), capacity=0)
+
+    def test_allocate_page_is_cached(self):
+        pool, _, stats = make_pool()
+        page_id = pool.allocate_page()
+        pool.get_page(page_id)
+        assert stats.page_reads == 0
+        assert stats.cache_hits == 1
+
+    def test_miss_then_hit(self):
+        pool, pager, stats = make_pool(capacity=2)
+        page_id = pager.allocate()
+        pool.get_page(page_id)
+        pool.get_page(page_id)
+        assert stats.page_reads == 1
+        assert stats.cache_hits == 1
+        assert stats.logical_reads == 2
+
+    def test_put_page_too_large_rejected(self):
+        pool, _, _ = make_pool(page_size=16)
+        page_id = pool.allocate_page()
+        with pytest.raises(BufferPoolError):
+            pool.put_page(page_id, b"x" * 17)
+
+    def test_mark_dirty_unknown_page_rejected(self):
+        pool, pager, _ = make_pool()
+        page_id = pager.allocate()
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(page_id)
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction_counts_new_misses(self):
+        pool, pager, stats = make_pool(capacity=2)
+        ids = [pager.allocate() for _ in range(3)]
+        pool.get_page(ids[0])
+        pool.get_page(ids[1])
+        pool.get_page(ids[2])  # evicts ids[0]
+        pool.get_page(ids[0])  # miss again
+        assert stats.page_reads == 4
+        assert pool.resident_pages == 2
+
+    def test_recently_used_page_survives_eviction(self):
+        pool, pager, stats = make_pool(capacity=2)
+        ids = [pager.allocate() for _ in range(3)]
+        pool.get_page(ids[0])
+        pool.get_page(ids[1])
+        pool.get_page(ids[0])  # refresh page 0
+        pool.get_page(ids[2])  # should evict page 1, not page 0
+        pool.get_page(ids[0])
+        assert stats.page_reads == 3  # page 0 never re-read
+
+    def test_dirty_page_written_back_on_eviction(self):
+        pool, pager, stats = make_pool(capacity=1)
+        first = pool.allocate_page()
+        pool.put_page(first, b"payload-one")
+        second = pool.allocate_page()  # evicts the first page
+        pool.put_page(second, b"payload-two")
+        assert bytes(pager.read(first)).rstrip(b"\x00") == b"payload-one"
+        assert stats.page_writes >= 1
+
+    def test_flush_writes_all_dirty_pages(self):
+        pool, pager, stats = make_pool(capacity=4)
+        ids = [pool.allocate_page() for _ in range(3)]
+        for index, page_id in enumerate(ids):
+            pool.put_page(page_id, bytes([index + 1]) * 8)
+        pool.flush()
+        for index, page_id in enumerate(ids):
+            assert pager.read(page_id)[0] == index + 1
+        assert stats.page_writes == 3
+
+    def test_clear_empties_the_pool(self):
+        pool, pager, stats = make_pool(capacity=4)
+        page_id = pool.allocate_page()
+        pool.put_page(page_id, b"z")
+        pool.clear()
+        assert pool.resident_pages == 0
+        pool.get_page(page_id)
+        assert stats.page_reads == 1  # cold again after clear
+
+    def test_mutating_cached_frame_persists_after_mark_dirty(self):
+        pool, pager, _ = make_pool(capacity=2)
+        page_id = pool.allocate_page()
+        frame = pool.get_page(page_id)
+        frame[0:3] = b"abc"
+        pool.mark_dirty(page_id)
+        pool.flush()
+        assert pager.read(page_id)[:3] == b"abc"
+
+
+class TestSequentialRandomClassification:
+    def test_sequential_scan_is_classified_sequential(self):
+        pool, pager, stats = make_pool(capacity=2)
+        ids = [pager.allocate() for _ in range(5)]
+        for page_id in ids:
+            pool.get_page(page_id)
+        assert stats.random_reads == 1  # only the first access
+        assert stats.sequential_reads == 4
+
+    def test_jumping_around_is_classified_random(self):
+        pool, pager, stats = make_pool(capacity=2)
+        ids = [pager.allocate() for _ in range(6)]
+        for page_id in [ids[0], ids[3], ids[1], ids[5]]:
+            pool.get_page(page_id)
+        assert stats.random_reads == 4
+        assert stats.sequential_reads == 0

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import Dataset
+from repro.datasets.io import write_transactions
+
+
+@pytest.fixture()
+def transaction_file(tmp_path):
+    dataset = Dataset.from_transactions(
+        [{"a", "b"}, {"a", "c"}, {"b", "c"}, {"a", "b", "c"}, {"a"}, {"c"}] * 5
+    )
+    path = tmp_path / "data.txt"
+    write_transactions(dataset, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        output = str(tmp_path / "synthetic.txt")
+        code = main(["generate", output, "--records", "200", "--domain", "50"])
+        assert code == 0
+        assert "wrote 200 records" in capsys.readouterr().out
+        assert len(open(output).readlines()) == 200
+
+    def test_generate_msnbc(self, tmp_path, capsys):
+        output = str(tmp_path / "msnbc.txt")
+        code = main(["generate", output, "--kind", "msnbc", "--records", "300"])
+        assert code == 0
+        assert "300 records" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_subset(self, transaction_file, capsys):
+        code = main(["query", transaction_file, "subset", "a", "b"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matching records" in output
+        assert "page accesses" in output
+
+    def test_query_with_alternative_index(self, transaction_file, capsys):
+        code = main(["query", transaction_file, "superset", "a", "b", "--index", "if"])
+        assert code == 0
+        assert "matching records" in capsys.readouterr().out
+
+    def test_query_error_reported(self, tmp_path, capsys):
+        missing = str(tmp_path / "does-not-exist.txt")
+        with pytest.raises((SystemExit, OSError, FileNotFoundError)):
+            main(["query", missing, "subset", "a"])
+
+
+class TestCompare:
+    def test_compare_prints_table(self, transaction_file, capsys):
+        code = main(
+            [
+                "compare",
+                transaction_file,
+                "--predicate",
+                "subset",
+                "--sizes",
+                "1",
+                "2",
+                "--queries-per-size",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "IF" in output and "OIF" in output
+        assert "|qs|" in output
+
+
+class TestExperiment:
+    def test_space_experiment(self, capsys):
+        code = main(["experiment", "space", "--records", "1200"])
+        assert code == 0
+        assert "Space overhead" in capsys.readouterr().out
+
+    def test_summary_experiment(self, capsys):
+        code = main(["experiment", "summary", "--records", "1200", "--queries-per-size", "2"])
+        assert code == 0
+        assert "Performance summary" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,70 @@
+"""Tests for transaction-file reading and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dataset
+from repro.datasets.io import iter_transactions, read_transactions, write_transactions
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def sample_dataset():
+    return Dataset.from_transactions([{"milk", "bread"}, {"eggs"}, {"milk", "eggs", "tea"}])
+
+
+class TestRoundTrip:
+    def test_round_trip_without_ids(self, sample_dataset, tmp_path):
+        path = tmp_path / "data.txt"
+        write_transactions(sample_dataset, path)
+        loaded = read_transactions(path)
+        assert len(loaded) == len(sample_dataset)
+        assert [r.items for r in loaded] == [r.items for r in sample_dataset]
+        assert loaded.record_ids == [1, 2, 3]
+
+    def test_round_trip_with_ids(self, tmp_path):
+        dataset = Dataset.from_transactions([{"a"}, {"b", "c"}], start_id=50)
+        path = tmp_path / "data.txt"
+        write_transactions(dataset, path, with_ids=True)
+        loaded = read_transactions(path)
+        assert loaded.record_ids == [50, 51]
+        assert loaded.get(51).items == frozenset({"b", "c"})
+
+    def test_iter_transactions_streams_sets(self, sample_dataset, tmp_path):
+        path = tmp_path / "data.txt"
+        write_transactions(sample_dataset, path)
+        streamed = list(iter_transactions(path))
+        assert streamed == [record.items for record in sample_dataset]
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# a comment\n\nmilk bread\n\neggs\n")
+        loaded = read_transactions(path)
+        assert len(loaded) == 2
+
+    def test_malformed_id_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("abc|milk bread\n")
+        with pytest.raises(DatasetError):
+            read_transactions(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(DatasetError):
+            read_transactions(path)
+
+    def test_line_with_id_but_no_items_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("7|   \n")
+        with pytest.raises(DatasetError):
+            read_transactions(path)
+
+    def test_items_are_read_back_as_strings(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2 3\n")
+        loaded = read_transactions(path)
+        assert loaded.get(1).items == frozenset({"1", "2", "3"})

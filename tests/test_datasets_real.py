@@ -1,0 +1,78 @@
+"""Tests for the simulated msweb / msnbc real-dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.msnbc import CATEGORIES, MSNBC_AVERAGE_LENGTH, MsnbcConfig
+from repro.datasets.msnbc import generate_dataset as generate_msnbc
+from repro.datasets.msweb import MSWEB_DOMAIN_SIZE, MswebConfig, area_name
+from repro.datasets.msweb import generate_dataset as generate_msweb
+from repro.errors import DatasetError
+
+
+class TestMsweb:
+    def test_statistics_match_published_shape(self):
+        dataset = generate_msweb(MswebConfig(num_sessions=5000, seed=1))
+        # Domain bounded by the published 294 areas and skewed towards short sessions.
+        assert dataset.domain_size <= MSWEB_DOMAIN_SIZE
+        assert 1.5 <= dataset.average_length <= 5.0
+
+    def test_item_distribution_is_skewed(self):
+        dataset = generate_msweb(MswebConfig(num_sessions=5000, seed=1))
+        order = dataset.vocabulary.frequency_order()
+        top_support = dataset.vocabulary.support(order.item_at(0))
+        median_support = dataset.vocabulary.support(order.item_at(len(order) // 2))
+        assert top_support > 10 * max(median_support, 1)
+
+    def test_replication_multiplies_records_not_vocabulary(self):
+        single = generate_msweb(MswebConfig(num_sessions=1000, replicas=1, seed=2))
+        replicated = generate_msweb(MswebConfig(num_sessions=1000, replicas=3, seed=2))
+        assert len(replicated) == 3 * len(single)
+        assert replicated.domain_size == single.domain_size
+
+    def test_reproducibility(self):
+        first = generate_msweb(MswebConfig(num_sessions=500, seed=3))
+        second = generate_msweb(MswebConfig(num_sessions=500, seed=3))
+        assert [r.items for r in first] == [r.items for r in second]
+
+    def test_area_names_look_like_vroots(self):
+        assert area_name(0) == "V1000"
+        assert area_name(287) == "V1287"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            MswebConfig(num_sessions=0)
+        with pytest.raises(DatasetError):
+            MswebConfig(replicas=0)
+
+
+class TestMsnbc:
+    def test_statistics_match_published_shape(self):
+        dataset = generate_msnbc(MsnbcConfig(num_sessions=20_000, seed=1))
+        assert dataset.domain_size <= len(CATEGORIES)
+        assert abs(dataset.average_length - MSNBC_AVERAGE_LENGTH) < 1.0
+
+    def test_distribution_is_mild(self):
+        dataset = generate_msnbc(MsnbcConfig(num_sessions=20_000, seed=1))
+        order = dataset.vocabulary.frequency_order()
+        top = dataset.vocabulary.support(order.item_at(0))
+        bottom = dataset.vocabulary.support(order.item_at(len(order) - 1))
+        # Near-uniform: the most popular category is within ~6x of the least popular.
+        assert top < 6 * bottom
+
+    def test_items_are_category_names(self):
+        dataset = generate_msnbc(MsnbcConfig(num_sessions=500, seed=4))
+        for record in dataset:
+            assert record.items <= set(CATEGORIES)
+
+    def test_reproducibility(self):
+        first = generate_msnbc(MsnbcConfig(num_sessions=500, seed=9))
+        second = generate_msnbc(MsnbcConfig(num_sessions=500, seed=9))
+        assert [r.items for r in first] == [r.items for r in second]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            MsnbcConfig(num_sessions=-1)
+        with pytest.raises(DatasetError):
+            MsnbcConfig(mean_length=100)

@@ -1,0 +1,104 @@
+"""Tests for the synthetic Zipfian dataset generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_dataset,
+    generate_transactions,
+    item_name,
+    zipf_weights,
+)
+from repro.errors import DatasetError
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper_parameters(self):
+        config = SyntheticConfig()
+        assert config.domain_size == 2000
+        assert config.zipf_order == 0.8
+        assert config.min_length == 2
+        assert config.max_length == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_records": 0},
+            {"domain_size": 1},
+            {"zipf_order": -0.5},
+            {"min_length": 0},
+            {"min_length": 5, "max_length": 3},
+            {"max_length": 5000, "domain_size": 100},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(**kwargs)
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(DatasetError):
+            generate_dataset(SyntheticConfig(num_records=10), num_records=20)
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        weights = zipf_weights(100, 0.8)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_zero_order_is_uniform(self):
+        weights = zipf_weights(50, 0.0)
+        assert weights.max() == pytest.approx(weights.min())
+
+    def test_higher_order_is_more_skewed(self):
+        mild = zipf_weights(100, 0.4)
+        strong = zipf_weights(100, 1.0)
+        assert strong[0] > mild[0]
+        assert strong[-1] < mild[-1]
+
+
+class TestGeneration:
+    def test_record_count_and_lengths(self):
+        config = SyntheticConfig(num_records=500, domain_size=100, min_length=2, max_length=6)
+        dataset = generate_dataset(config)
+        assert len(dataset) == 500
+        for record in dataset:
+            assert 2 <= record.length <= 6
+
+    def test_items_come_from_the_domain(self):
+        config = SyntheticConfig(num_records=200, domain_size=50)
+        dataset = generate_dataset(config)
+        valid = {item_name(index) for index in range(50)}
+        for record in dataset:
+            assert record.items <= valid
+
+    def test_reproducible_with_same_seed(self):
+        config = SyntheticConfig(num_records=100, domain_size=50, seed=5)
+        first = generate_transactions(config)
+        second = generate_transactions(config)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = SyntheticConfig(num_records=100, domain_size=50, seed=5)
+        other = SyntheticConfig(num_records=100, domain_size=50, seed=6)
+        assert generate_transactions(base) != generate_transactions(other)
+
+    def test_skewed_data_has_dominant_items(self):
+        config = SyntheticConfig(num_records=2000, domain_size=200, zipf_order=1.0)
+        dataset = generate_dataset(config)
+        order = dataset.vocabulary.frequency_order()
+        top = order.item_at(0)
+        bottom = order.item_at(len(order) - 1)
+        assert dataset.vocabulary.support(top) > 10 * max(
+            dataset.vocabulary.support(bottom), 1
+        )
+
+    def test_uniform_data_has_no_dominant_item(self):
+        config = SyntheticConfig(num_records=2000, domain_size=50, zipf_order=0.0)
+        dataset = generate_dataset(config)
+        supports = [dataset.vocabulary.support(item) for item in dataset.vocabulary]
+        assert max(supports) < 3 * (sum(supports) / len(supports))
+
+    def test_item_name_zero_padding_keeps_alphabetic_order(self):
+        assert item_name(2) < item_name(10) < item_name(100)

@@ -1,0 +1,67 @@
+"""Unit tests for the d-gap transform."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import dgap
+from repro.errors import CompressionError
+
+
+class TestGapsFromIds:
+    def test_paper_example(self):
+        # The example of Section 3 ("Compression"): list {2,5,12,15,17,18}.
+        assert dgap.gaps_from_ids([2, 5, 12, 15, 17, 18]) == [2, 3, 7, 3, 2, 1]
+
+    def test_single_id(self):
+        assert dgap.gaps_from_ids([42]) == [42]
+
+    def test_empty(self):
+        assert dgap.gaps_from_ids([]) == []
+
+    def test_first_gap_is_absolute(self):
+        assert dgap.gaps_from_ids([10, 11])[0] == 10
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(CompressionError):
+            dgap.gaps_from_ids([3, 3])
+        with pytest.raises(CompressionError):
+            dgap.gaps_from_ids([5, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(CompressionError):
+            dgap.gaps_from_ids([-1, 2])
+
+
+class TestIdsFromGaps:
+    def test_paper_example_inverse(self):
+        assert dgap.ids_from_gaps([2, 3, 7, 3, 2, 1]) == [2, 5, 12, 15, 17, 18]
+
+    def test_empty(self):
+        assert dgap.ids_from_gaps([]) == []
+
+    def test_zero_gap_rejected_after_first(self):
+        with pytest.raises(CompressionError):
+            dgap.ids_from_gaps([5, 0])
+
+    def test_negative_first_rejected(self):
+        with pytest.raises(CompressionError):
+            dgap.ids_from_gaps([-2])
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**7), min_size=0, max_size=200, unique=True)
+    )
+    def test_round_trip_sorted_ids(self, ids):
+        ids = sorted(ids)
+        assert dgap.ids_from_gaps(dgap.gaps_from_ids(ids)) == ids
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=100)
+    )
+    def test_gaps_round_trip(self, gaps):
+        ids = dgap.ids_from_gaps(gaps)
+        assert dgap.gaps_from_ids(ids) == gaps

@@ -1,0 +1,60 @@
+"""Smoke tests that the example scripts run and print sensible output."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert "quickstart.py" in scripts
+
+    def test_quickstart_runs_and_matches_paper_answers(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "[101, 104, 114]" in output  # subset {a, d}
+        assert "[106, 113]" in output  # superset {a, c}
+        assert "metadata table" in output
+
+    def test_market_basket_components(self):
+        # Run the example's basket simulator at a smaller size and check the
+        # analyses it performs give exact answers.
+        module = load_example("market_basket")
+        dataset = module.simulate_baskets(800)
+        assert len(dataset) == 800
+        from repro import OrderedInvertedFile
+
+        oif = OrderedInvertedFile(dataset)
+        result = oif.subset_query({"milk", "bread"})
+        assert all(dataset.get(record_id).contains_all({"milk", "bread"}) for record_id in result)
+
+    def test_scaling_study_runs_small(self, capsys):
+        module = load_example("scaling_study")
+        module.main(400)
+        output = capsys.readouterr().out
+        assert "records" in output
+        assert "OIF pages" in output
+
+    def test_weblog_sessions_components(self):
+        module = load_example("weblog_sessions")
+        from repro.datasets import MswebConfig, generate_msweb
+
+        sessions = generate_msweb(MswebConfig(num_sessions=500, replicas=1, seed=3))
+        assert len(sessions) == 500

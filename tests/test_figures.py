@@ -1,0 +1,153 @@
+"""Integration tests for the figure/table reproductions (tiny scales).
+
+These tests run every experiment function end to end on very small inputs.
+They assert structure (rows, columns, per-sweep coverage) and the headline
+qualitative claims of the paper that are stable even at tiny scale (the OIF
+never loses to the IF by a large margin, equality is the OIF's cheapest
+predicate, and so on); the benchmarks regenerate the full-size tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import SMALL_SCALE, SyntheticScale
+from repro.experiments.report import ResultTable, summarize_ratio
+
+TINY_SCALE = SyntheticScale(base_records=1500, queries_per_size=2, default_query_size=3)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _quiet_cache():
+    # The experiments share a process-wide cache of datasets and indexes; keep
+    # it bounded for the test run.
+    yield
+    from repro.experiments import cache
+
+    cache.clear()
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return figures.figure7(
+            "msweb", sizes=(2, 3, 4), queries_per_size=2, num_sessions=1200, replicas=2
+        )
+
+    def test_rows_cover_all_predicates_and_sizes(self, table):
+        assert isinstance(table, ResultTable)
+        pairs = {(row["query_type"], row["qs"]) for row in table.rows}
+        assert pairs == {
+            (query_type, size)
+            for query_type in ("subset", "equality", "superset")
+            for size in (2, 3, 4)
+        }
+
+    def test_both_indexes_reported(self, table):
+        for row in table.rows:
+            assert "IF_pages" in row and "OIF_pages" in row
+
+    def test_answers_are_identical_across_indexes(self, table):
+        for row in table.rows:
+            assert row["IF_answers"] == row["OIF_answers"]
+
+    def test_oif_does_not_lose_on_average(self, table):
+        assert summarize_ratio(table, "IF_pages", "OIF_pages") >= 1.0
+
+    def test_msnbc_variant_runs(self):
+        table = figures.figure7("msnbc", sizes=(2, 3), queries_per_size=2, num_sessions=3000)
+        assert len(table.rows) == 6
+
+    def test_unknown_dataset_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            figures.figure7("imaginary")
+
+
+class TestSyntheticFigures:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return figures.figure8(TINY_SCALE)
+
+    def test_all_four_sweeps_present(self, fig8):
+        assert set(fig8) == {"domain", "database", "query_size", "zipf"}
+
+    def test_domain_sweep_covers_paper_values(self, fig8):
+        assert fig8["domain"].column("domain_size") == [500, 2000, 8000]
+
+    def test_database_sweep_keeps_paper_ratios(self, fig8):
+        records = fig8["database"].column("num_records")
+        assert len(records) == 4
+        assert records[1] == 5 * records[0]
+        assert records[2] == 10 * records[0]
+        assert records[3] == 50 * records[0]
+
+    def test_zipf_sweep_values(self, fig8):
+        assert fig8["zipf"].column("zipf") == [0.0, 0.4, 0.8, 1.0]
+
+    def test_metrics_present_for_both_indexes(self, fig8):
+        for table in fig8.values():
+            for row in table.rows:
+                for name in ("IF", "OIF"):
+                    assert f"{name}_pages" in row
+                    assert f"{name}_io_ms" in row
+                    assert f"{name}_cpu_ms" in row
+
+    def test_figure9_equality_is_cheap_for_oif(self):
+        fig9 = figures.figure9(TINY_SCALE)
+        table = fig9["database"]
+        assert summarize_ratio(table, "IF_pages", "OIF_pages") >= 1.0
+
+    def test_figure10_superset_runs(self):
+        fig10 = figures.figure10(TINY_SCALE)
+        assert set(fig10) == {"domain", "database", "query_size", "zipf"}
+
+
+class TestOtherExperiments:
+    def test_space_overhead_rows(self):
+        table = figures.space_overhead(num_records=1500, domain_size=300)
+        indexes = {row["index"] for row in table.rows}
+        assert indexes == {"IF", "OIF"}
+        for row in table.rows:
+            assert row["fraction_of_data"] > 0
+
+    def test_space_overhead_oif_larger_than_if(self):
+        table = figures.space_overhead(num_records=1500, domain_size=300)
+        by_index = {row["index"]: row for row in table.rows}
+        assert by_index["OIF"]["index_bytes"] >= by_index["IF"]["posting_bytes"]
+        # The metadata removes one posting per record.
+        assert by_index["OIF"]["postings_stored"] < by_index["IF"]["postings_stored"]
+
+    def test_ordering_ablation_reports_three_indexes(self):
+        table = figures.ordering_ablation(
+            num_records=1500, domain_size=300, sizes=(2, 3), queries_per_size=2
+        )
+        for row in table.rows:
+            assert {"IF_pages", "UBT_pages", "OIF_pages"} <= set(row)
+
+    def test_update_tradeoff_shape(self):
+        table = figures.update_tradeoff(
+            num_records=3000, domain_size=300, update_fractions=(0.2,), queries_per_size=2
+        )
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row["OIF_seconds"] > 0 and row["IF_seconds"] > 0
+        # The OIF merge (re-sort + rebuild) must be slower than the IF append.
+        assert row["OIF_over_IF"] > 1.0
+
+    def test_performance_summary_has_average_row(self):
+        table = figures.performance_summary(
+            num_records=1500, domain_size=300, queries_per_size=2
+        )
+        assert table.rows[-1]["query_type"] == "average"
+        assert len(table.rows) == 4
+
+    def test_skew_robustness_covers_grid(self):
+        table = figures.skew_robustness(
+            num_records=1500, domain_size=300, queries_per_size=2
+        )
+        assert len(table.rows) == 3 * 4
+        for row in table.rows:
+            assert row["IF_over_OIF"] > 0

@@ -1,0 +1,135 @@
+"""Unit tests for the hash-organized table with overflow value chains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HashFileError, KeyNotFoundError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.hashfile import HashFile
+from repro.storage.pager import MemoryPageFile
+from repro.storage.stats import IOStatistics
+
+
+def make_hash(num_buckets=4, page_size=256, capacity=16):
+    pager = MemoryPageFile(page_size=page_size)
+    stats = IOStatistics()
+    pool = BufferPool(pager, capacity=capacity, stats=stats)
+    return HashFile(pool, num_buckets=num_buckets), stats
+
+
+class TestBasics:
+    def test_put_and_get(self):
+        table, _ = make_hash()
+        table.put(b"a", b"value-a")
+        table.put(b"b", b"value-b")
+        assert table.get(b"a") == b"value-a"
+        assert table.get(b"b") == b"value-b"
+
+    def test_missing_key_raises(self):
+        table, _ = make_hash()
+        with pytest.raises(KeyNotFoundError):
+            table.get(b"missing")
+
+    def test_contains(self):
+        table, _ = make_hash()
+        table.put(b"x", b"1")
+        assert table.contains(b"x")
+        assert not table.contains(b"y")
+
+    def test_duplicate_put_rejected(self):
+        table, _ = make_hash()
+        table.put(b"x", b"1")
+        with pytest.raises(HashFileError):
+            table.put(b"x", b"2")
+
+    def test_replace(self):
+        table, _ = make_hash()
+        table.put(b"x", b"1")
+        table.put(b"x", b"2" * 100, replace=True)
+        assert table.get(b"x") == b"2" * 100
+
+    def test_empty_value(self):
+        table, _ = make_hash()
+        table.put(b"empty", b"")
+        assert table.get(b"empty") == b""
+
+    def test_invalid_bucket_count(self):
+        pool = BufferPool(MemoryPageFile(), capacity=4)
+        with pytest.raises(HashFileError):
+            HashFile(pool, num_buckets=0)
+
+    def test_keys_and_len(self):
+        table, _ = make_hash()
+        for name in [b"a", b"b", b"c"]:
+            table.put(name, b"v")
+        assert sorted(table.keys()) == [b"a", b"b", b"c"]
+        assert len(table) == 3
+
+
+class TestLargeValues:
+    def test_multi_page_value_round_trips(self):
+        table, _ = make_hash(page_size=128)
+        value = bytes(range(256)) * 4  # 1024 bytes across several 128-byte pages
+        table.put(b"big", value)
+        assert table.get(b"big") == value
+
+    def test_value_page_count(self):
+        table, _ = make_hash(page_size=128)
+        table.put(b"big", b"z" * 1000)
+        assert table.value_page_count(b"big") == 8
+        table.put(b"small", b"z" * 10)
+        assert table.value_page_count(b"small") == 1
+
+    def test_value_page_count_missing_key(self):
+        table, _ = make_hash()
+        with pytest.raises(KeyNotFoundError):
+            table.value_page_count(b"nope")
+
+    def test_reading_large_value_is_mostly_sequential(self):
+        table, stats = make_hash(page_size=128, capacity=2)
+        table.put(b"big", b"q" * 2000)
+        table.pool.clear()
+        stats.reset()
+        table.get(b"big")
+        assert stats.sequential_reads >= stats.random_reads
+
+    def test_small_values_share_pages(self):
+        table, _ = make_hash(page_size=256, num_buckets=1)
+        pages_before = table.pool.page_file.num_pages
+        for i in range(8):
+            table.put(f"k{i}".encode(), b"tiny")
+        pages_after = table.pool.page_file.num_pages
+        # Eight 4-byte values must not take eight dedicated pages.
+        assert pages_after - pages_before <= 2
+
+
+class TestBucketOverflow:
+    def test_many_keys_in_one_bucket(self):
+        # One bucket forces overflow bucket pages; all keys must stay reachable.
+        table, _ = make_hash(num_buckets=1, page_size=128)
+        for i in range(40):
+            table.put(f"key-{i:03d}".encode(), f"value-{i}".encode())
+        for i in range(40):
+            assert table.get(f"key-{i:03d}".encode()) == f"value-{i}".encode()
+        assert len(table) == 40
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=10),
+            st.binary(min_size=0, max_size=400),
+            max_size=40,
+        )
+    )
+    def test_matches_dict(self, model):
+        table, _ = make_hash(num_buckets=3, page_size=256)
+        for key, value in model.items():
+            table.put(key, value)
+        for key, value in model.items():
+            assert table.get(key) == value
+        assert sorted(table.keys()) == sorted(model)

@@ -1,0 +1,112 @@
+"""End-to-end integration tests spanning generators, indexes, workloads and updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedFile, NaiveScanIndex
+from repro.core import OrderedInvertedFile
+from repro.core.updates import UpdatableIF, UpdatableOIF
+from repro.datasets import (
+    MswebConfig,
+    SyntheticConfig,
+    generate_msweb,
+    generate_synthetic,
+    read_transactions,
+    write_transactions,
+)
+from repro.experiments import ExperimentRunner, if_factory, oif_factory
+from repro.workloads import WorkloadGenerator
+
+
+class TestGenerateIndexQueryPipeline:
+    def test_synthetic_pipeline(self, tmp_path):
+        dataset = generate_synthetic(
+            SyntheticConfig(num_records=1500, domain_size=200, zipf_order=0.9, seed=3)
+        )
+        path = tmp_path / "synthetic.txt"
+        write_transactions(dataset, path)
+        reloaded = read_transactions(path)
+        assert len(reloaded) == len(dataset)
+
+        oif = OrderedInvertedFile(reloaded)
+        inverted = InvertedFile(reloaded)
+        oracle = NaiveScanIndex(reloaded)
+        generator = WorkloadGenerator(reloaded, seed=5)
+        for query_type in ("subset", "equality", "superset"):
+            workload = generator.workload(query_type, sizes=[2, 3], queries_per_size=3)
+            for query in workload:
+                expected = oracle.query(query_type, query.items)
+                assert oif.query(query_type, query.items) == expected
+                assert inverted.query(query_type, query.items) == expected
+                assert expected, "the workload generator must produce non-empty answers"
+
+    def test_msweb_pipeline_with_runner(self):
+        dataset = generate_msweb(MswebConfig(num_sessions=1500, replicas=2, seed=5))
+        generator = WorkloadGenerator(dataset, seed=9)
+        workload = generator.workload("subset", sizes=[2, 3], queries_per_size=3)
+        runner = ExperimentRunner()
+        results = runner.compare(dataset, workload, (if_factory(), oif_factory()))
+        if_cost = results["IF"].overall()
+        oif_cost = results["OIF"].overall()
+        # Identical answers and the OIF must not be more expensive on average.
+        assert [r.cardinality for r in results["IF"].results] == [
+            r.cardinality for r in results["OIF"].results
+        ]
+        assert oif_cost.mean_page_accesses <= if_cost.mean_page_accesses
+
+    def test_query_then_update_then_query(self):
+        dataset = generate_synthetic(
+            SyntheticConfig(num_records=1000, domain_size=150, zipf_order=0.8, seed=11)
+        )
+        extra = generate_synthetic(
+            SyntheticConfig(num_records=150, domain_size=150, zipf_order=0.8, seed=12)
+        )
+        for wrapper_class in (UpdatableOIF, UpdatableIF):
+            wrapper = wrapper_class(dataset)
+            wrapper.insert(set(record.items) for record in extra)
+            wrapper.flush()
+            oracle = NaiveScanIndex(wrapper.dataset)
+            probe = next(iter(extra)).items
+            assert wrapper.subset_query(probe) == oracle.subset_query(probe)
+            assert wrapper.superset_query(probe) == oracle.superset_query(probe)
+
+
+class TestScalingBehaviour:
+    def test_oif_advantage_grows_with_database_size(self):
+        """The paper's central scaling claim, checked qualitatively.
+
+        As |D| grows (with |I| fixed), the IF must fetch ever longer lists
+        while the OIF's Range of Interest keeps the touched region roughly
+        stable, so the IF/OIF page-access ratio must not shrink.
+        """
+        ratios = []
+        for num_records in (1000, 4000):
+            dataset = generate_synthetic(
+                SyntheticConfig(num_records=num_records, domain_size=150, zipf_order=0.9, seed=21)
+            )
+            generator = WorkloadGenerator(dataset, seed=22)
+            workload = generator.workload("subset", sizes=[3], queries_per_size=5)
+            runner = ExperimentRunner()
+            results = runner.compare(dataset, workload, (if_factory(), oif_factory()))
+            if_pages = results["IF"].overall().mean_page_accesses
+            oif_pages = max(results["OIF"].overall().mean_page_accesses, 0.1)
+            ratios.append(if_pages / oif_pages)
+        assert ratios[-1] >= ratios[0] * 0.9  # allow small-sample noise, forbid collapse
+
+    def test_equality_cost_stays_flat_while_if_grows(self):
+        costs = {}
+        for num_records in (1000, 4000):
+            dataset = generate_synthetic(
+                SyntheticConfig(num_records=num_records, domain_size=150, zipf_order=0.9, seed=31)
+            )
+            generator = WorkloadGenerator(dataset, seed=32)
+            workload = generator.workload("equality", sizes=[3], queries_per_size=5)
+            runner = ExperimentRunner()
+            results = runner.compare(dataset, workload, (if_factory(), oif_factory()))
+            costs[num_records] = {
+                name: run.overall().mean_page_accesses for name, run in results.items()
+            }
+        # The IF's equality cost grows with the data; the OIF's barely moves.
+        assert costs[4000]["IF"] > costs[1000]["IF"]
+        assert costs[4000]["OIF"] <= costs[1000]["OIF"] + 3

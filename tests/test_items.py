@@ -1,0 +1,121 @@
+"""Unit tests for the vocabulary and the frequency order <_D (Equation 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.items import ItemOrder, Vocabulary
+from repro.errors import DatasetError, QueryError
+
+
+class TestVocabulary:
+    def test_from_transactions_counts_supports(self):
+        vocabulary = Vocabulary.from_transactions([{"a", "b"}, {"a"}, {"a", "c"}])
+        assert vocabulary.support("a") == 3
+        assert vocabulary.support("b") == 1
+        assert vocabulary.support("c") == 1
+        assert vocabulary.support("zzz") == 0
+
+    def test_duplicates_within_a_transaction_count_once(self):
+        vocabulary = Vocabulary.from_transactions([["a", "a", "b"]])
+        assert vocabulary.support("a") == 1
+
+    def test_len_and_contains(self):
+        vocabulary = Vocabulary.from_transactions([{"a", "b"}])
+        assert len(vocabulary) == 2
+        assert "a" in vocabulary
+        assert "q" not in vocabulary
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Vocabulary({})
+
+    def test_non_positive_support_rejected(self):
+        with pytest.raises(DatasetError):
+            Vocabulary({"a": 0})
+
+    def test_items_with_support_iterates_all(self):
+        vocabulary = Vocabulary({"a": 3, "b": 1})
+        assert dict(vocabulary.items_with_support()) == {"a": 3, "b": 1}
+
+
+class TestFrequencyOrder:
+    def test_most_frequent_item_is_smallest(self):
+        vocabulary = Vocabulary({"x": 1, "y": 5, "z": 3})
+        order = vocabulary.frequency_order()
+        assert order.item_at(0) == "y"
+        assert order.item_at(1) == "z"
+        assert order.item_at(2) == "x"
+
+    def test_ties_broken_alphabetically(self):
+        vocabulary = Vocabulary({"b": 2, "a": 2, "c": 2})
+        order = vocabulary.frequency_order()
+        assert order.items_in_order() == ("a", "b", "c")
+
+    def test_paper_example_order(self, paper_dataset):
+        # In Figure 1, item a is the most frequent, then b, c, d...
+        order = paper_dataset.vocabulary.frequency_order()
+        assert order.item_at(0) == "a"
+        assert order.item_at(1) == "b"
+        assert order.item_at(2) == "c"
+        assert order.item_at(3) == "d"
+
+    def test_compare_follows_rank(self):
+        order = Vocabulary({"a": 5, "b": 1}).frequency_order()
+        assert order.compare("a", "b") < 0
+        assert order.compare("b", "a") > 0
+        assert order.compare("a", "a") == 0
+
+
+class TestItemOrder:
+    def test_rank_round_trip(self):
+        order = ItemOrder(["x", "y", "z"])
+        for rank, item in enumerate("xyz"):
+            assert order.rank_of(item) == rank
+            assert order.item_at(rank) == item
+
+    def test_unknown_item_raises(self):
+        order = ItemOrder(["x"])
+        with pytest.raises(QueryError):
+            order.rank_of("q")
+
+    def test_try_rank_of_returns_none(self):
+        order = ItemOrder(["x"])
+        assert order.try_rank_of("q") is None
+        assert order.try_rank_of("x") == 0
+
+    def test_rank_out_of_range(self):
+        order = ItemOrder(["x"])
+        with pytest.raises(QueryError):
+            order.item_at(5)
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(DatasetError):
+            ItemOrder(["x", "x"])
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(DatasetError):
+            ItemOrder([])
+
+    def test_ranks_of_sorts_ascending(self):
+        order = ItemOrder(["a", "b", "c", "d"])
+        assert order.ranks_of({"d", "a", "c"}) == (0, 2, 3)
+
+    def test_items_of_inverse(self):
+        order = ItemOrder(["a", "b", "c"])
+        assert order.items_of((2, 0)) == ("c", "a")
+
+    def test_max_rank(self):
+        order = ItemOrder(["a", "b", "c"])
+        assert order.max_rank == 2
+
+    def test_support_recorded(self):
+        order = Vocabulary({"a": 9, "b": 2}).frequency_order()
+        assert order.support("a") == 9
+        assert order.support("missing") == 0
+
+    def test_mixed_type_items_are_supported(self):
+        vocabulary = Vocabulary.from_transactions([{1, "a"}, {1}])
+        order = vocabulary.frequency_order()
+        assert order.rank_of(1) == 0
+        assert order.rank_of("a") == 1

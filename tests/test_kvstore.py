@@ -1,0 +1,127 @@
+"""Unit tests for the Berkeley-DB-like Environment/Table facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment, Table
+
+
+class TestEnvironment:
+    def test_default_cache_matches_paper_setting(self):
+        env = Environment()
+        assert env.cache_pages == PAPER_CACHE_BYTES // env.page_size
+
+    def test_cache_too_small_rejected(self):
+        with pytest.raises(StorageError):
+            Environment(page_size=4096, cache_bytes=1024)
+
+    def test_create_and_lookup_table(self):
+        env = Environment()
+        table = env.create_table("t1")
+        assert env.table("t1") is table
+
+    def test_duplicate_table_rejected(self):
+        env = Environment()
+        env.create_table("t1")
+        with pytest.raises(StorageError):
+            env.create_table("t1")
+
+    def test_unknown_table_rejected(self):
+        env = Environment()
+        with pytest.raises(StorageError):
+            env.table("nope")
+
+    def test_reset_stats(self):
+        env = Environment()
+        env.stats.record_physical_read(0)
+        env.reset_stats()
+        assert env.stats.page_reads == 0
+
+    def test_size_bytes_tracks_allocations(self):
+        env = Environment(page_size=1024)
+        before = env.size_bytes
+        env.create_table("t", access_method="btree")
+        assert env.size_bytes > before
+
+    def test_file_backed_environment(self, tmp_path):
+        env = Environment(path=str(tmp_path / "env.db"), page_size=1024)
+        table = env.create_table("t")
+        table.put(b"k", b"v")
+        env.close()
+        assert (tmp_path / "env.db").exists()
+
+    def test_drop_cache_forces_cold_reads(self):
+        env = Environment(page_size=512, cache_bytes=4096)
+        table = env.create_table("t")
+        table.put(b"k", b"v" * 100)
+        env.drop_cache()
+        env.reset_stats()
+        table.get(b"k")
+        assert env.stats.page_reads > 0
+
+
+class TestTable:
+    def test_btree_table_operations(self):
+        env = Environment()
+        table = env.create_table("bt", access_method="btree")
+        table.put(b"b", b"2")
+        table.put(b"a", b"1")
+        assert table.get(b"a") == b"1"
+        assert table.contains(b"b")
+        assert len(table) == 2
+        assert [key for key, _ in table.cursor()] == [b"a", b"b"]
+        table.delete(b"a")
+        assert not table.contains(b"a")
+
+    def test_hash_table_operations(self):
+        env = Environment()
+        table = env.create_table("ht", access_method="hash")
+        table.put(b"x", b"payload")
+        assert table.get(b"x") == b"payload"
+        assert len(table) == 1
+        with pytest.raises(KeyNotFoundError):
+            table.get(b"y")
+
+    def test_hash_table_rejects_cursor(self):
+        env = Environment()
+        table = env.create_table("ht", access_method="hash")
+        with pytest.raises(StorageError):
+            table.cursor()
+
+    def test_hash_table_rejects_bulk_load(self):
+        env = Environment()
+        table = env.create_table("ht", access_method="hash")
+        with pytest.raises(StorageError):
+            table.bulk_load([])
+
+    def test_btree_rejects_hashfile_accessor(self):
+        env = Environment()
+        table = env.create_table("bt", access_method="btree")
+        with pytest.raises(StorageError):
+            _ = table.hashfile
+
+    def test_unknown_access_method(self):
+        env = Environment()
+        with pytest.raises(StorageError):
+            Table(env, "bad", access_method="lsm")
+
+    def test_bulk_load_and_cursor_range(self):
+        env = Environment()
+        table = env.create_table("bt")
+        table.bulk_load((f"{i:04d}".encode(), b"v") for i in range(100))
+        suffix = [key for key, _ in table.cursor(b"0097")]
+        assert suffix == [b"0097", b"0098", b"0099"]
+
+    def test_shared_stats_across_tables(self):
+        env = Environment(page_size=512, cache_bytes=4096)
+        one = env.create_table("one")
+        two = env.create_table("two", access_method="hash")
+        one.put(b"k", b"v")
+        two.put(b"k", b"v")
+        env.drop_cache()
+        env.reset_stats()
+        one.get(b"k")
+        two.get(b"k")
+        assert env.stats.page_reads >= 2

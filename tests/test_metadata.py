@@ -1,0 +1,80 @@
+"""Unit tests for the metadata table (Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metadata import MetadataRegion, MetadataTable
+
+
+def region(rank, lower, upper, singleton_upper=None):
+    return MetadataRegion(
+        item_rank=rank,
+        lower=lower,
+        upper=upper,
+        singleton_upper=lower - 1 if singleton_upper is None else singleton_upper,
+    )
+
+
+class TestMetadataRegion:
+    def test_contains(self):
+        r = region(0, 5, 10)
+        assert 5 in r and 10 in r and 7 in r
+        assert 4 not in r and 11 not in r
+
+    def test_size(self):
+        assert region(0, 5, 10).size == 6
+        assert region(0, 5, 5).size == 1
+
+    def test_singleton_and_multi_item_ranges(self):
+        r = region(0, 1, 10, singleton_upper=3)
+        assert list(r.singleton_ids) == [1, 2, 3]
+        assert list(r.multi_item_ids) == [4, 5, 6, 7, 8, 9, 10]
+
+    def test_empty_singleton_range(self):
+        r = region(0, 5, 10)
+        assert list(r.singleton_ids) == []
+        assert list(r.multi_item_ids) == list(range(5, 11))
+
+
+class TestMetadataTable:
+    def test_lookup(self):
+        table = MetadataTable({0: region(0, 1, 4), 2: region(2, 5, 9)})
+        assert table.region_for(0).upper == 4
+        assert table.region_for(1) is None
+        assert table.contains(2, 7)
+        assert not table.contains(2, 10)
+        assert not table.contains(3, 1)
+
+    def test_len_and_iteration(self):
+        table = MetadataTable({0: region(0, 1, 4), 1: region(1, 5, 6)})
+        assert len(table) == 2
+        assert {r.item_rank for r in table} == {0, 1}
+
+    def test_covered_postings(self):
+        table = MetadataTable({0: region(0, 1, 4), 1: region(1, 5, 6)})
+        assert table.covered_postings() == 4 + 2
+
+    def test_validate_partition_accepts_contiguous_regions(self):
+        table = MetadataTable({0: region(0, 1, 4), 3: region(3, 5, 9), 5: region(5, 10, 12)})
+        table.validate_partition(12)
+
+    def test_validate_partition_detects_gap(self):
+        table = MetadataTable({0: region(0, 1, 4), 3: region(3, 6, 9)})
+        with pytest.raises(AssertionError):
+            table.validate_partition(9)
+
+    def test_validate_partition_detects_missing_tail(self):
+        table = MetadataTable({0: region(0, 1, 4)})
+        with pytest.raises(AssertionError):
+            table.validate_partition(10)
+
+    def test_validate_partition_detects_rank_disorder(self):
+        table = MetadataTable({5: region(5, 1, 4), 2: region(2, 5, 8)})
+        with pytest.raises(AssertionError):
+            table.validate_partition(8)
+
+    def test_validate_partition_detects_bad_singleton_bound(self):
+        table = MetadataTable({0: region(0, 1, 4, singleton_upper=9)})
+        with pytest.raises(AssertionError):
+            table.validate_partition(4)

@@ -1,0 +1,45 @@
+"""Tests for the brute-force oracle itself (it must be trivially correct)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NaiveScanIndex
+from repro.core import Dataset
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def tiny_index():
+    dataset = Dataset.from_transactions([{"a", "b"}, {"a"}, {"b", "c"}, {"a", "b", "c"}])
+    return NaiveScanIndex(dataset)
+
+
+class TestNaiveScan:
+    def test_subset(self, tiny_index):
+        assert tiny_index.subset_query({"a"}) == [1, 2, 4]
+        assert tiny_index.subset_query({"a", "b"}) == [1, 4]
+        assert tiny_index.subset_query({"a", "b", "c"}) == [4]
+        assert tiny_index.subset_query({"z"}) == []
+
+    def test_equality(self, tiny_index):
+        assert tiny_index.equality_query({"a", "b"}) == [1]
+        assert tiny_index.equality_query({"a"}) == [2]
+        assert tiny_index.equality_query({"c"}) == []
+
+    def test_superset(self, tiny_index):
+        assert tiny_index.superset_query({"a", "b"}) == [1, 2]
+        assert tiny_index.superset_query({"a", "b", "c"}) == [1, 2, 3, 4]
+        assert tiny_index.superset_query({"c"}) == []
+
+    def test_empty_query_rejected(self, tiny_index):
+        with pytest.raises(QueryError):
+            tiny_index.subset_query(set())
+
+    def test_dispatch(self, tiny_index):
+        assert tiny_index.query("subset", {"a"}) == tiny_index.subset_query({"a"})
+
+    def test_results_are_sorted(self, tiny_index):
+        for query_type in ("subset", "equality", "superset"):
+            result = tiny_index.query(query_type, {"a", "b"})
+            assert result == sorted(result)

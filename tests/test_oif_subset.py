@@ -1,0 +1,132 @@
+"""Tests for subset query evaluation on the OIF (Algorithm 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import OrderedInvertedFile
+from tests.conftest import sample_queries
+
+
+class TestPaperExamples:
+    def test_subset_a_d_returns_101_104_114(self, paper_oif):
+        # Section 2's running example: qs = {a, d} -> {101, 104, 114}.
+        assert paper_oif.subset_query({"a", "d"}) == [101, 104, 114]
+
+    def test_subset_b_c(self, paper_oif, paper_oracle):
+        assert paper_oif.subset_query({"b", "c"}) == paper_oracle.subset_query({"b", "c"})
+
+    def test_single_item_queries(self, paper_oif, paper_oracle):
+        for item in "abcdefghij":
+            assert paper_oif.subset_query({item}) == paper_oracle.subset_query({item})
+
+    def test_all_pairs_match_oracle(self, paper_oif, paper_oracle):
+        for pair in itertools.combinations("abcdefghij", 2):
+            assert paper_oif.subset_query(set(pair)) == paper_oracle.subset_query(set(pair)), pair
+
+    def test_whole_vocabulary_query(self, paper_oif):
+        assert paper_oif.subset_query(set("abcdefghij")) == []
+
+    def test_unknown_item_yields_empty(self, paper_oif):
+        assert paper_oif.subset_query({"a", "unknown"}) == []
+
+    def test_query_result_is_sorted_original_ids(self, paper_oif):
+        result = paper_oif.subset_query({"a", "b"})
+        assert result == sorted(result)
+        assert all(101 <= record_id <= 118 for record_id in result)
+
+
+class TestAgainstOracle:
+    def test_random_queries_match_oracle(self, skewed_oif, skewed_oracle, skewed_dataset):
+        for query in sample_queries(skewed_dataset, count=60, max_size=4, seed=11):
+            assert skewed_oif.subset_query(query) == skewed_oracle.subset_query(query), query
+
+    def test_larger_dataset_multiblock_lists(self, larger_dataset):
+        oif = OrderedInvertedFile(larger_dataset, block_capacity=16)
+        from repro.baselines import NaiveScanIndex
+
+        oracle = NaiveScanIndex(larger_dataset)
+        for query in sample_queries(larger_dataset, count=30, max_size=3, seed=5):
+            assert oif.subset_query(query) == oracle.subset_query(query), query
+
+    def test_queries_with_most_frequent_item(self, skewed_oif, skewed_oracle):
+        # The most frequent item has an empty inverted list (metadata only),
+        # which exercises lines 11-14 of Algorithm 1.
+        top = skewed_oif.order.item_at(0)
+        second = skewed_oif.order.item_at(1)
+        rare = skewed_oif.order.item_at(skewed_oif.domain_size - 1)
+        for query in ({top}, {top, second}, {top, rare}, {top, second, rare}):
+            assert skewed_oif.subset_query(query) == skewed_oracle.subset_query(query), query
+
+    def test_queries_of_only_rare_items(self, skewed_oif, skewed_oracle):
+        rare_items = [
+            skewed_oif.order.item_at(rank)
+            for rank in range(skewed_oif.domain_size - 3, skewed_oif.domain_size)
+        ]
+        for size in (1, 2, 3):
+            query = set(rare_items[:size])
+            assert skewed_oif.subset_query(query) == skewed_oracle.subset_query(query)
+
+
+class TestPruning:
+    def test_subset_reads_fewer_pages_than_whole_lists(self, larger_dataset):
+        oif = OrderedInvertedFile(larger_dataset, block_capacity=16)
+        inverted_lists_pages = oif.env.page_file.num_pages
+        # A selective query touching frequent items should not scan the index fully.
+        frequent = [oif.order.item_at(1), oif.order.item_at(2), oif.order.item_at(3)]
+        oif.drop_cache()
+        before = oif.stats.snapshot()
+        oif.subset_query(set(frequent))
+        delta = oif.stats.since(before)
+        assert 0 < delta.page_reads < inverted_lists_pages
+
+    def test_candidate_range_narrowing_does_not_change_answers(self, skewed_dataset):
+        narrowed = OrderedInvertedFile(skewed_dataset, narrow_candidate_range=True)
+        plain = OrderedInvertedFile(skewed_dataset, narrow_candidate_range=False)
+        for query in sample_queries(skewed_dataset, count=25, max_size=4, seed=3):
+            assert narrowed.subset_query(query) == plain.subset_query(query)
+
+    def test_narrowing_never_increases_page_accesses(self, larger_dataset):
+        narrowed = OrderedInvertedFile(larger_dataset, block_capacity=16)
+        plain = OrderedInvertedFile(
+            larger_dataset, block_capacity=16, narrow_candidate_range=False
+        )
+        for query in sample_queries(larger_dataset, count=10, max_size=3, seed=9):
+            narrowed.drop_cache()
+            plain.drop_cache()
+            before_narrowed = narrowed.stats.snapshot()
+            narrowed.subset_query(query)
+            narrowed_pages = narrowed.stats.since(before_narrowed).page_reads
+            before_plain = plain.stats.snapshot()
+            plain.subset_query(query)
+            plain_pages = plain.stats.since(before_plain).page_reads
+            assert narrowed_pages <= plain_pages
+
+
+class TestEdgeCases:
+    def test_duplicate_items_in_query_are_collapsed(self, paper_oif):
+        assert paper_oif.subset_query(["a", "a", "d"]) == [101, 104, 114]
+
+    def test_query_larger_than_any_record(self, skewed_oif):
+        items = [skewed_oif.order.item_at(rank) for rank in range(10)]
+        assert skewed_oif.subset_query(set(items)) == []
+
+    def test_dataset_of_identical_records(self):
+        from repro.core import Dataset
+
+        dataset = Dataset.from_transactions([{"x", "y"}] * 25)
+        oif = OrderedInvertedFile(dataset, block_capacity=4)
+        assert oif.subset_query({"x"}) == list(range(1, 26))
+        assert oif.subset_query({"x", "y"}) == list(range(1, 26))
+        assert oif.subset_query({"y", "z"}) == []
+
+    def test_single_record_dataset(self):
+        from repro.core import Dataset
+
+        dataset = Dataset.from_transactions([{"p", "q", "r"}])
+        oif = OrderedInvertedFile(dataset)
+        assert oif.subset_query({"p"}) == [1]
+        assert oif.subset_query({"p", "r"}) == [1]
+        assert oif.subset_query({"p", "z"}) == []

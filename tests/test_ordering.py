@@ -1,0 +1,123 @@
+"""Unit tests for the record reordering (Figure 3) and its invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ordering import order_dataset
+from repro.core.records import Dataset, Record
+from repro.core.sequence import sequence_form
+from repro.errors import IndexBuildError
+
+
+class TestOrderDataset:
+    def test_internal_ids_follow_lexicographic_order(self, paper_dataset):
+        ordered = order_dataset(paper_dataset)
+        forms = ordered.sequence_forms
+        assert forms == sorted(forms)
+        assert ordered.num_records == len(paper_dataset)
+
+    def test_paper_figure3_first_and_last_records(self, paper_dataset):
+        # In Figure 3 the record {a} gets id 1 and the records whose smallest
+        # item is d come last (ids 17-18).  The relative order of {d, h} and
+        # {d, i} depends on the tie-break between the equally frequent items h
+        # and i, so only the smallest item of the tail records is asserted.
+        ordered = order_dataset(paper_dataset)
+        order = ordered.order
+        first_items = {order.item_at(rank) for rank in ordered.sequence_form_of(1)}
+        assert first_items == {"a"}
+        for internal_id in (17, 18):
+            form = ordered.sequence_form_of(internal_id)
+            assert order.item_at(form[0]) == "d"
+        tail_sets = {
+            frozenset(order.item_at(rank) for rank in ordered.sequence_form_of(internal_id))
+            for internal_id in (17, 18)
+        }
+        assert tail_sets == {frozenset({"d", "h"}), frozenset({"d", "i"})}
+
+    def test_id_maps_are_inverse_bijections(self, skewed_dataset):
+        ordered = order_dataset(skewed_dataset)
+        for internal_id in range(1, ordered.num_records + 1):
+            assert ordered.internal_id(ordered.original_id(internal_id)) == internal_id
+        assert sorted(ordered.new_to_old) == sorted(skewed_dataset.record_ids)
+
+    def test_lengths_match_source_records(self, skewed_dataset):
+        ordered = order_dataset(skewed_dataset)
+        for internal_id in range(1, ordered.num_records + 1):
+            assert ordered.length_of(internal_id) == ordered.record(internal_id).length
+
+    def test_sequence_forms_match_source_records(self, skewed_dataset):
+        ordered = order_dataset(skewed_dataset)
+        for internal_id in (1, ordered.num_records // 2, ordered.num_records):
+            record = ordered.record(internal_id)
+            assert ordered.sequence_form_of(internal_id) == sequence_form(
+                record.items, ordered.order
+            )
+
+    def test_custom_item_order_is_respected(self, paper_dataset):
+        reversed_order = paper_dataset.vocabulary.frequency_order()
+        custom = list(reversed_order.items_in_order())[::-1]
+        from repro.core.items import ItemOrder
+
+        ordered = order_dataset(paper_dataset, ItemOrder(custom))
+        assert ordered.order.item_at(0) == custom[0]
+
+    def test_unknown_ids_rejected(self, paper_dataset):
+        ordered = order_dataset(paper_dataset)
+        with pytest.raises(IndexBuildError):
+            ordered.original_id(0)
+        with pytest.raises(IndexBuildError):
+            ordered.original_id(len(paper_dataset) + 1)
+        with pytest.raises(IndexBuildError):
+            ordered.internal_id(99999)
+
+    def test_empty_set_values_rejected(self):
+        dataset = Dataset([Record(1, frozenset({"a"})), Record(2, frozenset())])
+        with pytest.raises(IndexBuildError):
+            order_dataset(dataset)
+
+    def test_duplicate_set_values_get_consecutive_ids(self):
+        dataset = Dataset.from_transactions([{"a", "b"}, {"c"}, {"a", "b"}])
+        ordered = order_dataset(dataset)
+        duplicate_internal = sorted(
+            ordered.internal_id(record.record_id)
+            for record in dataset
+            if record.items == frozenset({"a", "b"})
+        )
+        assert duplicate_internal[1] == duplicate_internal[0] + 1
+
+
+class TestMetadataConstruction:
+    def test_regions_partition_the_id_space(self, skewed_dataset):
+        ordered = order_dataset(skewed_dataset)
+        ordered.metadata.validate_partition(ordered.num_records)
+
+    def test_paper_example_metadata_regions(self, paper_dataset):
+        # Figure 5: records 1-12 have smallest item a, 13-14 b, 15-16 c, 17-18 d.
+        ordered = order_dataset(paper_dataset)
+        order = ordered.order
+        expectations = {"a": (1, 12), "b": (13, 14), "c": (15, 16), "d": (17, 18)}
+        for item, (lower, upper) in expectations.items():
+            region = ordered.metadata.region_for(order.rank_of(item))
+            assert region is not None
+            assert (region.lower, region.upper) == (lower, upper)
+
+    def test_singleton_boundary(self, paper_dataset):
+        # Record {a} is the only single-item record; it has internal id 1.
+        ordered = order_dataset(paper_dataset)
+        region = ordered.metadata.region_for(0)
+        assert region is not None
+        assert region.singleton_upper == 1
+        assert list(region.singleton_ids) == [1]
+
+    def test_region_of_absent_smallest_item_is_none(self, paper_dataset):
+        ordered = order_dataset(paper_dataset)
+        order = ordered.order
+        # No record has j (the rarest item) as its smallest item.
+        assert ordered.metadata.region_for(order.rank_of("j")) is None
+
+    def test_every_record_is_in_its_smallest_items_region(self, skewed_dataset):
+        ordered = order_dataset(skewed_dataset)
+        for internal_id in range(1, ordered.num_records + 1):
+            smallest = ordered.sequence_form_of(internal_id)[0]
+            assert ordered.metadata.contains(smallest, internal_id)

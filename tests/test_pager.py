@@ -1,0 +1,104 @@
+"""Unit tests for the page-file backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePageFile, MemoryPageFile
+
+
+class TestMemoryPageFile:
+    def test_allocate_returns_dense_ids(self):
+        pager = MemoryPageFile(page_size=256)
+        assert [pager.allocate() for _ in range(3)] == [0, 1, 2]
+        assert pager.num_pages == 3
+
+    def test_new_pages_are_zeroed(self):
+        pager = MemoryPageFile(page_size=64)
+        page_id = pager.allocate()
+        assert pager.read(page_id) == bytearray(64)
+
+    def test_write_then_read(self):
+        pager = MemoryPageFile(page_size=32)
+        page_id = pager.allocate()
+        pager.write(page_id, b"hello")
+        data = pager.read(page_id)
+        assert data[:5] == b"hello"
+        assert len(data) == 32
+
+    def test_short_payload_is_padded(self):
+        pager = MemoryPageFile(page_size=16)
+        page_id = pager.allocate()
+        pager.write(page_id, b"ab")
+        assert pager.read(page_id) == bytearray(b"ab" + b"\x00" * 14)
+
+    def test_oversized_payload_rejected(self):
+        pager = MemoryPageFile(page_size=8)
+        page_id = pager.allocate()
+        with pytest.raises(PageError):
+            pager.write(page_id, b"123456789")
+
+    def test_out_of_range_read_rejected(self):
+        pager = MemoryPageFile()
+        with pytest.raises(PageError):
+            pager.read(0)
+
+    def test_out_of_range_write_rejected(self):
+        pager = MemoryPageFile()
+        with pytest.raises(PageError):
+            pager.write(5, b"x")
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(PageError):
+            MemoryPageFile(page_size=0)
+
+    def test_read_returns_a_copy(self):
+        pager = MemoryPageFile(page_size=16)
+        page_id = pager.allocate()
+        pager.write(page_id, b"abc")
+        copy = pager.read(page_id)
+        copy[0] = 0
+        assert pager.read(page_id)[:3] == b"abc"
+
+    def test_default_page_size(self):
+        assert MemoryPageFile().page_size == DEFAULT_PAGE_SIZE
+
+
+class TestFilePageFile:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        pager = FilePageFile(path, page_size=128)
+        first = pager.allocate()
+        second = pager.allocate()
+        pager.write(first, b"first page")
+        pager.write(second, b"second page")
+        assert bytes(pager.read(first)).rstrip(b"\x00") == b"first page"
+        assert bytes(pager.read(second)).rstrip(b"\x00") == b"second page"
+        pager.close()
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        pager = FilePageFile(path, page_size=64)
+        page_id = pager.allocate()
+        pager.write(page_id, b"persisted")
+        pager.close()
+
+        reopened = FilePageFile(path, page_size=64)
+        assert reopened.num_pages == 1
+        assert bytes(reopened.read(page_id)).rstrip(b"\x00") == b"persisted"
+        reopened.close()
+
+    def test_mismatched_page_size_rejected(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        pager = FilePageFile(path, page_size=64)
+        pager.allocate()
+        pager.close()
+        with pytest.raises(PageError):
+            FilePageFile(path, page_size=100)
+
+    def test_out_of_range_access(self, tmp_path):
+        pager = FilePageFile(str(tmp_path / "x.db"), page_size=64)
+        with pytest.raises(PageError):
+            pager.read(0)
+        pager.close()

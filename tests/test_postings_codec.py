@@ -1,0 +1,138 @@
+"""Unit tests for the posting-list / posting-block codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import Posting, PostingBlockCodec, PostingListCodec, postings_from_pairs
+from repro.errors import CompressionError
+
+
+def make_postings(pairs):
+    return postings_from_pairs(pairs)
+
+
+class TestPostingListCodec:
+    def test_round_trip_compressed(self):
+        codec = PostingListCodec(compress=True)
+        postings = make_postings([(1, 3), (5, 2), (12, 7), (100, 1)])
+        assert codec.decode(codec.encode(postings)) == postings
+
+    def test_round_trip_uncompressed(self):
+        codec = PostingListCodec(compress=False)
+        postings = make_postings([(1, 3), (5, 2), (12, 7)])
+        assert codec.decode(codec.encode(postings)) == postings
+
+    def test_empty_list(self):
+        codec = PostingListCodec()
+        assert codec.encode([]) == b""
+        assert codec.decode(b"") == []
+
+    def test_compression_shrinks_dense_lists(self):
+        dense = make_postings([(i, 4) for i in range(10_000, 10_400)])
+        compressed = PostingListCodec(compress=True).encode(dense)
+        plain = PostingListCodec(compress=False).encode(dense)
+        assert len(compressed) < len(plain)
+
+    def test_unsorted_postings_rejected(self):
+        codec = PostingListCodec()
+        with pytest.raises(CompressionError):
+            codec.encode(make_postings([(5, 1), (3, 1)]))
+
+    def test_duplicate_ids_rejected(self):
+        codec = PostingListCodec()
+        with pytest.raises(CompressionError):
+            codec.encode(make_postings([(5, 1), (5, 2)]))
+
+    def test_negative_length_rejected(self):
+        codec = PostingListCodec()
+        with pytest.raises(CompressionError):
+            codec.encode([Posting(1, -1)])
+
+    def test_encoded_size_matches_encode(self):
+        codec = PostingListCodec()
+        postings = make_postings([(3, 2), (9, 5), (1000, 12)])
+        assert codec.encoded_size(postings) == len(codec.encode(postings))
+
+    def test_encoded_size_matches_encode_uncompressed(self):
+        codec = PostingListCodec(compress=False)
+        postings = make_postings([(3, 2), (9, 5), (1000, 12)])
+        assert codec.encoded_size(postings) == len(codec.encode(postings))
+
+
+class TestContinuation:
+    def test_append_without_decoding(self):
+        codec = PostingListCodec(compress=True)
+        old = make_postings([(1, 2), (7, 3)])
+        new = make_postings([(9, 1), (20, 4)])
+        combined_bytes = codec.encode(old) + codec.encode_continuation(new, previous_last_id=7)
+        assert codec.decode(combined_bytes) == old + new
+
+    def test_continuation_requires_larger_ids(self):
+        codec = PostingListCodec()
+        with pytest.raises(CompressionError):
+            codec.encode_continuation(make_postings([(5, 1)]), previous_last_id=7)
+
+    def test_continuation_from_zero_equals_encode(self):
+        codec = PostingListCodec()
+        postings = make_postings([(2, 1), (8, 2)])
+        assert codec.encode_continuation(postings, 0) == codec.encode(postings)
+
+    def test_negative_previous_rejected(self):
+        codec = PostingListCodec()
+        with pytest.raises(CompressionError):
+            codec.encode_continuation(make_postings([(2, 1)]), -1)
+
+    def test_uncompressed_continuation(self):
+        codec = PostingListCodec(compress=False)
+        old = make_postings([(1, 2)])
+        new = make_postings([(9, 1)])
+        combined = codec.encode(old) + codec.encode_continuation(new, 1)
+        assert codec.decode(combined) == old + new
+
+
+class TestBlockCodec:
+    def test_block_codec_shares_wire_format(self):
+        postings = make_postings([(10, 2), (11, 3), (40, 1)])
+        assert PostingBlockCodec().encode(postings) == PostingListCodec().encode(postings)
+
+    def test_blocks_restart_gap_chain(self):
+        codec = PostingBlockCodec()
+        first = make_postings([(100, 2), (110, 3)])
+        second = make_postings([(120, 1), (150, 2)])
+        # Each block decodes independently (absolute first id per block).
+        assert codec.decode(codec.encode(first)) == first
+        assert codec.decode(codec.encode(second)) == second
+
+
+posting_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=50)),
+    max_size=150,
+).map(
+    lambda pairs: [
+        Posting(record_id, length)
+        for record_id, length in sorted({rid: ln for rid, ln in pairs}.items())
+    ]
+)
+
+
+class TestProperties:
+    @given(posting_lists, st.booleans())
+    def test_round_trip(self, postings, compress):
+        codec = PostingListCodec(compress=compress)
+        assert codec.decode(codec.encode(postings)) == postings
+
+    @given(posting_lists, st.booleans())
+    def test_encoded_size_is_exact(self, postings, compress):
+        codec = PostingListCodec(compress=compress)
+        assert codec.encoded_size(postings) == len(codec.encode(postings))
+
+    @given(posting_lists, posting_lists)
+    def test_split_and_continue(self, old, new):
+        codec = PostingListCodec()
+        last_id = old[-1].record_id if old else 0
+        new = [posting for posting in new if posting.record_id > last_id]
+        data = codec.encode(old) + codec.encode_continuation(new, last_id)
+        assert codec.decode(data) == old + new

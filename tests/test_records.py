@@ -1,0 +1,100 @@
+"""Unit tests for records and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import Dataset, Record
+from repro.errors import DatasetError
+
+
+class TestRecord:
+    def test_basic_properties(self):
+        record = Record(7, frozenset({"a", "b"}))
+        assert record.record_id == 7
+        assert record.length == 2
+
+    def test_items_coerced_to_frozenset(self):
+        record = Record(1, {"a", "b"})  # type: ignore[arg-type]
+        assert isinstance(record.items, frozenset)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(DatasetError):
+            Record(-1, frozenset({"a"}))
+
+    def test_predicates(self):
+        record = Record(1, frozenset({"a", "b", "c"}))
+        assert record.contains_all({"a", "b"})
+        assert not record.contains_all({"a", "z"})
+        assert record.contained_in({"a", "b", "c", "d"})
+        assert not record.contained_in({"a", "b"})
+        assert record.equals({"c", "b", "a"})
+        assert not record.equals({"a", "b"})
+
+
+class TestDataset:
+    def test_from_transactions_assigns_dense_ids(self):
+        dataset = Dataset.from_transactions([{"a"}, {"b"}, {"c"}], start_id=10)
+        assert dataset.record_ids == [10, 11, 12]
+
+    def test_get_by_id(self):
+        dataset = Dataset.from_transactions([{"a"}, {"b"}])
+        assert dataset.get(2).items == frozenset({"b"})
+        assert dataset.has_id(1)
+        assert not dataset.has_id(99)
+
+    def test_get_missing_raises(self):
+        dataset = Dataset.from_transactions([{"a"}])
+        with pytest.raises(DatasetError):
+            dataset.get(42)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset([Record(1, frozenset({"a"})), Record(1, frozenset({"b"}))])
+
+    def test_empty_transaction_rejected_by_default(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_transactions([{"a"}, set()])
+
+    def test_empty_transaction_allowed_when_requested(self):
+        dataset = Dataset.from_transactions([{"a"}, set()], allow_empty=True)
+        assert dataset.get(2).length == 0
+
+    def test_statistics(self, paper_dataset):
+        assert len(paper_dataset) == 18
+        assert paper_dataset.domain_size == 10
+        assert paper_dataset.total_postings == sum(r.length for r in paper_dataset)
+        assert paper_dataset.average_length == pytest.approx(
+            paper_dataset.total_postings / 18
+        )
+
+    def test_data_size_bytes(self):
+        dataset = Dataset.from_transactions([{"a", "b"}, {"c"}])
+        # (1 id + 2 items) * 4 + (1 id + 1 item) * 4
+        assert dataset.data_size_bytes() == 12 + 8
+
+    def test_vocabulary_is_cached(self):
+        dataset = Dataset.from_transactions([{"a"}])
+        assert dataset.vocabulary is dataset.vocabulary
+
+    def test_extend_appends_records_and_refreshes_vocabulary(self):
+        dataset = Dataset.from_transactions([{"a"}])
+        before_domain = dataset.domain_size
+        added = dataset.extend([{"b", "c"}])
+        assert len(dataset) == 2
+        assert added[0].record_id == 2
+        assert dataset.domain_size == before_domain + 2
+
+    def test_extend_rejects_empty(self):
+        dataset = Dataset.from_transactions([{"a"}])
+        with pytest.raises(DatasetError):
+            dataset.extend([set()])
+
+    def test_iteration_and_indexing(self):
+        dataset = Dataset.from_transactions([{"a"}, {"b"}])
+        assert [record.record_id for record in dataset] == [1, 2]
+        assert dataset[0].record_id == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the sequential record store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError, KeyNotFoundError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import MemoryPageFile
+from repro.storage.recordstore import RecordStore
+from repro.storage.stats import IOStatistics
+
+
+def make_store(page_size=256, capacity=4):
+    stats = IOStatistics()
+    pool = BufferPool(MemoryPageFile(page_size=page_size), capacity=capacity, stats=stats)
+    return RecordStore(pool), stats
+
+
+class TestRecordStore:
+    def test_append_and_fetch(self):
+        store, _ = make_store()
+        store.append(1, [0, 3, 7])
+        store.append(2, [5])
+        assert store.fetch(1) == [0, 3, 7]
+        assert store.fetch(2) == [5]
+
+    def test_duplicate_id_rejected(self):
+        store, _ = make_store()
+        store.append(1, [0])
+        with pytest.raises(DatasetError):
+            store.append(1, [1])
+
+    def test_missing_record_raises(self):
+        store, _ = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.fetch(99)
+
+    def test_record_too_large_for_page_rejected(self):
+        store, _ = make_store(page_size=64)
+        with pytest.raises(DatasetError):
+            store.append(1, list(range(1000)))
+
+    def test_many_records_span_pages(self):
+        store, _ = make_store(page_size=128)
+        for record_id in range(1, 101):
+            store.append(record_id, [record_id % 7, record_id % 11 + 20])
+        assert len(store) == 100
+        assert store.pool.page_file.num_pages > 1
+        for record_id in (1, 50, 100):
+            assert store.fetch(record_id) == [record_id % 7, record_id % 11 + 20]
+
+    def test_build_helper(self):
+        store, _ = make_store()
+        store.build((i, [i, i + 1]) for i in range(1, 6))
+        assert len(store) == 5
+        assert 3 in store
+        assert 99 not in store
+
+    def test_fetch_costs_one_page_when_cold(self):
+        store, stats = make_store(page_size=128, capacity=2)
+        for record_id in range(1, 41):
+            store.append(record_id, [record_id, record_id * 2])
+        store.pool.clear()
+        stats.reset()
+        store.fetch(40)
+        assert stats.page_reads == 1
+
+    def test_empty_item_list_round_trips(self):
+        store, _ = make_store()
+        store.append(7, [])
+        assert store.fetch(7) == []

@@ -1,0 +1,75 @@
+"""Tests for the result-table rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    ResultTable,
+    format_series,
+    render_table,
+    render_tables,
+    summarize_ratio,
+)
+
+
+def make_table():
+    table = ResultTable(title="Demo", columns=["qs"])
+    table.add_row(qs=2, IF_pages=10.0, OIF_pages=4.0)
+    table.add_row(qs=4, IF_pages=20.0, OIF_pages=5.0)
+    return table
+
+
+class TestResultTable:
+    def test_add_row_extends_columns(self):
+        table = make_table()
+        assert table.columns == ["qs", "IF_pages", "OIF_pages"]
+        assert len(table.rows) == 2
+
+    def test_column_access(self):
+        table = make_table()
+        assert table.column("IF_pages") == [10.0, 20.0]
+        assert table.column("missing") == [None, None]
+
+    def test_render_contains_title_and_values(self):
+        text = make_table().to_text()
+        assert "Demo" in text
+        assert "IF_pages" in text
+        assert "10.0" in text or "10" in text
+
+    def test_notes_are_rendered(self):
+        table = make_table()
+        table.add_note("scaled down")
+        assert "note: scaled down" in table.to_text()
+
+    def test_missing_cells_render_as_dash(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1)
+        assert "-" in render_table(table)
+
+    def test_render_tables_joins_with_blank_lines(self):
+        text = render_tables([make_table(), make_table()])
+        assert text.count("Demo") == 2
+        assert "\n\n" in text
+
+    def test_float_formatting(self):
+        table = ResultTable(title="t", columns=["x"])
+        table.add_row(x=0.12345, y=1234567.0, z=12.345)
+        rendered = table.to_text()
+        assert "0.123" in rendered
+        assert "1,234,567" in rendered
+        assert "12.3" in rendered
+
+
+class TestHelpers:
+    def test_summarize_ratio(self):
+        table = make_table()
+        ratio = summarize_ratio(table, "IF_pages", "OIF_pages")
+        assert ratio == ((10.0 / 4.0) + (20.0 / 5.0)) / 2
+
+    def test_summarize_ratio_with_no_numeric_rows(self):
+        table = ResultTable(title="t", columns=["a"])
+        assert summarize_ratio(table, "a", "b") != summarize_ratio(table, "a", "b")  # NaN
+
+    def test_format_series(self):
+        line = format_series("OIF", [2, 4], [1.0, 2.5])
+        assert line.startswith("OIF:")
+        assert "2:" in line and "4:" in line

@@ -1,0 +1,137 @@
+"""Unit tests for the Range-of-Interest definitions (Definitions 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.roi import RangeOfInterest, equality_roi, subset_roi, superset_rois
+from repro.core.sequence import sequence_form
+from repro.errors import QueryError
+
+
+class TestRangeOfInterest:
+    def test_contains(self):
+        roi = RangeOfInterest(lower=(0, 1), upper=(0, 5))
+        assert roi.contains((0, 1))
+        assert roi.contains((0, 3, 9))
+        assert roi.contains((0, 5))
+        assert not roi.contains((0, 0))
+        assert not roi.contains((1,))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangeOfInterest(lower=(5,), upper=(1,))
+
+
+class TestSubsetRoi:
+    def test_paper_example(self):
+        # I = {a..j}, qs = {b, c}: RoI_sub = [(a, b, c), (b, c, j)] (Section 4.1).
+        # With ranks a=0, b=1, c=2, ..., j=9.
+        roi = subset_roi((1, 2), domain_size=10)
+        assert roi.lower == (0, 1, 2)
+        assert roi.upper == (1, 2, 9)
+
+    def test_query_containing_largest_item(self):
+        roi = subset_roi((3, 9), domain_size=10)
+        assert roi.upper == (3, 9)
+        assert roi.lower == tuple(range(10))
+
+    def test_single_item_query(self):
+        roi = subset_roi((4,), domain_size=6)
+        assert roi.lower == (0, 1, 2, 3, 4)
+        assert roi.upper == (4, 5)
+
+    def test_invalid_queries_rejected(self):
+        with pytest.raises(QueryError):
+            subset_roi((), 10)
+        with pytest.raises(QueryError):
+            subset_roi((3, 2), 10)
+        with pytest.raises(QueryError):
+            subset_roi((11,), 10)
+
+    def test_every_superset_record_falls_inside(self, paper_dataset):
+        # Theorem 2: all answers of a subset query lie inside RoI_sub.
+        order = paper_dataset.vocabulary.frequency_order()
+        query = {"b", "c"}
+        query_ranks = tuple(sorted(order.rank_of(item) for item in query))
+        roi = subset_roi(query_ranks, len(order))
+        for record in paper_dataset:
+            if query <= record.items:
+                assert roi.contains(sequence_form(record.items, order))
+
+
+class TestEqualityRoi:
+    def test_point_range(self):
+        roi = equality_roi((2, 5, 7), domain_size=10)
+        assert roi.lower == roi.upper == (2, 5, 7)
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(QueryError):
+            equality_roi((), 5)
+
+
+class TestSupersetRois:
+    def test_number_of_list_ranges_grows_with_position(self):
+        rois = superset_rois((1, 4, 7), domain_size=10)
+        # The i-th query item owns i list ranges (the (i+1)-th is served by
+        # the metadata table and not returned).
+        assert len(rois[1]) == 0
+        assert len(rois[4]) == 1
+        assert len(rois[7]) == 2
+
+    def test_paper_figure6_shape(self):
+        # qs = {a, c, f} over I = {a..z...}: for item c the first region is
+        # [(a, c), (a, c, f)], for item f the regions start at (a, c, f).
+        ranks = (0, 2, 5)
+        rois = superset_rois(ranks, domain_size=26)
+        assert rois[2][0].lower == (0, 2)
+        assert rois[2][0].upper == (0, 2, 5)
+        assert rois[5][0].lower == (0, 2, 5)
+        assert rois[5][0].upper == (0, 5)
+        assert rois[5][1].lower == (2, 5)
+        assert rois[5][1].upper == (2, 5)
+
+    def test_ranges_are_disjoint_and_ordered(self):
+        rois = superset_rois((1, 3, 6, 9), domain_size=12)
+        for ranges in rois.values():
+            for earlier, later in zip(ranges, ranges[1:]):
+                assert earlier.upper < later.lower
+
+    def test_single_item_query_has_no_list_ranges(self):
+        rois = superset_rois((4,), domain_size=8)
+        assert rois == {4: []}
+
+    def test_answers_fall_inside_some_range(self, paper_dataset):
+        # Every superset answer containing item q_i must fall inside one of the
+        # list ranges of q_i or in q_i's metadata region (smallest item = q_i).
+        order = paper_dataset.vocabulary.frequency_order()
+        query = {"a", "c", "f"}
+        query_ranks = tuple(sorted(order.rank_of(item) for item in query))
+        rois = superset_rois(query_ranks, len(order))
+        for record in paper_dataset:
+            if not record.items <= query:
+                continue
+            form = sequence_form(record.items, order)
+            for rank in form:
+                if rank == form[0]:
+                    continue  # covered by the metadata region of the smallest item
+                assert any(roi.contains(form) for roi in rois[rank]), (record, rank)
+
+    @given(
+        st.integers(min_value=2, max_value=40).flatmap(
+            lambda domain: st.tuples(
+                st.just(domain),
+                st.sets(st.integers(min_value=0, max_value=domain - 1), min_size=1, max_size=6),
+            )
+        )
+    )
+    def test_range_bounds_are_always_valid(self, domain_and_query):
+        domain_size, query = domain_and_query
+        ranks = tuple(sorted(query))
+        rois = superset_rois(ranks, domain_size)
+        assert set(rois) == set(ranks)
+        for ranges in rois.values():
+            for roi in ranges:
+                assert roi.lower <= roi.upper

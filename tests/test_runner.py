@@ -1,0 +1,86 @@
+"""Tests for the experiment runner and its aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import QueryType
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    DEFAULT_FACTORIES,
+    ExperimentRunner,
+    if_factory,
+    oif_factory,
+    signature_factory,
+    unordered_btree_factory,
+)
+from repro.workloads import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload(skewed_dataset):
+    return WorkloadGenerator(skewed_dataset, seed=5).workload("subset", [2, 3], 3)
+
+
+class TestFactories:
+    def test_factory_names(self):
+        assert oif_factory().name == "OIF"
+        assert if_factory().name == "IF"
+        assert unordered_btree_factory().name == "UBT"
+        assert signature_factory().name == "SIG"
+
+    def test_factory_kwargs_forwarded(self, skewed_dataset):
+        index = oif_factory(use_metadata=False).build(skewed_dataset)
+        assert index.use_metadata is False
+
+    def test_default_factories_are_if_and_oif(self):
+        assert [factory.name for factory in DEFAULT_FACTORIES] == ["IF", "OIF"]
+
+
+class TestRunner:
+    def test_run_workload_collects_one_result_per_query(self, skewed_oif, workload):
+        runner = ExperimentRunner()
+        run = runner.run_workload(skewed_oif, workload)
+        assert len(run.results) == len(workload)
+        assert run.query_type is QueryType.SUBSET
+
+    def test_empty_workload_rejected(self, skewed_oif):
+        runner = ExperimentRunner()
+        with pytest.raises(ExperimentError):
+            runner.run_queries(skewed_oif, [])
+
+    def test_group_by_query_size(self, skewed_oif, workload):
+        run = ExperimentRunner().run_workload(skewed_oif, workload)
+        groups = {cost.group: cost for cost in run.by_query_size()}
+        assert set(groups) == {2, 3}
+        for cost in groups.values():
+            assert cost.num_queries == 3
+            assert cost.mean_page_accesses >= 0
+            assert cost.mean_answers >= 1
+
+    def test_overall_aggregation(self, skewed_oif, workload):
+        run = ExperimentRunner().run_workload(skewed_oif, workload)
+        overall = run.overall()
+        assert overall.num_queries == len(workload)
+        assert overall.mean_total_ms == pytest.approx(
+            overall.mean_io_ms + overall.mean_cpu_ms
+        )
+
+    def test_compare_builds_all_indexes_and_uses_same_queries(self, skewed_dataset, workload):
+        runner = ExperimentRunner()
+        results = runner.compare(
+            skewed_dataset, workload, (if_factory(), oif_factory(), unordered_btree_factory())
+        )
+        assert set(results) == {"IF", "OIF", "UBT"}
+        # Same queries -> same answer cardinalities across all indexes.
+        reference = [r.cardinality for r in results["IF"].results]
+        for name in ("OIF", "UBT"):
+            assert [r.cardinality for r in results[name].results] == reference
+
+    def test_cold_cache_costs_more_than_warm(self, skewed_dataset, workload):
+        cold = ExperimentRunner(drop_cache_per_query=True)
+        warm = ExperimentRunner(drop_cache_per_query=False)
+        index = oif_factory().build(skewed_dataset)
+        cold_pages = cold.run_workload(index, workload).overall().mean_page_accesses
+        warm_pages = warm.run_workload(index, workload).overall().mean_page_accesses
+        assert warm_pages <= cold_pages

@@ -1,0 +1,69 @@
+"""Unit tests for the I/O statistics and the simulated disk model."""
+
+from __future__ import annotations
+
+from repro.storage.stats import DiskModel, IOStatistics
+
+
+class TestDiskModel:
+    def test_io_time_combines_random_and_sequential(self):
+        model = DiskModel(random_access_ms=10.0, sequential_access_ms=0.1)
+        assert model.io_time_ms(2, 30) == 2 * 10.0 + 30 * 0.1
+
+    def test_defaults_make_random_far_more_expensive(self):
+        model = DiskModel()
+        assert model.random_access_ms > 10 * model.sequential_access_ms
+
+
+class TestIOStatistics:
+    def test_physical_read_classification(self):
+        stats = IOStatistics()
+        stats.record_physical_read(4)
+        stats.record_physical_read(5)
+        stats.record_physical_read(9)
+        assert stats.page_reads == 3
+        assert stats.sequential_reads == 1
+        assert stats.random_reads == 2
+
+    def test_logical_reads_and_hits(self):
+        stats = IOStatistics()
+        stats.record_logical_read(hit=True)
+        stats.record_logical_read(hit=False)
+        assert stats.logical_reads == 2
+        assert stats.cache_hits == 1
+
+    def test_reset_clears_everything(self):
+        stats = IOStatistics()
+        stats.record_physical_read(1)
+        stats.record_physical_write()
+        stats.reset()
+        assert stats.page_reads == 0
+        assert stats.page_writes == 0
+        # After a reset the next read is random again (locality forgotten).
+        stats.record_physical_read(2)
+        assert stats.random_reads == 1
+
+    def test_snapshot_diff(self):
+        stats = IOStatistics()
+        stats.record_physical_read(0)
+        snapshot = stats.snapshot()
+        stats.record_physical_read(1)
+        stats.record_physical_read(7)
+        delta = stats.since(snapshot)
+        assert delta.page_reads == 2
+        assert delta.sequential_reads == 1
+        assert delta.random_reads == 1
+
+    def test_snapshot_io_time_uses_model(self):
+        stats = IOStatistics(disk_model=DiskModel(random_access_ms=5, sequential_access_ms=1))
+        stats.record_physical_read(0)
+        stats.record_physical_read(1)
+        snapshot = stats.snapshot()
+        assert snapshot.io_time_ms(stats.disk_model) == 5 + 1
+        assert stats.io_time_ms() == 6
+
+    def test_write_counter(self):
+        stats = IOStatistics()
+        stats.record_physical_write()
+        stats.record_physical_write()
+        assert stats.page_writes == 2

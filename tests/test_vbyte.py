@@ -1,0 +1,126 @@
+"""Unit tests for the v-byte integer codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import vbyte
+from repro.errors import CompressionError
+
+
+class TestEncodeDecode:
+    def test_zero_round_trips(self):
+        out = bytearray()
+        vbyte.encode_uint(0, out)
+        assert bytes(out) == b"\x00"
+        assert vbyte.decode_uint(bytes(out)) == (0, 1)
+
+    def test_small_value_is_one_byte(self):
+        out = bytearray()
+        vbyte.encode_uint(127, out)
+        assert len(out) == 1
+
+    def test_value_128_needs_two_bytes(self):
+        out = bytearray()
+        vbyte.encode_uint(128, out)
+        assert len(out) == 2
+        assert vbyte.decode_uint(bytes(out))[0] == 128
+
+    def test_large_value_round_trips(self):
+        out = bytearray()
+        vbyte.encode_uint(2**40 + 12345, out)
+        assert vbyte.decode_uint(bytes(out))[0] == 2**40 + 12345
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(CompressionError):
+            vbyte.encode_uint(-1, bytearray())
+
+    def test_decode_offset_is_respected(self):
+        out = bytearray()
+        vbyte.encode_uint(5, out)
+        vbyte.encode_uint(300, out)
+        value, offset = vbyte.decode_uint(bytes(out), 1)
+        assert value == 300
+        assert offset == len(out)
+
+    def test_truncated_stream_raises(self):
+        out = bytearray()
+        vbyte.encode_uint(300, out)
+        with pytest.raises(CompressionError):
+            vbyte.decode_uint(bytes(out[:1]))
+
+    def test_decode_empty_raises(self):
+        with pytest.raises(CompressionError):
+            vbyte.decode_uint(b"")
+
+
+class TestSequences:
+    def test_sequence_round_trip(self):
+        values = [0, 1, 127, 128, 300, 2**20, 7]
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_sequence(encoded) == values
+
+    def test_sequence_with_count(self):
+        values = [10, 20, 30]
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_sequence(encoded, count=2) == [10, 20]
+
+    def test_sequence_with_offset_helper(self):
+        encoded = vbyte.encode_sequence([1, 2, 3])
+        decoded, offset = vbyte.decode_sequence_with_offset(encoded, 3)
+        assert decoded == [1, 2, 3]
+        assert offset == len(encoded)
+
+    def test_empty_sequence(self):
+        assert vbyte.encode_sequence([]) == b""
+        assert vbyte.decode_sequence(b"") == []
+
+    def test_sequence_encoded_size_matches_encoding(self):
+        values = [0, 5, 127, 128, 16384, 2**31]
+        assert vbyte.sequence_encoded_size(values) == len(vbyte.encode_sequence(values))
+
+
+class TestEncodedSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3), (2**21 - 1, 3), (2**21, 4)],
+    )
+    def test_boundaries(self, value, expected):
+        assert vbyte.encoded_size(value) == expected
+
+    def test_encoded_size_matches_actual_encoding(self):
+        for value in [0, 1, 127, 128, 255, 1000, 2**14, 2**28, 2**40]:
+            out = bytearray()
+            vbyte.encode_uint(value, out)
+            assert vbyte.encoded_size(value) == len(out)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(CompressionError):
+            vbyte.encoded_size(-5)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_round_trip_any_value(self, value):
+        out = bytearray()
+        vbyte.encode_uint(value, out)
+        decoded, offset = vbyte.decode_uint(bytes(out))
+        assert decoded == value
+        assert offset == len(out)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=60))
+    def test_round_trip_sequences(self, values):
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_sequence(encoded) == values
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=2**40))
+    def test_concatenation_decodes_in_order(self, first, second):
+        out = bytearray()
+        vbyte.encode_uint(first, out)
+        vbyte.encode_uint(second, out)
+        value1, offset = vbyte.decode_uint(bytes(out))
+        value2, end = vbyte.decode_uint(bytes(out), offset)
+        assert (value1, value2) == (first, second)
+        assert end == len(out)
