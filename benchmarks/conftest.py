@@ -34,6 +34,19 @@ from repro.workloads.queries import WorkloadGenerator
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every test in benchmarks/ as ``bench``.
+
+    pytest.ini deselects the marker by default, so `pytest -x -q` runs only
+    the fast tier-1 suite; `pytest -m bench` selects these again.  The hook
+    receives the whole session's items, so filter to this directory.
+    """
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if item.path is not None and item.path.is_relative_to(bench_dir):
+            item.add_marker(pytest.mark.bench)
+
 #: Dataset used by the per-index timing benchmarks (shared across modules).
 BENCH_DATASET_CONFIG = SyntheticConfig(num_records=40_000, domain_size=2000, zipf_order=0.8, seed=7)
 

@@ -1,0 +1,153 @@
+"""Serving-path throughput: result cache and worker scaling.
+
+The paper's skewed workloads concentrate traffic on few hot item sets, which
+is exactly what the serving layer exploits: an LRU result cache (plus
+in-flight dedup) absorbs repeated queries without touching the index.  This
+benchmark replays a zipf-skewed subset-query stream — arriving in waves of
+concurrent batches, like real traffic — against two resident OIF indexes
+through the :class:`~repro.service.executor.QueryExecutor` and compares
+
+* cached vs uncached execution (within a wave identical queries dedup; across
+  waves the cache answers repeats), and
+* 1 worker vs several workers.
+
+Index builds happen in the benchmark setup, outside the timed region.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import cache as build_cache
+from repro.experiments.report import ResultTable
+from repro.service import IndexManager, QueryExecutor, ResultCache
+
+from conftest import save_tables
+
+SERVING_CONFIG = SyntheticConfig(num_records=10_000, domain_size=1000, zipf_order=0.8, seed=7)
+NUM_QUERIES = 200
+WAVES = 4       # the stream arrives as 4 sequential batches of 50
+HOT_POOL = 25   # distinct query sets the skewed stream draws from
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_cache.synthetic_dataset(SERVING_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def query_stream(dataset) -> list[tuple[str, str, frozenset]]:
+    """A zipf-skewed stream of subset queries spread over two indexes."""
+    rng = random.Random(99)
+    records = list(dataset)
+    pool: list[frozenset] = []
+    while len(pool) < HOT_POOL:
+        record = rng.choice(records)
+        if record.length >= 2:
+            pool.append(frozenset(rng.sample(sorted(record.items, key=str), 2)))
+    weights = [(rank + 1) ** -1.2 for rank in range(HOT_POOL)]
+    return [
+        (f"shard{n % 2}", "subset", rng.choices(pool, weights=weights, k=1)[0])
+        for n in range(NUM_QUERIES)
+    ]
+
+
+def _build_executor(dataset, *, cached: bool, workers: int) -> QueryExecutor:
+    cache = ResultCache(capacity=1024) if cached else None
+    manager = IndexManager(result_cache=cache)
+    for shard in ("shard0", "shard1"):
+        manager.create(shard, dataset, kind="oif")
+    return QueryExecutor(manager, cache=cache, max_workers=workers)
+
+
+def _serve_waves(executor: QueryExecutor, query_stream) -> dict:
+    """Replay the stream as sequential concurrent waves; returns serving stats."""
+    wave_size = len(query_stream) // WAVES
+    answered = 0
+    start = time.perf_counter()
+    for wave in range(WAVES):
+        batch = query_stream[wave * wave_size:(wave + 1) * wave_size]
+        answered += len(executor.execute_batch(batch))
+    elapsed = time.perf_counter() - start
+    assert answered == len(query_stream)
+    return {
+        "seconds": elapsed,
+        "qps": answered / elapsed if elapsed else float("inf"),
+        "cache_hits": executor.stats.cache_hits,
+        "dedup_hits": executor.stats.dedup_hits,
+        "executed": executor.stats.executed,
+        "page_accesses": executor.stats.page_accesses,
+    }
+
+
+@pytest.fixture(scope="module")
+def serving_table(dataset, query_stream):
+    table = ResultTable(
+        title=(
+            f"Serving throughput: {NUM_QUERIES} skewed subset queries "
+            f"in {WAVES} waves over 2 resident OIFs"
+        ),
+        columns=["mode", "workers", "seconds", "qps", "cache_hits", "dedup_hits", "executed"],
+    )
+    for cached in (False, True):
+        for workers in (1, WORKERS):
+            with _build_executor(dataset, cached=cached, workers=workers) as executor:
+                run = _serve_waves(executor, query_stream)
+            table.add_row(
+                mode="cached" if cached else "uncached",
+                workers=workers,
+                seconds=run["seconds"],
+                qps=run["qps"],
+                cache_hits=run["cache_hits"],
+                dedup_hits=run["dedup_hits"],
+                executed=run["executed"],
+            )
+    table.add_note("cached runs answer repeated hot queries from the LRU result cache")
+    save_tables("serving_throughput", [table])
+    return table
+
+
+def _bench_serving(benchmark, dataset, query_stream, *, cached: bool, workers: int) -> None:
+    executors: list[QueryExecutor] = []
+
+    def setup():
+        executor = _build_executor(dataset, cached=cached, workers=workers)
+        executors.append(executor)
+        return (executor, query_stream), {}
+
+    benchmark.pedantic(_serve_waves, setup=setup, rounds=2, iterations=1)
+    for executor in executors:
+        executor.shutdown()
+
+
+def test_serve_uncached_1_worker(benchmark, serving_table, dataset, query_stream):
+    _bench_serving(benchmark, dataset, query_stream, cached=False, workers=1)
+
+
+def test_serve_uncached_n_workers(benchmark, serving_table, dataset, query_stream):
+    _bench_serving(benchmark, dataset, query_stream, cached=False, workers=WORKERS)
+
+
+def test_serve_cached_1_worker(benchmark, serving_table, dataset, query_stream):
+    _bench_serving(benchmark, dataset, query_stream, cached=True, workers=1)
+
+
+def test_serve_cached_n_workers(benchmark, serving_table, dataset, query_stream):
+    _bench_serving(benchmark, dataset, query_stream, cached=True, workers=WORKERS)
+
+
+def test_cache_absorbs_the_hot_tail(serving_table):
+    """With a skewed stream in waves, most queries never reach an index."""
+    rows = {(row["mode"], row["workers"]): row for row in serving_table.rows}
+    cached = rows[("cached", 1)]
+    uncached = rows[("uncached", 1)]
+    assert cached["cache_hits"] + cached["dedup_hits"] + cached["executed"] == NUM_QUERIES
+    # Each distinct (shard, items) pair evaluates at most once.
+    assert cached["executed"] <= 2 * HOT_POOL
+    assert cached["cache_hits"] > NUM_QUERIES // 2
+    assert uncached["cache_hits"] == 0

@@ -63,7 +63,27 @@ def test_oif_batch_merge(benchmark, update_table, base_dataset, batch_transactio
 
 
 def test_update_cost_is_roughly_linear(update_table):
-    """Doubling the batch roughly doubles the merge time for both indexes."""
+    """Merge cost grows monotonically and at most linearly with the batch.
+
+    Wall-clock timings are too noisy for a CI assertion (the OIF rebuild is
+    dominated by the base dataset, so its seconds jitter non-monotonically
+    across the 1x/2x/4x batches).  Instead this checks the *deterministic*
+    buffer-pool page counts charged to each merge (reads + writes from
+    ``repro.storage.stats``): as the batch quadruples, pages touched must be
+    strictly increasing for both indexes and must not grow faster than the
+    batch itself — the IF appends to (mostly pre-existing) lists and the OIF
+    rebuild is linear in base + batch, so both stay well inside a 4x envelope.
+    """
     rows = update_table.rows
-    assert rows[-1]["OIF_seconds"] > rows[0]["OIF_seconds"]
-    assert rows[-1]["IF_seconds"] >= rows[0]["IF_seconds"]
+    for column in ("IF_pages", "OIF_pages"):
+        pages = [row[column] for row in rows]
+        assert all(a < b for a, b in zip(pages, pages[1:])), f"{column} not increasing: {pages}"
+        assert pages[0] > 0
+        growth = pages[-1] / pages[0]
+        assert growth <= 4.0, f"{column} grew {growth:.2f}x on a 4x batch (super-linear)"
+    # The paper's headline relation — the OIF merge (re-sort + rebuild) is
+    # slower than the IF append — is stable in aggregate at this scale (~2x
+    # observed, 3-5x in the paper); assert the mean across batches rather
+    # than every row, so one scheduler stall cannot flip the comparison.
+    ratios = [row["OIF_over_IF"] for row in rows]
+    assert sum(ratios) / len(ratios) > 1.0, f"OIF merge not slower than IF: {ratios}"

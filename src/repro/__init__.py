@@ -19,6 +19,11 @@ Quick start::
     oif.subset_query({"milk", "bread"})      # -> [1, 2]
     oif.equality_query({"eggs"})             # -> [3]
     oif.superset_query({"milk", "bread"})    # -> [1]
+
+For serving workloads, :mod:`repro.service` keeps indexes resident and answers
+queries concurrently with result caching (``repro-oif serve``).  See the
+top-level ``README.md`` for installation, the CLI quickstart, the serving
+workflow and how to reproduce the paper's figures.
 """
 
 from repro.baselines import (
@@ -37,10 +42,34 @@ from repro.core import (
     SetContainmentIndex,
     Vocabulary,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.storage import Environment
 
-__version__ = "1.0.0"
+#: Serving types re-exported lazily (PEP 562): ``from repro import
+#: ServiceServer`` works, but batch/experiment users do not pay for the
+#: HTTP-server and thread-pool imports on every ``import repro``.
+_SERVICE_EXPORTS = frozenset(
+    {
+        "IndexManager",
+        "ManagedIndex",
+        "QueryExecutor",
+        "QueryOutcome",
+        "ResultCache",
+        "ServiceClient",
+        "ServiceServer",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Dataset",
@@ -57,5 +86,13 @@ __all__ = [
     "QueryResult",
     "Environment",
     "ReproError",
+    "ServiceError",
+    "IndexManager",
+    "ManagedIndex",
+    "QueryExecutor",
+    "QueryOutcome",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceServer",
     "__version__",
 ]

@@ -7,7 +7,11 @@ The CLI exposes the workflows a downstream user needs without writing Python:
   containment query, printing the matching record ids and the I/O cost;
 * ``repro-oif compare`` — replay a generated workload on the IF and the OIF
   and print the mean page accesses per query size;
-* ``repro-oif experiment`` — regenerate one of the paper's figures/tables.
+* ``repro-oif experiment`` — regenerate one of the paper's figures/tables;
+* ``repro-oif serve`` — keep indexes resident and answer containment queries
+  over JSON-over-HTTP (see :mod:`repro.service`);
+* ``repro-oif client`` — talk to a running server (health, stats, queries,
+  index lifecycle, updates).
 
 Run ``repro-oif <command> --help`` for the options of each command.
 """
@@ -15,6 +19,7 @@ Run ``repro-oif <command> --help`` for the options of each command.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -49,6 +54,7 @@ from repro.experiments import (
     update_tradeoff,
 )
 from repro.experiments.figures import SyntheticScale
+from repro.service import INDEX_KINDS
 from repro.workloads import WorkloadGenerator
 
 _INDEX_CLASSES = {
@@ -111,6 +117,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--records", type=int, default=20_000, help="base synthetic dataset size"
     )
     experiment.add_argument("--queries-per-size", type=int, default=5)
+
+    serve = sub.add_parser("serve", help="serve containment queries over JSON-over-HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument("--data", help="transaction file to pre-load as an index")
+    serve.add_argument("--name", default="default", help="name of the pre-loaded index")
+    serve.add_argument("--index", choices=sorted(INDEX_KINDS), default="oif")
+    serve.add_argument("--workers", type=int, default=4, help="query worker threads")
+    serve.add_argument("--cache-capacity", type=int, default=4096, help="result cache entries")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    client = sub.add_parser("client", help="talk to a running repro-oif server")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8080)
+    client_sub = client.add_subparsers(dest="action", required=True)
+    client_sub.add_parser("health", help="liveness check")
+    client_sub.add_parser("stats", help="serving / cache / index statistics")
+    client_sub.add_parser("indexes", help="list the resident indexes")
+    client_create = client_sub.add_parser("create", help="create an index from a transaction file")
+    client_create.add_argument("name")
+    client_create.add_argument("data", help="transaction file readable by the *server*")
+    client_create.add_argument("--kind", choices=sorted(INDEX_KINDS), default="oif")
+    client_drop = client_sub.add_parser("drop", help="drop a resident index")
+    client_drop.add_argument("name")
+    client_query = client_sub.add_parser("query", help="answer one containment query")
+    client_query.add_argument("name", help="index name on the server")
+    client_query.add_argument("predicate", choices=("subset", "equality", "superset"))
+    client_query.add_argument("items", nargs="+", help="query items")
+    client_insert = client_sub.add_parser("insert", help="insert one transaction")
+    client_insert.add_argument("name", help="index name on the server")
+    client_insert.add_argument("items", nargs="+", help="items of the new record")
+    client_insert.add_argument("--flush", action="store_true", help="merge the delta afterwards")
     return parser
 
 
@@ -199,6 +237,68 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_server(args: argparse.Namespace):
+    """Construct (and pre-load) the service server for ``repro-oif serve``."""
+    from repro.service import ServiceServer
+
+    server = ServiceServer(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        quiet=not args.verbose,
+    )
+    if args.data:
+        try:
+            dataset = read_transactions(args.data)
+            server.manager.create(args.name, dataset, kind=args.index)
+        except ReproError:
+            server.shutdown()  # release the bound socket and worker pool
+            raise
+        except OSError as error:
+            server.shutdown()
+            raise ReproError(f"cannot read transaction file: {error}") from error
+        print(
+            f"loaded index {args.name!r} ({args.index}) over {len(dataset)} records "
+            f"from {args.data}"
+        )
+    return server
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = build_server(args)
+    print(f"serving on {server.url} ({args.workers} workers; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.action == "health":
+        payload = client.healthz()
+    elif args.action == "stats":
+        payload = client.stats()
+    elif args.action == "indexes":
+        payload = {"indexes": client.indexes()}
+    elif args.action == "create":
+        payload = client.create_index(args.name, path=args.data, kind=args.kind)
+    elif args.action == "drop":
+        payload = client.drop_index(args.name)
+    elif args.action == "insert":
+        payload = client.insert(args.name, [args.items], flush=args.flush)
+    else:
+        payload = client.query(args.name, args.predicate, args.items)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used both by ``python -m repro.cli`` and the console script."""
     parser = _build_parser()
@@ -210,6 +310,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "client":
+            return _cmd_client(args)
         return _cmd_experiment(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.baselines.inverted_file import InvertedFile
-from repro.core.interfaces import SetContainmentIndex
+from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset, Record
@@ -120,6 +120,11 @@ class UpdateReport:
         return self.merge_seconds / self.records_merged
 
 
+#: Callback invoked with the set-values of freshly inserted records.  The
+#: serving layer registers these to invalidate affected result-cache entries.
+UpdateListener = Callable[[list[frozenset]], None]
+
+
 class _UpdatableBase:
     """Shared plumbing for the updatable index wrappers."""
 
@@ -127,18 +132,33 @@ class _UpdatableBase:
         self.dataset = dataset
         self.delta = DeltaInvertedFile()
         self._next_id = max(dataset.record_ids) + 1
+        self._update_listeners: list[UpdateListener] = []
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register a callback fired after each :meth:`insert` batch.
+
+        Buffered records are immediately queryable through the delta index, so
+        any cached result affected by them is stale from the moment ``insert``
+        returns — which is why the hook fires on insert, not on flush (the
+        merge changes the physical layout but not any query answer).
+        """
+        self._update_listeners.append(listener)
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
         """Buffer new records in the memory-resident delta; returns their ids."""
+        # Validate the whole batch before touching the delta, so a bad
+        # transaction cannot leave a partially applied (and unannounced) batch.
+        inserted = [frozenset(transaction) for transaction in transactions]
+        if any(not items for items in inserted):
+            raise QueryError("cannot insert an empty transaction")
         new_ids: list[int] = []
-        for transaction in transactions:
-            items = frozenset(transaction)
-            if not items:
-                raise QueryError("cannot insert an empty transaction")
-            record = Record(self._next_id, items)
-            self.delta.add(record)
+        for items in inserted:
+            self.delta.add(Record(self._next_id, items))
             new_ids.append(self._next_id)
             self._next_id += 1
+        if inserted:
+            for listener in self._update_listeners:
+                listener(inserted)
         return new_ids
 
     @property
@@ -151,6 +171,10 @@ class _UpdatableBase:
         base = index.query(query_type, item_set)
         fresh = self.delta.query(query_type, item_set) if len(self.delta) else []
         return sorted(set(base) | set(fresh))
+
+    def query(self, query_type, items: Iterable[Item]) -> list[int]:
+        """Dispatch helper mirroring :meth:`SetContainmentIndex.query`."""
+        return self._combined(self.index, QueryType.parse(query_type).value, items)
 
 
 class UpdatableOIF(_UpdatableBase):

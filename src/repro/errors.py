@@ -73,3 +73,15 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent or cannot be executed."""
+
+
+class ServiceError(ReproError):
+    """The query-serving subsystem was misused (unknown index, bad request...)."""
+
+
+class UnknownIndexError(ServiceError):
+    """A request referenced an index name the manager does not hold.
+
+    Distinguished from :class:`ServiceError` so the HTTP layer can map it to
+    404 without sniffing error messages.
+    """

@@ -472,6 +472,8 @@ def update_tradeoff(
             "update_records",
             "IF_seconds",
             "OIF_seconds",
+            "IF_pages",
+            "OIF_pages",
             "IF_ms_per_record",
             "OIF_ms_per_record",
             "OIF_over_IF",
@@ -496,6 +498,10 @@ def update_tradeoff(
             update_records=count,
             IF_seconds=if_report.merge_seconds,
             OIF_seconds=oif_report.merge_seconds,
+            # Deterministic merge cost: pages touched by the batch (reads +
+            # writes), independent of wall-clock noise.
+            IF_pages=if_report.page_reads + if_report.page_writes,
+            OIF_pages=oif_report.page_reads + oif_report.page_writes,
             IF_ms_per_record=last_if_ms,
             OIF_ms_per_record=last_oif_ms,
             OIF_over_IF=(

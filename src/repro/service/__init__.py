@@ -1,0 +1,57 @@
+"""Query-serving subsystem: resident indexes, concurrent execution, caching.
+
+The experiment harness answers queries one-shot and exits; this package turns
+the same indexes into a long-lived service:
+
+* :class:`IndexManager` keeps named indexes resident with per-index locks and
+  a build-outside-the-lock rebuild/swap path;
+* :class:`QueryExecutor` fans queries out over a thread pool, deduplicates
+  identical in-flight queries and tracks latency/page-access stats;
+* :class:`ResultCache` is an LRU over query results with predicate-aware
+  invalidation wired to the update path of :mod:`repro.core.updates`;
+* :class:`ServiceServer` / :class:`ServiceClient` expose it all over
+  JSON-over-HTTP (stdlib only) — see ``repro-oif serve`` and
+  ``repro-oif client``.
+"""
+
+from repro.service.cache import CacheKey, ResultCache, make_key
+from repro.service.index_manager import INDEX_KINDS, IndexManager, ManagedIndex
+
+#: Heavier modules (thread pool, HTTP server/client) resolve lazily (PEP
+#: 562), so importing the package for its light pieces — e.g. the CLI needs
+#: only ``INDEX_KINDS`` to build its parser — stays cheap.
+_LAZY_EXPORTS = {
+    "QueryExecutor": "executor",
+    "QueryOutcome": "executor",
+    "QueryRequest": "executor",
+    "ServiceClient": "client",
+    "ServiceServer": "server",
+    "LatencyRecorder": "stats",
+    "ServingStats": "stats",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"repro.service.{module_name}"), name)
+
+
+__all__ = [
+    "CacheKey",
+    "INDEX_KINDS",
+    "IndexManager",
+    "LatencyRecorder",
+    "ManagedIndex",
+    "QueryExecutor",
+    "QueryOutcome",
+    "QueryRequest",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceServer",
+    "ServingStats",
+    "make_key",
+]

@@ -1,0 +1,159 @@
+"""LRU cache for containment-query results.
+
+The paper's workloads are skewed — a few hot items dominate the queries — so a
+small result cache absorbs a disproportionate share of the traffic.  Entries
+are keyed by ``(index_name, query_type, frozenset(query_items))`` and hold the
+matching record ids.
+
+Invalidation is *predicate-aware*.  Inserting a record with item-set ``S``
+into an index can only change:
+
+* **subset** results whose query set is contained in ``S`` (the new record is
+  a fresh answer exactly when ``qs ⊆ S``);
+* the single **equality** result with ``qs = S``;
+* **superset** results whose query set contains ``S`` (``S ⊆ qs``).
+
+Everything else stays valid, so hot entries survive unrelated updates.
+Dropping an index flushes all of its entries; a rebuild keeps them, because
+the rebuild path preserves record ids and the delta's answers, so every
+cached result stays correct across the swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.core.interfaces import QueryType
+from repro.errors import ServiceError
+
+#: Cache key: ``(index_name, query_type, query_items)``.
+CacheKey = tuple[str, QueryType, frozenset]
+
+
+def make_key(index_name: str, query_type: "QueryType | str", items: Iterable) -> CacheKey:
+    """Normalize a query into its cache key."""
+    return (index_name, QueryType.parse(query_type), frozenset(items))
+
+
+class ResultCache:
+    """Thread-safe LRU cache mapping :data:`CacheKey` to record-id tuples."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, tuple[int, ...]] = OrderedDict()
+        #: Per-index key registry so invalidation scans only the affected
+        #: index's entries, not the whole cache (the scan runs on the insert
+        #: hot path, under the inserting index's lock).
+        self._keys_by_index: dict[str, set[CacheKey]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey, count_miss: bool = True) -> "tuple[int, ...] | None":
+        """Return the cached record ids for ``key`` or ``None`` on a miss.
+
+        ``count_miss=False`` is for optimistic probes that fall back to an
+        authoritative (counted) lookup — a hit is always counted, but the
+        miss is only charged once, by the authoritative lookup.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: CacheKey, record_ids: Iterable[int]) -> None:
+        """Store one result, evicting the least recently used entry if full."""
+        value = tuple(record_ids)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._forget(evicted_key)
+                self.evictions += 1
+            self._entries[key] = value
+            self._keys_by_index.setdefault(key[0], set()).add(key)
+
+    def _forget(self, key: CacheKey) -> None:
+        """Drop ``key`` from the per-index registry (caller holds the lock)."""
+        keys = self._keys_by_index.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_by_index[key[0]]
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def invalidate_index(self, index_name: str) -> int:
+        """Drop every entry of ``index_name`` (index dropped or rebuilt)."""
+        with self._lock:
+            stale = self._keys_by_index.pop(index_name, set())
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def invalidate_items(self, index_name: str, item_sets: Iterable[frozenset]) -> int:
+        """Drop the entries whose result may change after inserting ``item_sets``.
+
+        This is the hook the update path calls: ``item_sets`` are the
+        set-values of the freshly inserted records.
+        """
+        inserted = [frozenset(items) for items in item_sets]
+        if not inserted:
+            return 0
+        with self._lock:
+            candidates = self._keys_by_index.get(index_name, set())
+            stale = [key for key in candidates if self._affected(key, inserted)]
+            for key in stale:
+                del self._entries[key]
+                self._forget(key)
+            self.invalidations += len(stale)
+            return len(stale)
+
+    @staticmethod
+    def _affected(key: CacheKey, inserted: list[frozenset]) -> bool:
+        _, query_type, query_items = key
+        if query_type is QueryType.SUBSET:
+            return any(query_items <= items for items in inserted)
+        if query_type is QueryType.EQUALITY:
+            return any(query_items == items for items in inserted)
+        return any(items <= query_items for items in inserted)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._keys_by_index.clear()
+
+    def stats(self) -> dict:
+        """JSON-friendly counters for the ``/stats`` endpoint."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,121 @@
+"""Small stdlib HTTP client for the query-serving subsystem.
+
+:class:`ServiceClient` mirrors the server's endpoints one method per route.
+Each call opens a fresh :class:`http.client.HTTPConnection`, which keeps the
+client trivially thread-safe (the server reuses worker threads either way).
+Error responses surface as :class:`~repro.errors.ServiceError` with the
+server-provided message.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Iterable, Sequence
+from urllib.parse import quote
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Python-side handle on a running :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise ServiceError(
+                    f"{method} {path}: non-JSON response (HTTP {response.status})"
+                ) from None
+            if response.status >= 400:
+                message = decoded.get("error", raw.decode("utf-8", "replace"))
+                raise ServiceError(f"{method} {path}: {message}")
+            return decoded
+        except ServiceError:
+            raise
+        except (OSError, HTTPException) as error:
+            # HTTPException covers non-HTTP peers (BadStatusLine etc.), so
+            # every transport failure surfaces as one catchable ServiceError.
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            connection.close()
+
+    # -- endpoints -------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def indexes(self) -> list[dict]:
+        return self._request("GET", "/indexes")["indexes"]
+
+    def create_index(
+        self,
+        name: str,
+        *,
+        transactions: "Sequence[Iterable] | None" = None,
+        path: "str | None" = None,
+        kind: str = "oif",
+        **options,
+    ) -> dict:
+        payload: dict = {"name": name, "kind": kind}
+        if transactions is not None:
+            payload["transactions"] = [sorted(str(item) for item in t) for t in transactions]
+        if path is not None:
+            payload["path"] = path
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/indexes", payload)
+
+    def drop_index(self, name: str) -> dict:
+        return self._request("DELETE", f"/indexes/{quote(name, safe='')}")
+
+    def rebuild_index(self, name: str) -> dict:
+        return self._request("POST", f"/indexes/{quote(name, safe='')}/rebuild", {})
+
+    def query(self, index: str, query_type: str, items: Iterable) -> dict:
+        return self._request(
+            "POST",
+            "/query",
+            {"index": index, "type": query_type, "items": [str(item) for item in items]},
+        )
+
+    def batch(
+        self, queries: Sequence[dict], *, index: "str | None" = None
+    ) -> list[dict]:
+        """Run many queries at once; each dict holds ``type``/``items`` (+``index``)."""
+        payload: dict = {"queries": list(queries)}
+        if index is not None:
+            payload["index"] = index
+        return self._request("POST", "/batch", payload)["results"]
+
+    def insert(
+        self, index: str, transactions: Sequence[Iterable], *, flush: bool = False
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/update",
+            {
+                "index": index,
+                "transactions": [sorted(str(item) for item in t) for t in transactions],
+                "flush": flush,
+            },
+        )

@@ -1,0 +1,298 @@
+"""Concurrent query execution with result caching and in-flight deduplication.
+
+The executor is the serving hot path.  Each query goes through three gates:
+
+1. **Result cache** — a hit is answered immediately, without touching the
+   thread pool or any index (the skewed workloads of the paper make this the
+   common case for hot query sets);
+2. **In-flight dedup** — if an *identical* query (same index, predicate and
+   item set) is already being evaluated, the new request piggybacks on its
+   future instead of evaluating the query twice;
+3. **Thread pool** — otherwise the query is dispatched to a worker, which
+   takes the target index's lock, evaluates the predicate, charges the page
+   accesses and populates the cache.
+
+Batches (:meth:`QueryExecutor.execute_batch`) dispatch every query before
+waiting on any, so independent queries overlap across indexes and cache hits
+never wait behind slow misses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.interfaces import QueryType
+from repro.errors import ServiceError, UnknownIndexError
+from repro.service.cache import CacheKey, ResultCache, make_key
+from repro.service.index_manager import IndexManager
+from repro.service.stats import ServingStats
+
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One containment query addressed to a named resident index."""
+
+    index: str
+    query_type: QueryType
+    items: frozenset
+
+    @classmethod
+    def coerce(
+        cls, index: str, query_type: "QueryType | str", items: Iterable
+    ) -> "QueryRequest":
+        item_set = frozenset(items)
+        if not item_set:
+            raise ServiceError("a containment query needs at least one item")
+        return cls(index=index, query_type=QueryType.parse(query_type), items=item_set)
+
+    @property
+    def key(self) -> CacheKey:
+        return make_key(self.index, self.query_type, self.items)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Answer of one served query plus how it was produced."""
+
+    index: str
+    query_type: QueryType
+    items: frozenset
+    record_ids: tuple[int, ...]
+    cached: bool
+    deduplicated: bool
+    latency_ms: float
+    page_accesses: int
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.record_ids)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering for the HTTP layer."""
+        return {
+            "index": self.index,
+            "type": self.query_type.value,
+            "items": sorted(self.items, key=str),
+            "record_ids": list(self.record_ids),
+            "cardinality": self.cardinality,
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "latency_ms": round(self.latency_ms, 4),
+            "page_accesses": self.page_accesses,
+        }
+
+
+class QueryExecutor:
+    """Dispatches containment queries over a thread pool with caching/dedup."""
+
+    def __init__(
+        self,
+        manager: IndexManager,
+        cache: "ResultCache | None" = None,
+        max_workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"need at least one worker thread, got {max_workers}")
+        # The executor's lookup cache and the manager's invalidation cache
+        # must be the same object, or inserts would invalidate one while
+        # queries keep reading stale entries from the other.
+        if cache is None:
+            cache = manager.result_cache
+        elif manager.result_cache is None:
+            # Bind it, so the manager's insert listeners invalidate the cache
+            # this executor reads.
+            manager.result_cache = cache
+        elif cache is not manager.result_cache:
+            raise ServiceError(
+                "the executor's cache must be the manager's result_cache "
+                "(a split pair would serve stale results after updates)"
+            )
+        self.manager = manager
+        self.cache = cache
+        self.max_workers = max_workers
+        self.stats = ServingStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._inflight: dict[CacheKey, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # -- public API ------------------------------------------------------------------
+
+    def submit(
+        self, index: str, query_type: "QueryType | str", items: Iterable
+    ) -> "Future[QueryOutcome]":
+        """Schedule one query; returns a future resolving to its outcome."""
+        if self._closed:
+            raise ServiceError("the query executor has been shut down")
+        request = QueryRequest.coerce(index, query_type, items)
+        start = time.perf_counter()
+
+        # Optimistic lock-free probe first: a cached value is valid to serve
+        # regardless of in-flight state, and this keeps the hot path (repeated
+        # queries, the skewed-workload common case) off the executor-global
+        # lock.  The miss is not counted here — the authoritative locked
+        # lookup below charges it exactly once.
+        if self.cache is not None:
+            hit = self.cache.get(request.key, count_miss=False)
+            if hit is not None:
+                return self._cached_outcome(request, hit, start)
+
+        # Cache probe and in-flight registration happen under one lock: a
+        # primary for the same key pops itself from the in-flight map only
+        # *after* populating the cache, so checking in this order can never
+        # miss both and evaluate an identical query a second time.
+        with self._inflight_lock:
+            primary = self._inflight.get(request.key)
+            if primary is None:
+                if self.cache is not None:
+                    hit = self.cache.get(request.key)
+                    if hit is not None:
+                        return self._cached_outcome(request, hit, start)
+                primary = self._pool.submit(self._evaluate, request, start)
+                self._inflight[request.key] = primary
+                return primary
+        return self._piggyback(request, primary, start)
+
+    def execute(
+        self, index: str, query_type: "QueryType | str", items: Iterable
+    ) -> QueryOutcome:
+        """Answer one query, blocking until it resolves."""
+        return self.submit(index, query_type, items).result()
+
+    def execute_batch(
+        self, requests: Sequence[tuple]
+    ) -> list[QueryOutcome]:
+        """Answer a batch of ``(index, query_type, items)`` triples.
+
+        Every query is dispatched before any result is awaited, so the batch
+        runs with the full concurrency of the pool; results come back in
+        request order.
+        """
+        futures = [self.submit(index, qtype, items) for index, qtype, items in requests]
+        return [future.result() for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting queries and (optionally) wait for in-flight ones."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _cached_outcome(
+        self, request: QueryRequest, record_ids: tuple[int, ...], start: float
+    ) -> "Future[QueryOutcome]":
+        """Package a cache hit as an already-resolved future."""
+        outcome = QueryOutcome(
+            index=request.index,
+            query_type=request.query_type,
+            items=request.items,
+            record_ids=record_ids,
+            cached=True,
+            deduplicated=False,
+            latency_ms=(time.perf_counter() - start) * 1000.0,
+            page_accesses=0,
+        )
+        self.stats.record_query(
+            request.index, outcome.latency_ms, cached=True,
+            deduplicated=False, page_accesses=0,
+        )
+        done: Future = Future()
+        done.set_result(outcome)
+        return done
+
+    def _evaluate(self, request: QueryRequest, start: float) -> QueryOutcome:
+        """Worker body: run the query on its index and populate the cache."""
+        deregistered = False
+        try:
+            entry = self.manager.get(request.index)
+            # The cache is populated under the same per-index lock that
+            # serializes inserts (whose invalidation listeners also fire under
+            # it), so a concurrent insert can never slip between evaluating
+            # the query and caching its (then stale) result.
+            with entry.lock:
+                if entry.dropped:
+                    raise UnknownIndexError(f"no index named {request.index!r}")
+                record_ids, page_accesses = entry.measured_query(
+                    request.query_type, request.items
+                )
+                if self.cache is not None:
+                    self.cache.put(request.key, record_ids)
+                # Deregister from in-flight while still holding the index
+                # lock: an insert that is acknowledged after this point takes
+                # the same lock, so no later request can piggyback on this
+                # (now potentially stale) result — it will probe the cache,
+                # which that insert's listeners keep honest.
+                with self._inflight_lock:
+                    self._inflight.pop(request.key, None)
+                    deregistered = True
+            outcome = QueryOutcome(
+                index=request.index,
+                query_type=request.query_type,
+                items=request.items,
+                record_ids=record_ids,
+                cached=False,
+                deduplicated=False,
+                latency_ms=(time.perf_counter() - start) * 1000.0,
+                page_accesses=page_accesses,
+            )
+            self.stats.record_query(
+                request.index, outcome.latency_ms, cached=False,
+                deduplicated=False, page_accesses=page_accesses,
+            )
+            return outcome
+        except BaseException:
+            self.stats.record_error()
+            raise
+        finally:
+            # Error-path cleanup only: after the in-lock deregistration above,
+            # the map slot may already belong to a *newer* request for the
+            # same key, which must not be evicted.
+            if not deregistered:
+                with self._inflight_lock:
+                    self._inflight.pop(request.key, None)
+
+    def _piggyback(
+        self, request: QueryRequest, primary: "Future[QueryOutcome]", start: float
+    ) -> "Future[QueryOutcome]":
+        """Return a future that mirrors ``primary`` but is marked deduplicated."""
+        mirror: Future = Future()
+
+        def _propagate(done: "Future[QueryOutcome]") -> None:
+            error = done.exception()
+            if error is not None:
+                mirror.set_exception(error)
+                return
+            result = done.result()
+            outcome = QueryOutcome(
+                index=result.index,
+                query_type=result.query_type,
+                items=result.items,
+                record_ids=result.record_ids,
+                cached=result.cached,
+                deduplicated=True,
+                latency_ms=(time.perf_counter() - start) * 1000.0,
+                # The page accesses were charged to the primary execution.
+                page_accesses=0,
+            )
+            self.stats.record_query(
+                request.index, outcome.latency_ms, cached=False,
+                deduplicated=True, page_accesses=0,
+            )
+            mirror.set_result(outcome)
+
+        primary.add_done_callback(_propagate)
+        return mirror

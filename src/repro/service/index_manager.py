@@ -1,0 +1,354 @@
+"""Resident index management for the query-serving subsystem.
+
+A one-shot experiment rebuilds its index per run; a server cannot afford to.
+:class:`IndexManager` keeps any number of *named*, memory-resident
+:class:`~repro.core.interfaces.SetContainmentIndex` instances alive across
+requests, guarded by per-index locks (the simulated storage engine mutates its
+buffer pool on every read, so an index handle must never be queried from two
+threads at once).
+
+Lifecycle:
+
+* ``create`` builds an index of any registered kind (OIF, IF, unordered
+  B-tree, signature file, naive scan) over a dataset;
+* ``insert`` routes updates through the delta-buffer machinery of
+  :mod:`repro.core.updates` (OIF/IF only) and fires its update listeners, so
+  the result cache drops exactly the affected entries;
+* ``rebuild`` builds a fresh index *outside* the query lock, replays any
+  inserts that raced with the build, then swaps the handle in atomically —
+  queries keep being served from the old index during the (slow) build;
+* ``drop`` evicts the index and flushes its cache entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Iterator
+
+from repro.baselines.inverted_file import InvertedFile
+from repro.baselines.naive import NaiveScanIndex
+from repro.baselines.signature_file import SignatureFile
+from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
+from repro.core.interfaces import QueryType, SetContainmentIndex
+from repro.core.items import Item
+from repro.core.oif import OrderedInvertedFile
+from repro.core.records import Dataset
+from repro.core.updates import UpdatableIF, UpdatableOIF, UpdateReport
+from repro.errors import ServiceError, UnknownIndexError
+from repro.service.cache import ResultCache
+
+#: Index kinds the manager can build.  ``oif`` and ``if`` are updatable (they
+#: wrap the delta-buffer machinery); the rest are static baselines.
+INDEX_KINDS = ("oif", "if", "ubt", "sig", "naive")
+
+_STATIC_CLASSES = {
+    "ubt": UnorderedBTreeInvertedFile,
+    "sig": SignatureFile,
+    "naive": NaiveScanIndex,
+}
+
+
+class ManagedIndex:
+    """One named, resident index plus the lock serializing access to it."""
+
+    def __init__(self, name: str, kind: str, dataset: Dataset, **options) -> None:
+        if kind not in INDEX_KINDS:
+            raise ServiceError(
+                f"unknown index kind {kind!r}; expected one of {list(INDEX_KINDS)}"
+            )
+        self.name = name
+        self.kind = kind
+        self.options = dict(options)
+        #: Serializes queries/updates on the handle (index reads mutate the
+        #: buffer pool, so they are not safe to interleave).
+        self.lock = threading.RLock()
+        #: Serializes rebuilds only; queries proceed under :attr:`lock`.
+        self.rebuild_lock = threading.Lock()
+        #: Set (under :attr:`lock`) when the index is evicted, so an
+        #: in-flight evaluation cannot re-populate the result cache after
+        #: the drop already invalidated the index's entries.
+        self.dropped = False
+        self._listeners: list = []
+        self._insert_log: list[frozenset] = []
+        #: Transactions trimmed off the front of the log (see insert_count).
+        self._insert_log_base = 0
+        start = time.perf_counter()
+        self._handle = self._build_handle(dataset)
+        self.build_seconds = time.perf_counter() - start
+
+    def _build_handle(self, dataset: Dataset):
+        if self.kind == "oif":
+            handle = UpdatableOIF(dataset, **self.options)
+        elif self.kind == "if":
+            handle = UpdatableIF(dataset, **self.options)
+        else:
+            return _STATIC_CLASSES[self.kind](dataset, **self.options)
+        handle.add_update_listener(self._fanout)
+        return handle
+
+    def _fanout(self, item_sets: list[frozenset]) -> None:
+        for listener in self._listeners:
+            listener(item_sets)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def supports_updates(self) -> bool:
+        return self.kind in ("oif", "if")
+
+    @property
+    def index(self) -> SetContainmentIndex:
+        """The underlying disk-resident index (excluding any delta buffer)."""
+        if self.supports_updates:
+            return self._handle.index
+        return self._handle
+
+    @property
+    def num_records(self) -> int:
+        with self.lock:
+            count = len(self._handle.dataset)
+            if self.supports_updates:
+                count += self._handle.pending_updates
+            return count
+
+    @property
+    def pending_updates(self) -> int:
+        with self.lock:
+            return self._handle.pending_updates if self.supports_updates else 0
+
+    @property
+    def insert_count(self) -> int:
+        """Total transactions inserted since creation (rebuild bookkeeping)."""
+        return self._insert_log_base + len(self._insert_log)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for the ``/indexes`` endpoint."""
+        with self.lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "index": self.index.name,
+                "records": self.num_records,
+                "pending_updates": self.pending_updates,
+                "size_bytes": self.index.index_size_bytes,
+                "build_seconds": round(self.build_seconds, 4),
+                "supports_updates": self.supports_updates,
+            }
+
+    # -- serving operations ----------------------------------------------------------
+
+    def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
+        """Answer one containment query (delta-aware for updatable kinds)."""
+        with self.lock:
+            return self._handle.query(query_type, items)
+
+    def measured_query(
+        self, query_type: "QueryType | str", items: Iterable[Item]
+    ) -> tuple[tuple[int, ...], int]:
+        """Answer a query and return ``(record_ids, page_accesses)``."""
+        with self.lock:
+            before = self.index.stats.snapshot()
+            record_ids = tuple(self.query(query_type, items))
+            delta = self.index.stats.since(before)
+            return record_ids, delta.page_reads
+
+    def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
+        """Buffer new records (updatable kinds only); fires update listeners."""
+        if not self.supports_updates:
+            raise ServiceError(
+                f"index {self.name!r} (kind {self.kind!r}) does not support updates"
+            )
+        materialized = [frozenset(transaction) for transaction in transactions]
+        with self.lock:
+            if self.dropped:
+                # Mirrors the query-path guard: a write racing a drop must
+                # fail loudly, not be acknowledged into a discarded handle.
+                raise UnknownIndexError(f"no index named {self.name!r}")
+            new_ids = self._handle.insert(materialized)
+            self._insert_log.extend(materialized)
+            return new_ids
+
+    def flush(self) -> "UpdateReport | None":
+        """Merge the delta buffer into the disk index (no-op for static kinds)."""
+        if not self.supports_updates:
+            return None
+        with self.lock:
+            if self.dropped:
+                raise UnknownIndexError(f"no index named {self.name!r}")
+            if not self._handle.pending_updates:
+                return None
+            report = self._handle.flush()
+            self._trim_insert_log()
+            return report
+
+    def _trim_insert_log(self) -> None:
+        """Drop replay history no rebuild can still need (caller holds lock).
+
+        The log exists so a rebuild can replay inserts that raced with its
+        build; once those inserts are part of the base index (flush) or of a
+        swapped-in handle, the prefix is dead weight.  Skipped while a rebuild
+        is in flight — its snapshot mark still points into the log.
+        """
+        if self.rebuild_lock.acquire(blocking=False):
+            try:
+                self._insert_log_base += len(self._insert_log)
+                self._insert_log.clear()
+            finally:
+                self.rebuild_lock.release()
+
+    def add_update_listener(self, listener) -> None:
+        """Register a callback fired with the item-sets of each insert batch.
+
+        The callback rides on :meth:`repro.core.updates._UpdatableBase.insert`
+        via the handle's own listener hook, and survives rebuild swaps.
+        """
+        self._listeners.append(listener)
+
+    # -- rebuild ---------------------------------------------------------------------
+
+    def snapshot_dataset(self) -> Dataset:
+        """Merged dataset (base + delta) as of now; caller should hold the lock."""
+        with self.lock:
+            if self.supports_updates and self._handle.pending_updates:
+                return Dataset(list(self._handle.dataset) + self._handle.delta.records)
+            return self._handle.dataset
+
+    def swap_handle(self, fresh: "ManagedIndex", since_insert: int) -> None:
+        """Atomically replace the underlying handle with ``fresh``'s.
+
+        ``since_insert`` is the insert-log position the fresh handle was built
+        from; any transactions inserted after it are replayed first so the
+        swap loses no update.
+        """
+        with self.lock:
+            missed = self._insert_log[max(0, since_insert - self._insert_log_base):]
+            if missed:
+                fresh._handle.insert(missed)
+            self._handle = fresh._handle
+            if self.supports_updates:
+                # The forwarder of the old handle dies with it; the fresh
+                # handle was wired to ``fresh._fanout`` — rewire it to ours.
+                fresh._listeners = self._listeners
+            self.build_seconds = fresh.build_seconds
+            # Everything in the log is now part of the swapped-in handle.
+            self._insert_log_base += len(self._insert_log)
+            self._insert_log.clear()
+
+
+class IndexManager:
+    """Registry of named resident indexes with lifecycle operations."""
+
+    def __init__(self, result_cache: "ResultCache | None" = None) -> None:
+        self.result_cache = result_cache
+        self._indexes: dict[str, ManagedIndex] = {}
+        self._registry_lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return sum(1 for entry in self._indexes.values() if entry is not None)
+
+    def __contains__(self, name: str) -> bool:
+        with self._registry_lock:
+            return self._indexes.get(name) is not None
+
+    def __iter__(self) -> Iterator[ManagedIndex]:
+        with self._registry_lock:
+            return iter([entry for entry in self._indexes.values() if entry is not None])
+
+    def names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(name for name, entry in self._indexes.items() if entry is not None)
+
+    def describe(self) -> list[dict]:
+        # Iterate a snapshot of the live entries rather than name-then-get,
+        # so a concurrent drop cannot make this read-only path raise.
+        return [entry.describe() for entry in sorted(self, key=lambda e: e.name)]
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        dataset: Dataset,
+        kind: str = "oif",
+        **options,
+    ) -> ManagedIndex:
+        """Build an index over ``dataset`` and register it under ``name``."""
+        with self._registry_lock:
+            if name in self._indexes:
+                raise ServiceError(f"an index named {name!r} already exists")
+            # Reserve the name so concurrent creates fail fast; the (slow)
+            # build below runs without blocking access to other indexes.
+            self._indexes[name] = None  # type: ignore[assignment]
+        try:
+            entry = ManagedIndex(name, kind, dataset, **options)
+        except BaseException:
+            with self._registry_lock:
+                self._indexes.pop(name, None)
+            raise
+        def _invalidate(item_sets: list[frozenset]) -> None:
+            # Resolve the cache at fire time, so wiring a cache into the
+            # manager after indexes were created still invalidates correctly.
+            cache = self.result_cache
+            if cache is not None:
+                cache.invalidate_items(name, item_sets)
+
+        entry.add_update_listener(_invalidate)
+        with self._registry_lock:
+            self._indexes[name] = entry
+        return entry
+
+    def get(self, name: str) -> ManagedIndex:
+        with self._registry_lock:
+            entry = self._indexes.get(name)
+        if entry is None:
+            raise UnknownIndexError(f"no index named {name!r}")
+        return entry
+
+    def drop(self, name: str) -> None:
+        """Evict an index and invalidate its cached results."""
+        with self._registry_lock:
+            entry = self._indexes.get(name)
+            if entry is None:
+                # Covers both a genuinely unknown name and the None
+                # reservation of an in-flight create — which must stay in
+                # place, or a concurrent create could register the same name
+                # twice and one index would be silently clobbered.
+                raise UnknownIndexError(f"no index named {name!r}")
+            del self._indexes[name]
+        # Mark the entry dead under its own lock *before* invalidating, so
+        # any evaluation still holding the lock finishes (and caches) first,
+        # and any later one sees the flag and refuses to cache stale results
+        # under a name that may be reused.
+        with entry.lock:
+            entry.dropped = True
+        if self.result_cache is not None:
+            self.result_cache.invalidate_index(name)
+
+    def rebuild(self, name: str) -> ManagedIndex:
+        """Rebuild ``name`` from its merged dataset and swap the handle in.
+
+        The expensive build happens outside the per-index query lock, so
+        readers keep hitting the old index; inserts that arrive during the
+        build are replayed into the fresh handle before the swap.  Cached
+        results stay valid: the snapshot keeps every record id, so the swap
+        changes the physical layout but no query answer.
+        """
+        entry = self.get(name)
+        with entry.rebuild_lock:
+            with entry.lock:
+                dataset = entry.snapshot_dataset()
+                mark = entry.insert_count
+            fresh = ManagedIndex(entry.name, entry.kind, dataset, **entry.options)
+            entry.swap_handle(fresh, mark)
+        return entry
+
+    # -- updates ---------------------------------------------------------------------
+
+    def insert(self, name: str, transactions: Iterable[Iterable[Item]]) -> list[int]:
+        """Insert into one index; affected result-cache entries are dropped."""
+        return self.get(name).insert(transactions)
+
+    def flush(self, name: str) -> "UpdateReport | None":
+        return self.get(name).flush()

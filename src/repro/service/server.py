@@ -1,0 +1,361 @@
+"""JSON-over-HTTP front end for the query-serving subsystem (stdlib only).
+
+The server glues the serving components together — an
+:class:`~repro.service.index_manager.IndexManager`, a
+:class:`~repro.service.cache.ResultCache` and a
+:class:`~repro.service.executor.QueryExecutor` — behind a
+:class:`http.server.ThreadingHTTPServer`, one OS thread per connection on top
+of the executor's worker pool.
+
+Endpoints (all payloads JSON):
+
+* ``GET  /healthz``              — liveness: status, resident indexes, uptime;
+* ``GET  /stats``                — serving counters, cache counters, index list;
+* ``GET  /indexes``              — describe the resident indexes;
+* ``POST /indexes``              — create an index from inline transactions or
+  a transaction file (``{"name", "kind", "transactions" | "path", ...}``);
+* ``DELETE /indexes/<name>``     — drop an index;
+* ``POST /indexes/<name>/rebuild`` — rebuild and swap the index in place;
+* ``POST /query``                — one query ``{"index", "type", "items"}``;
+* ``POST /batch``                — ``{"queries": [...]}``, answered
+  concurrently, results in request order;
+* ``POST /update``               — insert transactions
+  (``{"index", "transactions", "flush"?}``); affected cache entries drop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
+
+from repro.core.records import Dataset
+from repro.datasets.io import read_transactions
+from repro.errors import ReproError, ServiceError, UnknownIndexError
+from repro.service.cache import ResultCache
+from repro.service.executor import DEFAULT_WORKERS, QueryExecutor
+from repro.service.index_manager import IndexManager
+
+#: Request body ceiling — a 100K-transaction dataset fits comfortably.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceServer:
+    """Owns the serving components and the threaded HTTP front end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        manager: "IndexManager | None" = None,
+        cache: "ResultCache | None" = None,
+        executor: "QueryExecutor | None" = None,
+        max_workers: int = DEFAULT_WORKERS,
+        cache_capacity: int = 4096,
+        quiet: bool = True,
+    ) -> None:
+        # One cache must serve both roles — executor lookups and manager
+        # invalidation; a split pair would never see its entries invalidated.
+        # A supplied executor is authoritative (its cache/manager are already
+        # bound); otherwise adopt a supplied manager's cache.
+        if executor is not None:
+            if manager is not None and manager is not executor.manager:
+                raise ServiceError(
+                    "the supplied manager is not the one the executor is bound to"
+                )
+            if cache is not None and cache is not executor.cache:
+                raise ServiceError(
+                    "the supplied cache is not the one the executor is bound to"
+                )
+            self.executor = executor
+            self.manager = executor.manager
+            self.cache = executor.cache  # may be None: serving without a cache
+        else:
+            if cache is None and manager is not None and manager.result_cache is not None:
+                cache = manager.result_cache
+            self.cache = cache if cache is not None else ResultCache(capacity=cache_capacity)
+            self.manager = manager if manager is not None else IndexManager(result_cache=self.cache)
+            self.executor = QueryExecutor(
+                self.manager, cache=self.cache, max_workers=max_workers
+            )
+        self.manager.result_cache = self.cache
+        self.started_at = time.time()
+        handler = _make_handler(self, quiet=quiet)
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._http.daemon_threads = True
+        self.host, self.port = self._http.server_address[:2]
+        self._thread: "threading.Thread | None" = None
+        self._serving = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or Ctrl-C upstream)."""
+        self._serving = True
+        self._http.serve_forever()
+
+    def start(self) -> "ServiceServer":
+        """Serve from a daemon thread (tests and embedded use); returns self."""
+        if self._thread is not None:
+            raise ServiceError("the server is already running")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, close the socket and drain the executor."""
+        if self._serving:
+            # BaseServer.shutdown() waits on an event only serve_forever()
+            # sets — calling it on a never-started server hangs forever.
+            self._http.shutdown()
+            self._serving = False
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- endpoint implementations (called by the handler) ----------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "indexes": self.manager.names(),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "serving": self.executor.stats.as_dict(),
+            "cache": self.cache.stats() if self.cache is not None else {"enabled": False},
+            "indexes": self.manager.describe(),
+        }
+
+    def create_index(self, payload: dict) -> dict:
+        name = payload.get("name")
+        if not name or not isinstance(name, str):
+            raise ServiceError("index creation needs a non-empty string 'name'")
+        if "/" in name or name != name.strip():
+            raise ServiceError(
+                "index names must not contain '/' or leading/trailing whitespace"
+            )
+        kind = payload.get("kind", "oif")
+        transactions = payload.get("transactions")
+        path = payload.get("path")
+        if (transactions is None) == (path is None):
+            raise ServiceError(
+                "index creation needs exactly one of 'transactions' or 'path'"
+            )
+        if path is not None:
+            try:
+                dataset = read_transactions(path)
+            except OSError as error:
+                # A bad path is a client mistake, not a server fault.
+                raise ServiceError(f"cannot read transaction file: {error}") from error
+        else:
+            dataset = Dataset.from_transactions(self._transactions(payload))
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ServiceError("'options' must be an object of index keyword arguments")
+        try:
+            entry = self.manager.create(name, dataset, kind=kind, **options)
+        except TypeError as error:
+            # An unknown/invalid index option is a client mistake, not a
+            # server fault — surface it as 400 with the constructor's message.
+            raise ServiceError(f"invalid index options: {error}") from error
+        return entry.describe()
+
+    def run_query(self, payload: dict) -> dict:
+        outcome = self.executor.execute(
+            self._field(payload, "index"),
+            self._field(payload, "type"),
+            self._items(payload),
+        )
+        return outcome.as_dict()
+
+    def run_batch(self, payload: dict) -> dict:
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ServiceError("'queries' must be a non-empty list")
+        default_index = payload.get("index")
+        triples = []
+        for query in queries:
+            if not isinstance(query, dict):
+                raise ServiceError("each batch query must be an object with 'type'/'items'")
+            index = query.get("index", default_index)
+            if not index:
+                raise ServiceError("each batch query needs an 'index' (or a batch default)")
+            triples.append((index, self._field(query, "type"), self._items(query)))
+        outcomes = self.executor.execute_batch(triples)
+        return {
+            "count": len(outcomes),
+            "results": [outcome.as_dict() for outcome in outcomes],
+        }
+
+    def update(self, payload: dict) -> dict:
+        name = self._field(payload, "index")
+        new_ids = self.manager.insert(name, self._transactions(payload))
+        response = {"index": name, "record_ids": new_ids, "inserted": len(new_ids)}
+        if payload.get("flush"):
+            report = self.manager.flush(name)
+            if report is not None:
+                response["flush"] = {
+                    "records_merged": report.records_merged,
+                    "merge_seconds": round(report.merge_seconds, 4),
+                    "page_reads": report.page_reads,
+                    "page_writes": report.page_writes,
+                }
+        return response
+
+    @staticmethod
+    def _transactions(payload: dict) -> list[frozenset]:
+        """Validate and coerce a ``transactions`` payload into item sets."""
+        transactions = payload.get("transactions")
+        if not isinstance(transactions, list) or not transactions or not all(
+            isinstance(transaction, list) for transaction in transactions
+        ):
+            raise ServiceError("'transactions' must be a non-empty list of item lists")
+        return [
+            frozenset(str(item) for item in transaction) for transaction in transactions
+        ]
+
+    @staticmethod
+    def _field(payload: dict, key: str) -> str:
+        value = payload.get(key)
+        if not value or not isinstance(value, str):
+            raise ServiceError(f"request needs a non-empty string {key!r}")
+        return value
+
+    @staticmethod
+    def _items(payload: dict) -> frozenset:
+        items = payload.get("items")
+        if not isinstance(items, list) or not items:
+            raise ServiceError("'items' must be a non-empty list of query items")
+        return frozenset(str(item) for item in items)
+
+
+def _make_handler(service: ServiceServer, quiet: bool) -> type:
+    """Build the request-handler class bound to one :class:`ServiceServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-oif"
+
+        # -- plumbing ----------------------------------------------------------------
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            if not quiet:
+                super().log_message(format, *args)
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._send(status, {"error": message})
+
+        def _body(self) -> dict:
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self.close_connection = True
+                raise ServiceError("malformed Content-Length header") from None
+            if length < 0:
+                # rfile.read(-1) would block until the peer closes, pinning
+                # the connection thread.
+                self.close_connection = True
+                raise ServiceError("malformed Content-Length header") from None
+            if length > MAX_BODY_BYTES:
+                # The body is left unread, which would desync a keep-alive
+                # connection's next request — force this connection closed.
+                self.close_connection = True
+                raise ServiceError(f"request body of {length} bytes is too large")
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ServiceError(f"malformed JSON body: {error}") from None
+            if not isinstance(payload, dict):
+                raise ServiceError("the request body must be a JSON object")
+            return payload
+
+        def _dispatch(self, route) -> None:
+            try:
+                self._send(200, route())
+            except UnknownIndexError as error:
+                self._error(404, str(error))
+            except ReproError as error:
+                self._error(400, str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                self._error(500, f"internal error: {error}")
+
+        # -- verbs -------------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802
+            if self.path == "/healthz":
+                self._dispatch(service.healthz)
+            elif self.path == "/stats":
+                self._dispatch(service.stats)
+            elif self.path == "/indexes":
+                self._dispatch(lambda: {"indexes": service.manager.describe()})
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                payload = self._body()
+            except ServiceError as error:
+                self._error(400, str(error))
+                return
+            if self.path == "/indexes":
+                self._dispatch(lambda: service.create_index(payload))
+            elif self.path == "/query":
+                self._dispatch(lambda: service.run_query(payload))
+            elif self.path == "/batch":
+                self._dispatch(lambda: service.run_batch(payload))
+            elif self.path == "/update":
+                self._dispatch(lambda: service.update(payload))
+            elif self.path.startswith("/indexes/") and self.path.endswith("/rebuild"):
+                name = unquote(self.path[len("/indexes/"):-len("/rebuild")])
+                self._dispatch(lambda: service.manager.rebuild(name).describe())
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            try:
+                self._body()  # drain any body so keep-alive stays in sync
+            except ServiceError as error:
+                self._error(400, str(error))
+                return
+            if self.path.startswith("/indexes/"):
+                name = unquote(self.path[len("/indexes/"):])
+
+                def _drop() -> dict:
+                    service.manager.drop(name)
+                    return {"dropped": name}
+
+                self._dispatch(_drop)
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+
+    return Handler

@@ -1,0 +1,107 @@
+"""Service-side metrics: latency tracking and serving counters.
+
+The serving subsystem keeps its own counters on top of the storage engine's
+:class:`~repro.storage.stats.IOStatistics`: per-query latency aggregates, the
+cache hit/miss/dedup split and the page accesses charged to served queries.
+Everything here is plain counting — cheap enough for the hot path — and every
+aggregate can be exported as a JSON-friendly dict for the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecorder:
+    """Streaming latency aggregate (count / total / min / max) in milliseconds."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    min_ms: float = float("inf")
+    max_ms: float = 0.0
+
+    def record(self, latency_ms: float) -> None:
+        self.count += 1
+        self.total_ms += latency_ms
+        if latency_ms < self.min_ms:
+            self.min_ms = latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 4),
+            "min_ms": round(self.min_ms, 4) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 4),
+        }
+
+
+@dataclass
+class ServingStats:
+    """Counters for one :class:`~repro.service.executor.QueryExecutor`.
+
+    ``queries`` counts every answered query, split into ``cache_hits`` (served
+    from the result cache), ``dedup_hits`` (piggybacked on an identical
+    in-flight query) and ``executed`` (actually evaluated on an index).
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    executed: int = 0
+    errors: int = 0
+    page_accesses: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    per_index: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_query(
+        self,
+        index_name: str,
+        latency_ms: float,
+        *,
+        cached: bool,
+        deduplicated: bool,
+        page_accesses: int,
+    ) -> None:
+        """Account one answered query (thread-safe)."""
+        with self._lock:
+            self.queries += 1
+            if cached:
+                self.cache_hits += 1
+            elif deduplicated:
+                self.dedup_hits += 1
+            else:
+                self.executed += 1
+            self.page_accesses += page_accesses
+            self.latency.record(latency_ms)
+            recorder = self.per_index.get(index_name)
+            if recorder is None:
+                recorder = self.per_index[index_name] = LatencyRecorder()
+            recorder.record(latency_ms)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "dedup_hits": self.dedup_hits,
+                "executed": self.executed,
+                "errors": self.errors,
+                "page_accesses": self.page_accesses,
+                "latency": self.latency.as_dict(),
+                "per_index": {
+                    name: recorder.as_dict() for name, recorder in self.per_index.items()
+                },
+            }

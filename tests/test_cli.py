@@ -86,6 +86,51 @@ class TestExperiment:
         assert "Performance summary" in capsys.readouterr().out
 
 
+class TestServe:
+    @pytest.fixture()
+    def running_server(self, transaction_file):
+        from repro.cli import _build_parser, build_server
+
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--data", transaction_file, "--name", "web"]
+        )
+        server = build_server(args)
+        server.start()
+        yield server
+        server.shutdown()
+
+    def test_build_server_preloads_the_index(self, running_server):
+        assert running_server.manager.names() == ["web"]
+        assert running_server.manager.get("web").kind == "oif"
+        assert running_server.manager.get("web").num_records == 30
+
+    def test_client_health_and_query(self, running_server, capsys):
+        port = str(running_server.port)
+        assert main(["client", "--port", port, "health"]) == 0
+        assert '"status": "ok"' in capsys.readouterr().out
+        assert main(["client", "--port", port, "query", "web", "subset", "a", "b"]) == 0
+        assert '"record_ids"' in capsys.readouterr().out
+
+    def test_client_insert_and_stats(self, running_server, capsys):
+        port = str(running_server.port)
+        assert main(["client", "--port", port, "insert", "web", "a", "q", "--flush"]) == 0
+        assert '"inserted": 1' in capsys.readouterr().out
+        assert main(["client", "--port", port, "stats"]) == 0
+        assert '"cache"' in capsys.readouterr().out
+
+    def test_client_create_and_drop(self, running_server, transaction_file, capsys):
+        port = str(running_server.port)
+        assert main(["client", "--port", port, "create", "extra", transaction_file]) == 0
+        assert main(["client", "--port", port, "indexes"]) == 0
+        assert '"extra"' in capsys.readouterr().out.split('"indexes"')[-1]
+        assert main(["client", "--port", port, "drop", "extra"]) == 0
+
+    def test_client_error_against_dead_server(self, capsys):
+        code = main(["client", "--port", "1", "health"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

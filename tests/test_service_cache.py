@@ -1,0 +1,146 @@
+"""Unit tests for the serving-layer LRU result cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.interfaces import QueryType
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache, make_key
+
+
+def test_make_key_normalizes_query_type_and_items():
+    key = make_key("idx", "subset", ["b", "a"])
+    assert key == ("idx", QueryType.SUBSET, frozenset({"a", "b"}))
+    assert make_key("idx", QueryType.SUBSET, {"a", "b"}) == key
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ServiceError):
+        ResultCache(capacity=0)
+
+
+def test_hit_and_miss_accounting_is_exact():
+    cache = ResultCache(capacity=4)
+    key = make_key("idx", "subset", {"a"})
+    assert cache.get(key) is None
+    cache.put(key, (1, 2, 3))
+    assert cache.get(key) == (1, 2, 3)
+    assert cache.get(key) == (1, 2, 3)
+    assert cache.get(make_key("idx", "subset", {"b"})) is None
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 2
+    assert stats["hit_rate"] == 0.5
+    assert stats["entries"] == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    first = make_key("idx", "subset", {"a"})
+    second = make_key("idx", "subset", {"b"})
+    third = make_key("idx", "subset", {"c"})
+    cache.put(first, (1,))
+    cache.put(second, (2,))
+    cache.get(first)            # refresh `first` so `second` is the LRU entry
+    cache.put(third, (3,))
+    assert cache.get(second) is None
+    assert cache.get(first) == (1,)
+    assert cache.get(third) == (3,)
+    assert cache.evictions == 1
+
+
+def test_put_refreshes_existing_entry_without_eviction():
+    cache = ResultCache(capacity=2)
+    key = make_key("idx", "equality", {"a"})
+    cache.put(key, (1,))
+    cache.put(key, (1, 2))
+    assert len(cache) == 1
+    assert cache.get(key) == (1, 2)
+    assert cache.evictions == 0
+
+
+def test_invalidate_index_drops_only_that_index():
+    cache = ResultCache(capacity=8)
+    cache.put(make_key("one", "subset", {"a"}), (1,))
+    cache.put(make_key("one", "superset", {"a", "b"}), (2,))
+    cache.put(make_key("two", "subset", {"a"}), (3,))
+    assert cache.invalidate_index("one") == 2
+    assert cache.get(make_key("two", "subset", {"a"})) == (3,)
+    assert cache.get(make_key("one", "subset", {"a"})) is None
+    assert cache.invalidations == 2
+
+
+def test_invalidate_items_is_predicate_aware():
+    cache = ResultCache(capacity=16)
+    subset_hit = make_key("idx", "subset", {"a", "b"})       # qs ⊆ {a,b,c} -> stale
+    subset_safe = make_key("idx", "subset", {"a", "z"})      # z ∉ S -> still valid
+    equality_hit = make_key("idx", "equality", {"a", "b", "c"})
+    equality_safe = make_key("idx", "equality", {"a", "b"})
+    superset_hit = make_key("idx", "superset", {"a", "b", "c", "d"})  # S ⊆ qs -> stale
+    superset_safe = make_key("idx", "superset", {"a", "b"})
+    other_index = make_key("other", "subset", {"a"})
+    for key in (subset_hit, subset_safe, equality_hit, equality_safe,
+                superset_hit, superset_safe, other_index):
+        cache.put(key, (1,))
+
+    dropped = cache.invalidate_items("idx", [frozenset({"a", "b", "c"})])
+
+    assert dropped == 3
+    for stale in (subset_hit, equality_hit, superset_hit):
+        assert cache.get(stale) is None
+    for valid in (subset_safe, equality_safe, superset_safe, other_index):
+        assert cache.get(valid) == (1,)
+
+
+def test_invalidate_items_with_empty_batch_is_a_noop():
+    cache = ResultCache(capacity=4)
+    cache.put(make_key("idx", "subset", {"a"}), (1,))
+    assert cache.invalidate_items("idx", []) == 0
+    assert len(cache) == 1
+
+
+def test_eviction_keeps_the_per_index_registry_consistent():
+    """An evicted entry must not be double-counted by a later invalidation."""
+    cache = ResultCache(capacity=2)
+    first = make_key("one", "subset", {"a"})
+    cache.put(first, (1,))
+    cache.put(make_key("two", "subset", {"a"}), (2,))
+    cache.put(make_key("two", "subset", {"b"}), (3,))  # evicts `first`
+    assert cache.evictions == 1
+    assert cache.invalidate_index("one") == 0
+    assert cache.invalidate_index("two") == 2
+    assert len(cache) == 0
+
+
+def test_clear_counts_as_invalidation():
+    cache = ResultCache(capacity=4)
+    cache.put(make_key("idx", "subset", {"a"}), (1,))
+    cache.put(make_key("idx", "subset", {"b"}), (2,))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.invalidations == 2
+
+
+def test_concurrent_puts_and_gets_respect_capacity():
+    cache = ResultCache(capacity=32)
+    errors: list[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(200):
+                key = make_key("idx", "subset", {f"w{worker_id}", f"i{i % 40}"})
+                cache.put(key, (worker_id, i))
+                cache.get(key)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 32
