@@ -1,0 +1,88 @@
+"""Composite queries: the expression API, the planner and streaming cursors.
+
+Run with::
+
+    python examples/composite_queries.py
+
+The script builds a small market-basket dataset, then answers one boolean
+query three ways — directly on an index, through the experiment runner, and
+over HTTP via the query service — and finally shows what the
+selectivity-aware planner and the streaming ``limit`` cursors buy.
+"""
+
+from __future__ import annotations
+
+from repro import And, Dataset, Not, OrderedInvertedFile, Subset, Superset
+from repro.core.query import Planner
+from repro.experiments import ExperimentRunner
+from repro.workloads import Query
+
+TRANSACTIONS = [
+    {"milk", "bread", "eggs"},
+    {"milk", "bread"},
+    {"bread", "butter", "jam"},
+    {"milk"},
+    {"milk", "butter", "jam", "tea"},
+    {"jam", "tea"},
+    {"milk", "bread", "butter", "jam"},
+    {"bread"},
+    {"milk", "tea"},
+]
+
+#: "Baskets with milk that are *not* just a milk-and-bread run":
+#: Subset(milk) ∧ ¬Superset({milk, bread}).
+EXPRESSION = And((Subset({"milk"}), Not(Superset({"milk", "bread"}))))
+
+
+def query_via_index(dataset: Dataset) -> None:
+    oif = OrderedInvertedFile(dataset)
+    print("expression:", EXPRESSION.canonical_key())
+    print("plan:\n" + oif.execute(EXPRESSION).explain())
+    print("answers via OIF:", oif.evaluate(EXPRESSION))
+
+    # Streaming: a limited cursor stops pulling from the index early.
+    cursor = oif.execute(Subset({"milk"}).limit(2))
+    print("first two milk baskets:", cursor.fetch_all(), "\n")
+
+
+def query_via_runner(dataset: Dataset) -> None:
+    runner = ExperimentRunner()
+    oif = OrderedInvertedFile(dataset)
+    run = runner.run_queries(oif, [Query(EXPRESSION)])
+    cost = run.overall()
+    print(
+        f"runner: {cost.num_queries} query, {cost.mean_answers:.0f} answers, "
+        f"{cost.mean_page_accesses:.1f} page accesses\n"
+    )
+
+
+def query_via_service(dataset: Dataset) -> None:
+    from repro import ServiceClient, ServiceServer
+
+    with ServiceServer(port=0) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("baskets", transactions=[sorted(t) for t in TRANSACTIONS])
+        first = client.query_expr("baskets", EXPRESSION)
+        again = client.query_expr("baskets", EXPRESSION)
+        print(
+            "service:", first["record_ids"],
+            f"(cached on repeat: {again['cached']})\n",
+        )
+
+
+def show_planner_ordering(dataset: Dataset) -> None:
+    planner = Planner(dataset)
+    rare_first = planner.plan(And((Subset({"milk"}), Subset({"tea"}))))
+    print("rarest-conjunct-first plan:\n" + rare_first.explain())
+
+
+def main() -> None:
+    dataset = Dataset.from_transactions(TRANSACTIONS)
+    query_via_index(dataset)
+    query_via_runner(dataset)
+    query_via_service(dataset)
+    show_planner_ordering(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -33,14 +33,22 @@ from repro.baselines import (
     UnorderedBTreeInvertedFile,
 )
 from repro.core import (
+    And,
     Dataset,
+    Equality,
+    Expr,
     ItemOrder,
+    Not,
+    Or,
     OrderedInvertedFile,
     QueryResult,
     QueryType,
     Record,
     SetContainmentIndex,
+    Subset,
+    Superset,
     Vocabulary,
+    expr_from_dict,
 )
 from repro.errors import ReproError, ServiceError
 from repro.storage import Environment
@@ -84,6 +92,14 @@ __all__ = [
     "SetContainmentIndex",
     "QueryType",
     "QueryResult",
+    "And",
+    "Or",
+    "Not",
+    "Subset",
+    "Equality",
+    "Superset",
+    "Expr",
+    "expr_from_dict",
     "Environment",
     "ReproError",
     "ServiceError",

@@ -204,7 +204,7 @@ class InvertedFile(SetContainmentIndex):
 
     # -- query evaluation ----------------------------------------------------------
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_subset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         lists = [self.fetch_list(item) for item in sorted(query, key=str)]
         if any(not postings for postings in lists):
@@ -217,7 +217,7 @@ class InvertedFile(SetContainmentIndex):
                 return []
         return sorted(result)
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_equality(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         cardinality = len(query)
         lists = [self.fetch_list(item) for item in sorted(query, key=str)]
@@ -235,7 +235,7 @@ class InvertedFile(SetContainmentIndex):
                 return []
         return sorted(result)
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_superset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         occurrences: dict[int, int] = {}
         lengths: dict[int, int] = {}

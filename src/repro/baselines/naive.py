@@ -26,19 +26,19 @@ class NaiveScanIndex(SetContainmentIndex):
     def __init__(self, dataset: Dataset, env: Environment | None = None) -> None:
         super().__init__(dataset, env or Environment(cache_bytes=4096, page_size=4096))
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_subset(self, items: frozenset) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if query <= record.items
         )
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_equality(self, items: frozenset) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if query == record.items
         )
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_superset(self, items: frozenset) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if record.items <= query

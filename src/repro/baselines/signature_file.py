@@ -157,7 +157,7 @@ class SignatureFile(SetContainmentIndex):
 
     # -- query evaluation ----------------------------------------------------------
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_subset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         if any(self.order.try_rank_of(item) is None for item in query):
             return []
@@ -169,7 +169,7 @@ class SignatureFile(SetContainmentIndex):
                     result.append(record_id)
         return sorted(result)
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_equality(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         if any(self.order.try_rank_of(item) is None for item in query):
             return []
@@ -181,7 +181,7 @@ class SignatureFile(SetContainmentIndex):
                     result.append(record_id)
         return sorted(result)
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_superset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         query_signature = self.record_signature(query)
         mask = (1 << self.signature_bits) - 1

@@ -154,7 +154,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
 
     # -- query evaluation ----------------------------------------------------------
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_subset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         ranks = self._known_ranks(query)
         if ranks is None:
@@ -174,7 +174,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
             candidates = found
         return sorted(candidates)
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_equality(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         cardinality = len(query)
         ranks = self._known_ranks(query)
@@ -197,7 +197,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
             }
         return sorted(candidates)
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_superset(self, items: frozenset) -> list[int]:
         query = self._check_query(items)
         occurrences: dict[int, int] = {}
         lengths: dict[int, int] = {}

@@ -26,7 +26,7 @@ from typing import Sequence
 from repro import __version__
 from repro.baselines import InvertedFile, SignatureFile, UnorderedBTreeInvertedFile
 from repro.core import OrderedInvertedFile, QueryType
-from repro.core.records import Dataset
+from repro.core.query import expr_from_dict
 from repro.datasets import (
     MsnbcConfig,
     MswebConfig,
@@ -83,12 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--zipf", type=float, default=0.8)
     generate.add_argument("--seed", type=int, default=7)
 
-    query = sub.add_parser("query", help="answer one containment query over a transaction file")
+    query = sub.add_parser(
+        "query", help="answer one containment query or expression over a transaction file"
+    )
     query.add_argument("data", help="transaction file (one record per line)")
-    query.add_argument("predicate", choices=("subset", "equality", "superset"))
-    query.add_argument("items", nargs="+", help="query items")
+    query.add_argument(
+        "predicate", nargs="?", choices=("subset", "equality", "superset"),
+        help="point predicate (omit when using --expr)",
+    )
+    query.add_argument("items", nargs="*", help="query items")
+    query.add_argument(
+        "--expr",
+        help="composite query expression as JSON, e.g. "
+        '\'{"op": "and", "args": [{"op": "subset", "items": ["a"]}, '
+        '{"op": "not", "arg": {"op": "superset", "items": ["a", "b"]}}]}\'',
+    )
     query.add_argument("--index", choices=sorted(_INDEX_CLASSES), default="oif")
     query.add_argument("--limit", type=int, default=20, help="max record ids to print")
+    query.add_argument("--explain", action="store_true", help="print the physical plan")
 
     compare = sub.add_parser("compare", help="compare IF and OIF on a generated workload")
     compare.add_argument("data", help="transaction file (one record per line)")
@@ -143,8 +155,12 @@ def _build_parser() -> argparse.ArgumentParser:
     client_drop.add_argument("name")
     client_query = client_sub.add_parser("query", help="answer one containment query")
     client_query.add_argument("name", help="index name on the server")
-    client_query.add_argument("predicate", choices=("subset", "equality", "superset"))
-    client_query.add_argument("items", nargs="+", help="query items")
+    client_query.add_argument(
+        "predicate", nargs="?", choices=("subset", "equality", "superset"),
+        help="point predicate (omit when using --expr)",
+    )
+    client_query.add_argument("items", nargs="*", help="query items")
+    client_query.add_argument("--expr", help="composite query expression as JSON")
     client_insert = client_sub.add_parser("insert", help="insert one transaction")
     client_insert.add_argument("name", help="index name on the server")
     client_insert.add_argument("items", nargs="+", help="items of the new record")
@@ -174,11 +190,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cli_expr(args: argparse.Namespace):
+    """Resolve the query expression from ``--expr`` or the positional predicate."""
+    if args.expr is not None:
+        if args.predicate or args.items:
+            raise ReproError("pass either --expr or a predicate with items, not both")
+        try:
+            wire = json.loads(args.expr)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"--expr is not valid JSON: {error}") from None
+        return expr_from_dict(wire)
+    if not args.predicate or not args.items:
+        raise ReproError("need a predicate with items, or --expr")
+    return QueryType.parse(args.predicate).leaf(args.items)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = read_transactions(args.data)
     index_class = _INDEX_CLASSES[args.index]
     index = index_class(dataset)
-    result = index.measured_query(QueryType.parse(args.predicate), args.items)
+    expr = _parse_cli_expr(args)
+    if args.explain:
+        # Plan without opening a cursor: executing here would warm the buffer
+        # pool and distort the measured page accesses below.
+        print(index.planner.plan(expr).explain())
+    result = index.measured_execute(expr)
     shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
     suffix = " ..." if result.cardinality > args.limit else ""
     print(f"{result.cardinality} matching records: {shown}{suffix}")
@@ -293,6 +329,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
         payload = client.drop_index(args.name)
     elif args.action == "insert":
         payload = client.insert(args.name, [args.items], flush=args.flush)
+    elif args.expr is not None:
+        if args.predicate or args.items:
+            raise ReproError("pass either --expr or a predicate with items, not both")
+        try:
+            payload = client.query_expr(args.name, json.loads(args.expr))
+        except json.JSONDecodeError as error:
+            raise ReproError(f"--expr is not valid JSON: {error}") from None
+    elif not args.predicate or not args.items:
+        raise ReproError("need a predicate with items, or --expr")
     else:
         payload = client.query(args.name, args.predicate, args.items)
     print(json.dumps(payload, indent=2, sort_keys=True))

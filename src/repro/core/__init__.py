@@ -10,6 +10,18 @@ from repro.core.items import Item, ItemOrder, Vocabulary
 from repro.core.metadata import MetadataRegion, MetadataTable
 from repro.core.oif import OIFBuildReport, OrderedInvertedFile
 from repro.core.ordering import OrderedDataset, order_dataset
+from repro.core.query import (
+    And,
+    Cursor,
+    Equality,
+    Expr,
+    Not,
+    Or,
+    Planner,
+    Subset,
+    Superset,
+    expr_from_dict,
+)
 from repro.core.records import Dataset, Record
 from repro.core.roi import RangeOfInterest, equality_roi, subset_roi, superset_rois
 from repro.core.sequence import SequenceForm, sequence_form
@@ -35,4 +47,14 @@ __all__ = [
     "QueryType",
     "QueryResult",
     "SetContainmentIndex",
+    "And",
+    "Cursor",
+    "Equality",
+    "Expr",
+    "Not",
+    "Or",
+    "Planner",
+    "Subset",
+    "Superset",
+    "expr_from_dict",
 ]

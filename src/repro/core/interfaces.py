@@ -5,16 +5,38 @@ file, an unordered B-tree variant, and — in related work — signature files).
 All of them answer the same three predicates, so they implement one abstract
 base class, :class:`SetContainmentIndex`, and the experiment runner treats
 them interchangeably.
+
+Since the query-expression redesign, the single entry point is
+:meth:`SetContainmentIndex.execute`: it accepts any
+:class:`~repro.core.query.expr.Expr` (leaves, ``And``/``Or``/``Not``
+combinations, ``limit``/``offset`` modifiers), plans it rarest-conjunct-first
+with the dataset's item-frequency statistics and returns a streaming
+:class:`~repro.core.query.cursor.Cursor`.  Subclasses implement only the
+three per-predicate probe primitives (``_probe_subset`` /
+``_probe_equality`` / ``_probe_superset``); the historical ``subset_query`` /
+``equality_query`` / ``superset_query`` / ``query`` / ``measured_query``
+methods remain as thin compatibility shims over ``execute``.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.core.items import Item
+from repro.core.query.cursor import Cursor
+from repro.core.query.expr import (
+    Equality,
+    Expr,
+    Leaf,
+    Subset,
+    Superset,
+    leaf_for,
+)
+from repro.core.query.planner import Planner
 from repro.core.records import Dataset
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
@@ -33,6 +55,11 @@ class QueryType(enum.Enum):
         """Accept either an enum member or its string name/value."""
         if isinstance(value, cls):
             return value
+        if not isinstance(value, str):
+            raise QueryError(
+                f"unknown query type {value!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            )
         try:
             return cls(value.lower())
         except ValueError:
@@ -41,12 +68,21 @@ class QueryType(enum.Enum):
                 f"{[member.value for member in cls]}"
             ) from None
 
+    def leaf(self, items: Iterable[Item]) -> Leaf:
+        """The expression leaf evaluating this predicate over ``items``."""
+        return leaf_for(self.value, items)
+
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Answer of one containment query plus the I/O it caused."""
+    """Answer of one query expression plus the I/O it caused.
 
-    query_type: QueryType
+    ``query_type`` is the predicate for single-leaf expressions and ``None``
+    for composite ones; ``query_items`` is the union of all items the
+    expression references (what the figures group by).
+    """
+
+    query_type: "QueryType | None"
     query_items: frozenset
     record_ids: tuple[int, ...]
     page_accesses: int
@@ -54,6 +90,7 @@ class QueryResult:
     sequential_reads: int
     io_time_ms: float
     cpu_time_ms: float
+    expr: "Expr | None" = None
 
     @property
     def cardinality(self) -> int:
@@ -69,8 +106,11 @@ class QueryResult:
 class SetContainmentIndex(ABC):
     """Abstract base class for indexes answering containment queries.
 
-    Subclasses must implement the three ``*_query`` methods, returning record
-    ids of the *source dataset* (never internal ids) as a sorted list.
+    Subclasses implement the three ``_probe_*`` primitives, returning record
+    ids of the *source dataset* (never internal ids) as a sorted list; an
+    access method with a cheaper streaming path may additionally override
+    :meth:`probe` to yield ids lazily (the OIF streams single-item subset
+    probes block by block, which is what makes ``limit`` stop early).
     """
 
     #: Human-readable name used in experiment reports ("IF", "OIF", ...).
@@ -79,29 +119,107 @@ class SetContainmentIndex(ABC):
     def __init__(self, dataset: Dataset, env: Environment) -> None:
         self.dataset = dataset
         self.env = env
+        self._planner: "Planner | None" = None
 
-    # -- queries -------------------------------------------------------------------
+    # -- probe primitives (implemented by each access method) ------------------------
 
     @abstractmethod
+    def _probe_subset(self, items: frozenset) -> list[int]:
+        """Records ``t`` with ``items ⊆ t.s``."""
+
+    @abstractmethod
+    def _probe_equality(self, items: frozenset) -> list[int]:
+        """Records ``t`` with ``items = t.s``."""
+
+    @abstractmethod
+    def _probe_superset(self, items: frozenset) -> list[int]:
+        """Records ``t`` with ``t.s ⊆ items``."""
+
+    def probe(self, leaf: Leaf) -> Iterator[int]:
+        """Stream the record ids answering one predicate leaf."""
+        if isinstance(leaf, Subset):
+            return iter(self._probe_subset(leaf.items))
+        if isinstance(leaf, Equality):
+            return iter(self._probe_equality(leaf.items))
+        if isinstance(leaf, Superset):
+            return iter(self._probe_superset(leaf.items))
+        raise QueryError(f"cannot probe non-leaf expression {leaf!r}")
+
+    # -- the expression API ----------------------------------------------------------
+
+    @property
+    def planner(self) -> Planner:
+        """The selectivity-aware planner over this index's dataset statistics."""
+        if self._planner is None:
+            self._planner = Planner(self.dataset)
+        return self._planner
+
+    def execute(self, expr: Expr, planner: "Planner | None" = None) -> Cursor:
+        """Plan ``expr`` and return a streaming cursor over its record ids.
+
+        The cursor yields ids lazily in plan order; pass a custom ``planner``
+        to override the default rarest-conjunct-first strategy.
+        """
+        if not isinstance(expr, Expr):
+            raise QueryError(f"execute() needs a query expression, got {expr!r}")
+        normalized = expr.normalize()
+        plan = (planner or self.planner).plan(normalized)
+        return Cursor(self, plan, normalized)
+
+    def evaluate(self, expr: Expr) -> list[int]:
+        """Answer ``expr`` fully materialized, as an ascending id list."""
+        return sorted(self.execute(expr))
+
+    def measured_execute(
+        self, expr: Expr, planner: "Planner | None" = None
+    ) -> QueryResult:
+        """Run an expression and package the answer together with its cost.
+
+        The buffer pool is *not* dropped here; the experiment runner decides
+        the caching regime (the paper keeps a minimal cache across queries).
+        """
+        cursor = self.execute(expr, planner=planner)
+        start = time.perf_counter()
+        record_ids = tuple(sorted(cursor.fetch_all()))
+        cpu_seconds = time.perf_counter() - start
+        delta = cursor.io_delta()
+        normalized = cursor.expr
+        leaf = normalized if isinstance(normalized, Leaf) else None
+        return QueryResult(
+            query_type=QueryType(leaf.op) if leaf else None,
+            query_items=normalized.referenced_items(),
+            record_ids=record_ids,
+            page_accesses=delta.page_reads,
+            random_reads=delta.random_reads,
+            sequential_reads=delta.sequential_reads,
+            io_time_ms=delta.io_time_ms(self.stats.disk_model),
+            cpu_time_ms=cpu_seconds * 1000.0,
+            expr=normalized,
+        )
+
+    # -- compatibility shims over the expression API ---------------------------------
+
     def subset_query(self, items: Iterable[Item]) -> list[int]:
         """Records ``t`` with ``qs ⊆ t.s``."""
+        return self.evaluate(Subset(frozenset(items)))
 
-    @abstractmethod
     def equality_query(self, items: Iterable[Item]) -> list[int]:
         """Records ``t`` with ``qs = t.s``."""
+        return self.evaluate(Equality(frozenset(items)))
 
-    @abstractmethod
     def superset_query(self, items: Iterable[Item]) -> list[int]:
         """Records ``t`` with ``t.s ⊆ qs``."""
+        return self.evaluate(Superset(frozenset(items)))
 
     def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
         """Dispatch to the right predicate by :class:`QueryType`."""
-        query_type = QueryType.parse(query_type)
-        if query_type is QueryType.SUBSET:
-            return self.subset_query(items)
-        if query_type is QueryType.EQUALITY:
-            return self.equality_query(items)
-        return self.superset_query(items)
+        return self.evaluate(QueryType.parse(query_type).leaf(items))
+
+    def measured_query(
+        self, query_type: "QueryType | str", items: Iterable[Item]
+    ) -> QueryResult:
+        """Single-predicate :meth:`measured_execute` (kept for compatibility)."""
+        return self.measured_execute(QueryType.parse(query_type).leaf(items))
 
     # -- instrumentation -----------------------------------------------------------
 
@@ -118,31 +236,3 @@ class SetContainmentIndex(ABC):
     def drop_cache(self) -> None:
         """Empty the buffer pool so the next query starts cold."""
         self.env.drop_cache()
-
-    def measured_query(
-        self, query_type: "QueryType | str", items: Iterable[Item]
-    ) -> QueryResult:
-        """Run a query and package the answer together with its cost.
-
-        The buffer pool is *not* dropped here; the experiment runner decides
-        the caching regime (the paper keeps a minimal cache across queries).
-        """
-        import time
-
-        query_type = QueryType.parse(query_type)
-        item_set = frozenset(items)
-        before = self.stats.snapshot()
-        start = time.perf_counter()
-        record_ids = tuple(self.query(query_type, item_set))
-        cpu_seconds = time.perf_counter() - start
-        delta = self.stats.since(before)
-        return QueryResult(
-            query_type=query_type,
-            query_items=item_set,
-            record_ids=record_ids,
-            page_accesses=delta.page_reads,
-            random_reads=delta.random_reads,
-            sequential_reads=delta.sequential_reads,
-            io_time_ms=delta.io_time_ms(self.stats.disk_model),
-            cpu_time_ms=cpu_seconds * 1000.0,
-        )

@@ -32,7 +32,7 @@ from repro.core.items import Item, ItemOrder
 from repro.core.metadata import MetadataTable
 from repro.core.ordering import OrderedDataset, order_dataset
 from repro.core.records import Dataset
-from repro.core.roi import RangeOfInterest
+from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
 from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
@@ -271,6 +271,7 @@ class OrderedInvertedFile(SetContainmentIndex):
 
         self._ordered = ordered
         self._table = table
+        self._planner = None  # dataset statistics may have changed
         saved = ordered.metadata.covered_postings() if self.use_metadata else 0
         self.build_report = OIFBuildReport(
             num_records=len(self.dataset),
@@ -390,7 +391,7 @@ class OrderedInvertedFile(SetContainmentIndex):
 
     # -- the three containment predicates -------------------------------------------
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_subset(self, items: frozenset) -> list[int]:
         """Records whose set-value contains every query item (Algorithm 1)."""
         item_set = self._check_query(items)
         ranks = self.query_ranks(item_set)
@@ -398,7 +399,7 @@ class OrderedInvertedFile(SetContainmentIndex):
             return []
         return self.to_original_ids(_queries.evaluate_subset(self, ranks))
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_equality(self, items: frozenset) -> list[int]:
         """Records whose set-value equals the query set (Section 4.2)."""
         item_set = self._check_query(items)
         ranks = self.query_ranks(item_set)
@@ -406,7 +407,7 @@ class OrderedInvertedFile(SetContainmentIndex):
             return []
         return self.to_original_ids(_queries.evaluate_equality(self, ranks))
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
+    def _probe_superset(self, items: frozenset) -> list[int]:
         """Records whose set-value is contained in the query set (Algorithm 2)."""
         item_set = self._check_query(items)
         ranks: list[int] = []
@@ -417,6 +418,37 @@ class OrderedInvertedFile(SetContainmentIndex):
         if not ranks:
             return []
         return self.to_original_ids(_queries.evaluate_superset(self, tuple(sorted(ranks))))
+
+    def probe(self, leaf) -> Iterator[int]:
+        """Stream one predicate leaf; single-item subset probes stay lazy.
+
+        A single-item subset query is the item's inverted list plus its
+        metadata region, which the block scan yields in physical order — so a
+        ``limit`` cursor that stops after ``k`` ids never loads the remaining
+        blocks' data pages.  Multi-item predicates intersect whole candidate
+        sets and therefore materialize before yielding.
+        """
+        from repro.core.query.expr import Subset
+
+        if isinstance(leaf, Subset) and len(leaf.items) == 1:
+            rank = self.order.try_rank_of(next(iter(leaf.items)))
+            if rank is None:
+                return iter(())
+            return self._stream_single_item_subset(rank)
+        return super().probe(leaf)
+
+    def _stream_single_item_subset(self, item_rank: int) -> Iterator[int]:
+        """Yield the item's list (and metadata region) block by block."""
+        ordered = self.ordered
+        roi = subset_roi((item_rank,), self.domain_size)
+        for _block_key, block in self.scan_blocks(item_rank, roi):
+            for posting in block.postings():
+                yield ordered.original_id(posting.record_id)
+        if self.use_metadata:
+            region = self.metadata.region_for(item_rank)
+            if region is not None:
+                for internal_id in range(region.lower, region.upper + 1):
+                    yield ordered.original_id(internal_id)
 
     @staticmethod
     def _check_query(items: Iterable[Item]) -> frozenset:

@@ -1,0 +1,67 @@
+"""Composable query expressions, the selectivity-aware planner and cursors.
+
+This package is the library's query front end:
+
+* :mod:`repro.core.query.expr` — the immutable expression AST (``Subset``,
+  ``Equality``, ``Superset`` leaves; ``And``/``Or``/``Not`` combinators;
+  ``limit``/``offset`` stream modifiers) with normalization and a canonical
+  hashable form;
+* :mod:`repro.core.query.planner` — plans expressions rarest-conjunct-first
+  from the dataset's item-frequency statistics, mirroring the ``<_D``
+  ordering principle of the paper one level up;
+* :mod:`repro.core.query.cursor` — lazy, stats-aware execution of the plans.
+
+Indexes expose it through :meth:`repro.core.interfaces.SetContainmentIndex.execute`::
+
+    from repro.core.query import And, Not, Subset, Superset
+
+    expr = And((Subset({"milk", "bread"}), Not(Superset({"milk", "bread", "eggs"}))))
+    for record_id in oif.execute(expr.limit(10)):
+        ...
+"""
+
+from repro.core.query.cursor import Cursor
+from repro.core.query.expr import (
+    And,
+    Equality,
+    Expr,
+    Leaf,
+    Limit,
+    Not,
+    Or,
+    Subset,
+    Superset,
+    expr_from_dict,
+    leaf_for,
+)
+from repro.core.query.planner import (
+    FilterPlan,
+    Plan,
+    Planner,
+    ProbePlan,
+    ScanPlan,
+    SlicePlan,
+    UnionPlan,
+)
+
+__all__ = [
+    "And",
+    "Cursor",
+    "Equality",
+    "Expr",
+    "FilterPlan",
+    "Leaf",
+    "Limit",
+    "Not",
+    "Or",
+    "Plan",
+    "Planner",
+    "ProbePlan",
+    "ScanPlan",
+    "SlicePlan",
+    "Subset",
+    "Superset",
+    "UnionPlan",
+    "expr_from_dict",
+    "leaf_for",
+]

@@ -9,7 +9,7 @@ the brute-force oracle used for testing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.items import Item, Vocabulary
 from repro.errors import DatasetError

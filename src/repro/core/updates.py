@@ -30,8 +30,7 @@ from repro.core.items import Item
 from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset, Record
 from repro.errors import QueryError
-from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
-from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.kvstore import Environment
 
 
 class DeltaInvertedFile:
@@ -176,6 +175,37 @@ class _UpdatableBase:
         """Dispatch helper mirroring :meth:`SetContainmentIndex.query`."""
         return self._combined(self.index, QueryType.parse(query_type).value, items)
 
+    def evaluate(self, expr) -> list[int]:
+        """Answer a query expression over the disk index *and* the delta buffer.
+
+        The base index evaluates the expression through its planner/cursor
+        machinery; the buffered records — memory resident and few — are
+        checked with the expression's per-record semantics.  A ``limit`` is
+        applied only after merging, so a buffered record cannot be shadowed
+        by an early-stopping disk cursor.
+        """
+        from repro.core.query.expr import Expr, Limit
+
+        if not isinstance(expr, Expr):
+            raise QueryError(f"evaluate() needs a query expression, got {expr!r}")
+        normalized = expr.normalize()
+        count, offset = None, 0
+        if isinstance(normalized, Limit):
+            count, offset = normalized.count, normalized.offset
+            normalized = normalized.operand
+        base = self.index.evaluate(normalized)
+        if len(self.delta):
+            fresh = [
+                record.record_id
+                for record in self.delta.records
+                if normalized.matches(record.items)
+            ]
+            base = sorted(set(base) | set(fresh))
+        if count is None and offset == 0:
+            return base
+        upper = None if count is None else offset + count
+        return base[offset:upper]
+
 
 class UpdatableOIF(_UpdatableBase):
     """OIF with a delta buffer; the merge re-sorts and rebuilds the index."""
@@ -242,6 +272,9 @@ class UpdatableIF(_UpdatableBase):
 
         self.dataset = Dataset(list(self.dataset) + fresh_records)
         self.index.dataset = self.dataset
+        # The cached planner was built from the pre-merge frequency stats;
+        # drop it so new items are not mistaken for maximally rare ones.
+        self.index._planner = None
         self.delta.clear()
         return UpdateReport(
             index_name=self.index.name,

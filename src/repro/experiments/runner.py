@@ -68,7 +68,7 @@ class GroupCost:
     """Aggregated cost of one (index, query type, group) cell of a figure."""
 
     index_name: str
-    query_type: QueryType
+    query_type: "QueryType | None"
     group: object
     num_queries: int
     mean_page_accesses: float
@@ -89,7 +89,7 @@ class RunResult:
     """All measurements of one workload replay on one index."""
 
     index_name: str
-    query_type: QueryType
+    query_type: "QueryType | None"
     results: list[QueryResult] = field(default_factory=list)
 
     def group_by(self, key: Callable[[QueryResult], object]) -> list[GroupCost]:
@@ -149,7 +149,7 @@ class ExperimentRunner:
         for query in queries:
             if self.drop_cache_per_query:
                 index.drop_cache()
-            run.results.append(index.measured_query(query.query_type, query.items))
+            run.results.append(index.measured_execute(query.expr))
         return run
 
     def run_workload(self, index: SetContainmentIndex, workload: Workload) -> RunResult:

@@ -2,21 +2,22 @@
 
 The paper's workloads are skewed — a few hot items dominate the queries — so a
 small result cache absorbs a disproportionate share of the traffic.  Entries
-are keyed by ``(index_name, query_type, frozenset(query_items))`` and hold the
-matching record ids.
+are keyed by ``(index_name, normalized_expression)``: the normalized
+:class:`~repro.core.query.expr.Expr` *is* the canonical hashable form of a
+query, so two requests that differ only in construction order (operand
+nesting, duplicate conjuncts, double negation, item ordering) share one cache
+slot.
 
 Invalidation is *predicate-aware*.  Inserting a record with item-set ``S``
-into an index can only change:
-
-* **subset** results whose query set is contained in ``S`` (the new record is
-  a fresh answer exactly when ``qs ⊆ S``);
-* the single **equality** result with ``qs = S``;
-* **superset** results whose query set contains ``S`` (``S ⊆ qs``).
-
-Everything else stays valid, so hot entries survive unrelated updates.
-Dropping an index flushes all of its entries; a rebuild keeps them, because
-the rebuild path preserves record ids and the delta's answers, so every
-cached result stays correct across the swap.
+into an index can only change a cached result whose expression **matches**
+``S`` — for the point predicates this reduces to the classic rules (a subset
+result is stale exactly when ``qs ⊆ S``, an equality result when ``qs = S``,
+a superset result when ``S ⊆ qs``), and for boolean combinations the
+expression's own per-record semantics decide.  Everything else stays valid,
+so hot entries survive unrelated updates.  Dropping an index flushes all of
+its entries; a rebuild keeps them, because the rebuild path preserves record
+ids and the delta's answers, so every cached result stays correct across the
+swap.
 """
 
 from __future__ import annotations
@@ -26,15 +27,30 @@ from collections import OrderedDict
 from typing import Iterable
 
 from repro.core.interfaces import QueryType
+from repro.core.query.expr import Expr
 from repro.errors import ServiceError
 
-#: Cache key: ``(index_name, query_type, query_items)``.
-CacheKey = tuple[str, QueryType, frozenset]
+#: Cache key: ``(index_name, normalized_expression)``.
+CacheKey = tuple[str, Expr]
 
 
-def make_key(index_name: str, query_type: "QueryType | str", items: Iterable) -> CacheKey:
-    """Normalize a query into its cache key."""
-    return (index_name, QueryType.parse(query_type), frozenset(items))
+def make_key(
+    index_name: str,
+    query: "Expr | QueryType | str",
+    items: "Iterable | None" = None,
+) -> CacheKey:
+    """Normalize a query into its cache key.
+
+    Accepts either a full expression (``make_key(name, expr)``) or the
+    legacy point-predicate form (``make_key(name, query_type, items)``).
+    """
+    if isinstance(query, Expr):
+        if items is not None:
+            raise ServiceError("pass either an expression or (query_type, items), not both")
+        return (index_name, query.normalize())
+    if items is None:
+        raise ServiceError(f"a {query!r} query needs an item set")
+    return (index_name, QueryType.parse(query).leaf(items).normalize())
 
 
 class ResultCache:
@@ -130,12 +146,11 @@ class ResultCache:
 
     @staticmethod
     def _affected(key: CacheKey, inserted: list[frozenset]) -> bool:
-        _, query_type, query_items = key
-        if query_type is QueryType.SUBSET:
-            return any(query_items <= items for items in inserted)
-        if query_type is QueryType.EQUALITY:
-            return any(query_items == items for items in inserted)
-        return any(items <= query_items for items in inserted)
+        # A fresh record can change a cached answer only if the expression
+        # matches its set-value (for limit queries, ``matches`` checks the
+        # inner predicate — a conservative superset of the affected entries).
+        _, expr = key
+        return any(expr.matches(items) for items in inserted)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

@@ -98,10 +98,20 @@ class ServiceClient:
             {"index": index, "type": query_type, "items": [str(item) for item in items]},
         )
 
+    def query_expr(self, index: str, expr) -> dict:
+        """Run one composite query expression.
+
+        ``expr`` is a :class:`~repro.core.query.expr.Expr` or its wire-format
+        dict (the server parses either shape of the ``expr`` payload).
+        """
+        wire = expr.to_dict() if hasattr(expr, "to_dict") else expr
+        return self._request("POST", "/query", {"index": index, "expr": wire})
+
     def batch(
         self, queries: Sequence[dict], *, index: "str | None" = None
     ) -> list[dict]:
-        """Run many queries at once; each dict holds ``type``/``items`` (+``index``)."""
+        """Run many queries at once; each dict holds ``expr`` or ``type``/``items``
+        (plus an optional per-query ``index``)."""
         payload: dict = {"queries": list(queries)}
         if index is not None:
             payload["index"] = index

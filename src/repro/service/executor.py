@@ -1,16 +1,18 @@
 """Concurrent query execution with result caching and in-flight deduplication.
 
-The executor is the serving hot path.  Each query goes through three gates:
+The executor is the serving hot path.  Each query — a full expression, not
+just a point predicate — goes through three gates:
 
 1. **Result cache** — a hit is answered immediately, without touching the
    thread pool or any index (the skewed workloads of the paper make this the
    common case for hot query sets);
-2. **In-flight dedup** — if an *identical* query (same index, predicate and
-   item set) is already being evaluated, the new request piggybacks on its
-   future instead of evaluating the query twice;
+2. **In-flight dedup** — if an *equivalent* query (same index and same
+   normalized expression) is already being evaluated, the new request
+   piggybacks on its future instead of evaluating the query twice;
 3. **Thread pool** — otherwise the query is dispatched to a worker, which
-   takes the target index's lock, evaluates the predicate, charges the page
-   accesses and populates the cache.
+   takes the target index's lock, evaluates the expression through the
+   planner/cursor machinery, charges the page accesses and populates the
+   cache.
 
 Batches (:meth:`QueryExecutor.execute_batch`) dispatch every query before
 waiting on any, so independent queries overlap across indexes and cache hits
@@ -26,8 +28,9 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.interfaces import QueryType
+from repro.core.query.expr import Expr, Leaf
 from repro.errors import ServiceError, UnknownIndexError
-from repro.service.cache import CacheKey, ResultCache, make_key
+from repro.service.cache import CacheKey, ResultCache
 from repro.service.index_manager import IndexManager
 from repro.service.stats import ServingStats
 
@@ -36,24 +39,34 @@ DEFAULT_WORKERS = 4
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One containment query addressed to a named resident index."""
+    """One query expression addressed to a named resident index.
+
+    ``expr`` is stored normalized, so equal requests — however they were
+    phrased — share one cache slot and one in-flight future.
+    """
 
     index: str
-    query_type: QueryType
-    items: frozenset
+    expr: Expr
+
+    @classmethod
+    def of(cls, index: str, expr: Expr) -> "QueryRequest":
+        if not isinstance(expr, Expr):
+            raise ServiceError(f"a query needs an expression, got {expr!r}")
+        return cls(index=index, expr=expr.normalize())
 
     @classmethod
     def coerce(
         cls, index: str, query_type: "QueryType | str", items: Iterable
     ) -> "QueryRequest":
+        """Build a point-predicate request (the pre-expression calling style)."""
         item_set = frozenset(items)
         if not item_set:
             raise ServiceError("a containment query needs at least one item")
-        return cls(index=index, query_type=QueryType.parse(query_type), items=item_set)
+        return cls.of(index, QueryType.parse(query_type).leaf(item_set))
 
     @property
     def key(self) -> CacheKey:
-        return make_key(self.index, self.query_type, self.items)
+        return (self.index, self.expr)
 
 
 @dataclass(frozen=True)
@@ -61,8 +74,7 @@ class QueryOutcome:
     """Answer of one served query plus how it was produced."""
 
     index: str
-    query_type: QueryType
-    items: frozenset
+    expr: Expr
     record_ids: tuple[int, ...]
     cached: bool
     deduplicated: bool
@@ -70,15 +82,30 @@ class QueryOutcome:
     page_accesses: int
 
     @property
+    def query_type(self) -> "QueryType | None":
+        """The predicate for point queries, ``None`` for composite expressions."""
+        if isinstance(self.expr, Leaf):
+            return QueryType(self.expr.op)
+        return None
+
+    @property
+    def items(self) -> frozenset:
+        """All items the expression references (the leaf's set for point queries)."""
+        return self.expr.referenced_items()
+
+    @property
     def cardinality(self) -> int:
         return len(self.record_ids)
 
     def as_dict(self) -> dict:
-        """JSON-friendly rendering for the HTTP layer."""
-        return {
+        """JSON-friendly rendering for the HTTP layer.
+
+        Point queries keep the legacy ``type``/``items`` fields; every
+        outcome additionally carries the expression in wire form.
+        """
+        out = {
             "index": self.index,
-            "type": self.query_type.value,
-            "items": sorted(self.items, key=str),
+            "expr": self.expr.to_dict(),
             "record_ids": list(self.record_ids),
             "cardinality": self.cardinality,
             "cached": self.cached,
@@ -86,10 +113,15 @@ class QueryOutcome:
             "latency_ms": round(self.latency_ms, 4),
             "page_accesses": self.page_accesses,
         }
+        query_type = self.query_type
+        if query_type is not None:
+            out["type"] = query_type.value
+            out["items"] = sorted(self.expr.referenced_items(), key=str)
+        return out
 
 
 class QueryExecutor:
-    """Dispatches containment queries over a thread pool with caching/dedup."""
+    """Dispatches query expressions over a thread pool with caching/dedup."""
 
     def __init__(
         self,
@@ -126,13 +158,10 @@ class QueryExecutor:
 
     # -- public API ------------------------------------------------------------------
 
-    def submit(
-        self, index: str, query_type: "QueryType | str", items: Iterable
-    ) -> "Future[QueryOutcome]":
-        """Schedule one query; returns a future resolving to its outcome."""
+    def submit_request(self, request: QueryRequest) -> "Future[QueryOutcome]":
+        """Schedule one request; returns a future resolving to its outcome."""
         if self._closed:
             raise ServiceError("the query executor has been shut down")
-        request = QueryRequest.coerce(index, query_type, items)
         start = time.perf_counter()
 
         # Optimistic lock-free probe first: a cached value is valid to serve
@@ -148,7 +177,7 @@ class QueryExecutor:
         # Cache probe and in-flight registration happen under one lock: a
         # primary for the same key pops itself from the in-flight map only
         # *after* populating the cache, so checking in this order can never
-        # miss both and evaluate an identical query a second time.
+        # miss both and evaluate an equivalent query a second time.
         with self._inflight_lock:
             primary = self._inflight.get(request.key)
             if primary is None:
@@ -161,22 +190,39 @@ class QueryExecutor:
                 return primary
         return self._piggyback(request, primary, start)
 
+    def submit_expr(self, index: str, expr: Expr) -> "Future[QueryOutcome]":
+        """Schedule one expression against a named index."""
+        return self.submit_request(QueryRequest.of(index, expr))
+
+    def submit(
+        self, index: str, query_type: "QueryType | str", items: Iterable
+    ) -> "Future[QueryOutcome]":
+        """Schedule one point-predicate query (compatibility entry point)."""
+        return self.submit_request(QueryRequest.coerce(index, query_type, items))
+
+    def execute_expr(self, index: str, expr: Expr) -> QueryOutcome:
+        """Answer one expression, blocking until it resolves."""
+        return self.submit_expr(index, expr).result()
+
     def execute(
         self, index: str, query_type: "QueryType | str", items: Iterable
     ) -> QueryOutcome:
-        """Answer one query, blocking until it resolves."""
+        """Answer one point-predicate query, blocking until it resolves."""
         return self.submit(index, query_type, items).result()
 
-    def execute_batch(
-        self, requests: Sequence[tuple]
-    ) -> list[QueryOutcome]:
-        """Answer a batch of ``(index, query_type, items)`` triples.
+    def execute_batch(self, requests: Sequence[tuple]) -> list[QueryOutcome]:
+        """Answer a batch of ``(index, expr)`` pairs or ``(index, type, items)`` triples.
 
         Every query is dispatched before any result is awaited, so the batch
         runs with the full concurrency of the pool; results come back in
         request order.
         """
-        futures = [self.submit(index, qtype, items) for index, qtype, items in requests]
+        futures = []
+        for request in requests:
+            if len(request) == 2:
+                futures.append(self.submit_expr(*request))
+            else:
+                futures.append(self.submit(*request))
         return [future.result() for future in futures]
 
     def shutdown(self, wait: bool = True) -> None:
@@ -198,8 +244,7 @@ class QueryExecutor:
         """Package a cache hit as an already-resolved future."""
         outcome = QueryOutcome(
             index=request.index,
-            query_type=request.query_type,
-            items=request.items,
+            expr=request.expr,
             record_ids=record_ids,
             cached=True,
             deduplicated=False,
@@ -226,9 +271,7 @@ class QueryExecutor:
             with entry.lock:
                 if entry.dropped:
                     raise UnknownIndexError(f"no index named {request.index!r}")
-                record_ids, page_accesses = entry.measured_query(
-                    request.query_type, request.items
-                )
+                record_ids, page_accesses = entry.measured_expr(request.expr)
                 if self.cache is not None:
                     self.cache.put(request.key, record_ids)
                 # Deregister from in-flight while still holding the index
@@ -241,8 +284,7 @@ class QueryExecutor:
                     deregistered = True
             outcome = QueryOutcome(
                 index=request.index,
-                query_type=request.query_type,
-                items=request.items,
+                expr=request.expr,
                 record_ids=record_ids,
                 cached=False,
                 deduplicated=False,
@@ -279,8 +321,7 @@ class QueryExecutor:
             result = done.result()
             outcome = QueryOutcome(
                 index=result.index,
-                query_type=result.query_type,
-                items=result.items,
+                expr=result.expr,
                 record_ids=result.record_ids,
                 cached=result.cached,
                 deduplicated=True,

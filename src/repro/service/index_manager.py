@@ -26,13 +26,11 @@ import threading
 import time
 from typing import Iterable, Iterator
 
-from repro.baselines.inverted_file import InvertedFile
 from repro.baselines.naive import NaiveScanIndex
 from repro.baselines.signature_file import SignatureFile
 from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
 from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
-from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset
 from repro.core.updates import UpdatableIF, UpdatableOIF, UpdateReport
 from repro.errors import ServiceError, UnknownIndexError
@@ -143,15 +141,24 @@ class ManagedIndex:
         with self.lock:
             return self._handle.query(query_type, items)
 
+    def evaluate(self, expr) -> list[int]:
+        """Answer one query expression (delta-aware for updatable kinds)."""
+        with self.lock:
+            return self._handle.evaluate(expr)
+
+    def measured_expr(self, expr) -> tuple[tuple[int, ...], int]:
+        """Answer an expression and return ``(record_ids, page_accesses)``."""
+        with self.lock:
+            before = self.index.stats.snapshot()
+            record_ids = tuple(self.evaluate(expr))
+            delta = self.index.stats.since(before)
+            return record_ids, delta.page_reads
+
     def measured_query(
         self, query_type: "QueryType | str", items: Iterable[Item]
     ) -> tuple[tuple[int, ...], int]:
-        """Answer a query and return ``(record_ids, page_accesses)``."""
-        with self.lock:
-            before = self.index.stats.snapshot()
-            record_ids = tuple(self.query(query_type, items))
-            delta = self.index.stats.since(before)
-            return record_ids, delta.page_reads
+        """Answer a point query and return ``(record_ids, page_accesses)``."""
+        return self.measured_expr(QueryType.parse(query_type).leaf(items))
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
         """Buffer new records (updatable kinds only); fires update listeners."""

@@ -31,6 +31,16 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
+from repro.core.query.expr import (
+    And,
+    Expr,
+    Leaf,
+    Limit,
+    Not,
+    Or,
+    expr_from_dict,
+    leaf_for,
+)
 from repro.core.records import Dataset
 from repro.datasets.io import read_transactions
 from repro.errors import ReproError, ServiceError, UnknownIndexError
@@ -40,6 +50,23 @@ from repro.service.index_manager import IndexManager
 
 #: Request body ceiling — a 100K-transaction dataset fits comfortably.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _stringify_items(expr: Expr) -> Expr:
+    """Coerce every leaf's items to strings, mirroring the transaction ingest.
+
+    Served datasets are built from JSON transactions whose items are
+    stringified on the way in, so expression items must match.
+    """
+    if isinstance(expr, Leaf):
+        return type(expr)(frozenset(str(item) for item in expr.items))
+    if isinstance(expr, (And, Or)):
+        return type(expr)(tuple(_stringify_items(child) for child in expr.operands))
+    if isinstance(expr, Not):
+        return Not(_stringify_items(expr.operand))
+    if isinstance(expr, Limit):
+        return Limit(_stringify_items(expr.operand), count=expr.count, offset=expr.offset)
+    return expr
 
 
 class ServiceServer:
@@ -180,10 +207,8 @@ class ServiceServer:
         return entry.describe()
 
     def run_query(self, payload: dict) -> dict:
-        outcome = self.executor.execute(
-            self._field(payload, "index"),
-            self._field(payload, "type"),
-            self._items(payload),
+        outcome = self.executor.execute_expr(
+            self._field(payload, "index"), self._expr(payload)
         )
         return outcome.as_dict()
 
@@ -192,15 +217,17 @@ class ServiceServer:
         if not isinstance(queries, list) or not queries:
             raise ServiceError("'queries' must be a non-empty list")
         default_index = payload.get("index")
-        triples = []
+        pairs = []
         for query in queries:
             if not isinstance(query, dict):
-                raise ServiceError("each batch query must be an object with 'type'/'items'")
+                raise ServiceError(
+                    "each batch query must be an object with 'expr' or 'type'/'items'"
+                )
             index = query.get("index", default_index)
             if not index:
                 raise ServiceError("each batch query needs an 'index' (or a batch default)")
-            triples.append((index, self._field(query, "type"), self._items(query)))
-        outcomes = self.executor.execute_batch(triples)
+            pairs.append((index, self._expr(query)))
+        outcomes = self.executor.execute_batch(pairs)
         return {
             "count": len(outcomes),
             "results": [outcome.as_dict() for outcome in outcomes],
@@ -246,6 +273,16 @@ class ServiceServer:
         if not isinstance(items, list) or not items:
             raise ServiceError("'items' must be a non-empty list of query items")
         return frozenset(str(item) for item in items)
+
+    @classmethod
+    def _expr(cls, payload: dict) -> Expr:
+        """Parse one query payload: an ``expr`` tree or legacy ``type``/``items``."""
+        wire = payload.get("expr")
+        if wire is not None:
+            if "type" in payload or "items" in payload:
+                raise ServiceError("pass either 'expr' or 'type'/'items', not both")
+            return _stringify_items(expr_from_dict(wire))
+        return leaf_for(cls._field(payload, "type"), cls._items(payload))
 
 
 def _make_handler(service: ServiceServer, quiet: bool) -> type:

@@ -14,6 +14,12 @@ predicates:
   set-value with random extra items up to ``size`` (the record remains an
   answer because its items are all inside the query set).
 
+A workload :class:`Query` wraps a full query *expression*
+(:mod:`repro.core.query.expr`), so workloads are not limited to the three
+point predicates: :meth:`WorkloadGenerator.composite_query` draws boolean
+combinations (again guaranteed non-empty by construction), which is what the
+serving benchmarks use for richer traffic mixes.
+
 Workloads are reproducible (seeded) and keep, for every query, the record it
 was derived from — useful when asserting non-empty answers in tests.
 """
@@ -26,29 +32,49 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.core.interfaces import QueryType
 from repro.core.items import Item
+from repro.core.query.expr import And, Equality, Expr, Leaf, Not, Subset, Superset
 from repro.core.records import Dataset, Record
 from repro.errors import WorkloadError
 
 
 @dataclass(frozen=True)
 class Query:
-    """One containment query of a workload."""
+    """One query of a workload: an expression plus its provenance."""
 
-    query_type: QueryType
-    items: frozenset
-    source_record_id: int
+    expr: Expr
+    source_record_id: int = -1
+
+    @property
+    def query_type(self) -> "QueryType | None":
+        """The predicate for single-leaf queries, ``None`` for composite ones."""
+        return QueryType(self.expr.op) if isinstance(self.expr, Leaf) else None
+
+    @property
+    def items(self) -> frozenset:
+        """All items the expression references (the leaf's set for point queries)."""
+        return self.expr.referenced_items()
 
     @property
     def size(self) -> int:
-        """Number of items in the query set (the paper's ``|qs|``)."""
+        """Number of distinct referenced items (the paper's ``|qs|``)."""
         return len(self.items)
+
+    @classmethod
+    def point(
+        cls, query_type: "QueryType | str", items: Iterable[Item], source_record_id: int = -1
+    ) -> "Query":
+        """A single-predicate query, mirroring the pre-expression constructor."""
+        return cls(QueryType.parse(query_type).leaf(items), source_record_id)
 
 
 @dataclass
 class Workload:
-    """A reproducible collection of queries grouped by query size."""
+    """A reproducible collection of queries grouped by query size.
 
-    query_type: QueryType
+    ``query_type`` is ``None`` for workloads of composite expressions.
+    """
+
+    query_type: "QueryType | None"
     queries: list[Query] = field(default_factory=list)
 
     def __iter__(self) -> Iterator[Query]:
@@ -88,7 +114,7 @@ class WorkloadGenerator:
             raise WorkloadError(f"no record has {size} or more items")
         record = self._rng.choice(candidates)
         items = frozenset(self._rng.sample(sorted(record.items, key=str), size))
-        return Query(QueryType.SUBSET, items, record.record_id)
+        return Query(Subset(items), record.record_id)
 
     def equality_query(self, size: int) -> Query:
         """An equality query equal to some record of cardinality ``size`` (or nearest)."""
@@ -98,7 +124,7 @@ class WorkloadGenerator:
         if size not in self._by_length:
             size = min(available, key=lambda length: (abs(length - size), length))
         record = self._rng.choice(self._by_length[size])
-        return Query(QueryType.EQUALITY, frozenset(record.items), record.record_id)
+        return Query(Equality(frozenset(record.items)), record.record_id)
 
     def superset_query(self, size: int) -> Query:
         """A superset query of ``size`` items that fully covers one record."""
@@ -113,7 +139,27 @@ class WorkloadGenerator:
             if len(items) >= size:
                 break
             items.add(item)
-        return Query(QueryType.SUPERSET, frozenset(items), record.record_id)
+        return Query(Superset(frozenset(items)), record.record_id)
+
+    def composite_query(self, size: int) -> Query:
+        """A boolean combination that still has a guaranteed answer.
+
+        Built as ``Subset(q) ∧ ¬Superset({x})`` from a sampled record with at
+        least two items: the record contains the ``size`` sampled items (the
+        subset conjunct holds) and has an item outside ``{x}`` (so it is not
+        contained in ``{x}`` and the negated superset conjunct holds too).
+        """
+        candidates = [record for record in self._records if record.length >= max(size, 2)]
+        if not candidates:
+            raise WorkloadError(f"no record has {max(size, 2)} or more items")
+        record = self._rng.choice(candidates)
+        in_order = sorted(record.items, key=str)
+        items = frozenset(self._rng.sample(in_order, size))
+        excluded = self._rng.choice(in_order)
+        return Query(
+            And((Subset(items), Not(Superset(frozenset({excluded}))))),
+            record.record_id,
+        )
 
     def query(self, query_type: QueryType | str, size: int) -> Query:
         """Generate one query of the requested type and size."""
@@ -137,14 +183,22 @@ class WorkloadGenerator:
         The paper uses 10 queries of each size and type; that is the default.
         """
         query_type = QueryType.parse(query_type)
-        if queries_per_size <= 0:
-            raise WorkloadError("queries_per_size must be positive")
+        _check_grid(sizes, queries_per_size)
         workload = Workload(query_type=query_type)
         for size in sizes:
-            if size <= 0:
-                raise WorkloadError(f"query sizes must be positive, got {size}")
             for _ in range(queries_per_size):
                 workload.queries.append(self.query(query_type, size))
+        return workload
+
+    def composite_workload(
+        self, sizes: Sequence[int], queries_per_size: int = 10
+    ) -> Workload:
+        """A workload of :meth:`composite_query` expressions over a size grid."""
+        _check_grid(sizes, queries_per_size)
+        workload = Workload(query_type=None)
+        for size in sizes:
+            for _ in range(queries_per_size):
+                workload.queries.append(self.composite_query(size))
         return workload
 
     def mixed_workload(
@@ -157,10 +211,18 @@ class WorkloadGenerator:
         }
 
 
+def _check_grid(sizes: Sequence[int], queries_per_size: int) -> None:
+    if queries_per_size <= 0:
+        raise WorkloadError("queries_per_size must be positive")
+    for size in sizes:
+        if size <= 0:
+            raise WorkloadError(f"query sizes must be positive, got {size}")
+
+
 def answer_counts(queries: Iterable[Query], index) -> list[int]:
     """Evaluate ``queries`` on ``index`` and return the answer cardinalities.
 
     A convenience used by tests and by the selectivity analysis of the
     ordering ablation.
     """
-    return [len(index.query(query.query_type, query.items)) for query in queries]
+    return [len(index.evaluate(query.expr)) for query in queries]

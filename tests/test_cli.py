@@ -52,6 +52,34 @@ class TestQuery:
         with pytest.raises((SystemExit, OSError, FileNotFoundError)):
             main(["query", missing, "subset", "a"])
 
+    def test_query_with_expression(self, transaction_file, capsys):
+        expr = (
+            '{"op": "and", "args": [{"op": "subset", "items": ["a"]}, '
+            '{"op": "not", "arg": {"op": "superset", "items": ["a", "b"]}}]}'
+        )
+        code = main(["query", transaction_file, "--expr", expr, "--explain"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "probe" in output  # --explain prints the physical plan
+        # {a,c} and {a,b,c} match (contain a, not within {a,b}); 5 copies each.
+        assert "10 matching records" in output
+
+    def test_query_expr_conflicts_with_predicate(self, transaction_file, capsys):
+        expr = '{"op": "subset", "items": ["a"]}'
+        code = main(["query", transaction_file, "subset", "a", "--expr", expr])
+        assert code == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_query_needs_predicate_or_expr(self, transaction_file, capsys):
+        code = main(["query", transaction_file])
+        assert code == 1
+        assert "--expr" in capsys.readouterr().err
+
+    def test_query_rejects_malformed_expr_json(self, transaction_file, capsys):
+        code = main(["query", transaction_file, "--expr", "{not json"])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_compare_prints_table(self, transaction_file, capsys):

@@ -3,10 +3,7 @@
 from __future__ import annotations
 
 import importlib.util
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -52,8 +49,18 @@ class TestExamples:
         assert "records" in output
         assert "OIF pages" in output
 
+    def test_composite_queries_runs_and_agrees_across_layers(self, capsys):
+        module = load_example("composite_queries")
+        module.main()
+        output = capsys.readouterr().out
+        # Index, runner and service must report the same four answers.
+        assert "answers via OIF: [1, 5, 7, 9]" in output
+        assert "service: [1, 5, 7, 9]" in output
+        assert "cached on repeat: True" in output
+        assert "probe subset(milk)" in output
+
     def test_weblog_sessions_components(self):
-        module = load_example("weblog_sessions")
+        load_example("weblog_sessions")
         from repro.datasets import MswebConfig, generate_msweb
 
         sessions = generate_msweb(MswebConfig(num_sessions=500, replicas=1, seed=3))

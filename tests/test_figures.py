@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import figures
-from repro.experiments.figures import SMALL_SCALE, SyntheticScale
+from repro.experiments.figures import SyntheticScale
 from repro.experiments.report import ResultTable, summarize_ratio
 
 TINY_SCALE = SyntheticScale(base_records=1500, queries_per_size=2, default_query_size=3)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines import InvertedFile, NaiveScanIndex
 from repro.core import OrderedInvertedFile
 from repro.core.updates import UpdatableIF, UpdatableOIF

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Dataset, OrderedInvertedFile
+from repro.core import OrderedInvertedFile
 from repro.core.roi import RangeOfInterest
 from repro.errors import IndexNotBuiltError, QueryError
 from repro.storage import Environment

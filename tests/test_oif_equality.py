@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import Dataset, OrderedInvertedFile
 from tests.conftest import sample_queries
 

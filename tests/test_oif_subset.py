@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
-
 from repro.core import OrderedInvertedFile
 from tests.conftest import sample_queries
 

@@ -5,8 +5,6 @@ from __future__ import annotations
 import itertools
 import random
 
-import pytest
-
 from repro.core import Dataset, OrderedInvertedFile
 
 

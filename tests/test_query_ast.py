@@ -1,0 +1,194 @@
+"""Unit tests for the query-expression AST: validation, normalization,
+canonical keys and the JSON wire format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import QueryType
+from repro.core.query import (
+    And,
+    Equality,
+    Limit,
+    Not,
+    Or,
+    Subset,
+    Superset,
+    expr_from_dict,
+    leaf_for,
+)
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_leaves_coerce_iterables_to_frozensets(self):
+        assert Subset(["a", "b"]).items == frozenset({"a", "b"})
+        assert Equality({"a"}).items == frozenset({"a"})
+
+    def test_empty_query_sets_are_rejected(self):
+        for leaf_type in (Subset, Equality, Superset):
+            with pytest.raises(QueryError):
+                leaf_type(frozenset())
+
+    def test_combinators_need_expression_operands(self):
+        with pytest.raises(QueryError):
+            And(())
+        with pytest.raises(QueryError):
+            Or(("subset",))
+        with pytest.raises(QueryError):
+            Not("subset")
+
+    def test_limit_validation(self):
+        with pytest.raises(QueryError):
+            Subset({"a"}).limit(-1)
+        with pytest.raises(QueryError):
+            Limit(Subset({"a"}), count=2, offset=-3)
+        with pytest.raises(QueryError):
+            Limit(Subset({"a"}), count="many")
+
+    def test_limit_only_at_the_top(self):
+        limited = Subset({"a"}).limit(5)
+        with pytest.raises(QueryError):
+            And((limited, Subset({"b"})))
+        with pytest.raises(QueryError):
+            Not(limited)
+
+    def test_operator_sugar(self):
+        expr = (Subset({"a"}) & Subset({"b"})) | ~Superset({"c"})
+        assert isinstance(expr, Or)
+        assert expr.matches(frozenset({"a", "b"}))
+
+    def test_leaf_for_parses_wire_names(self):
+        assert leaf_for("SUBSET", {"a"}) == Subset({"a"})
+        with pytest.raises(QueryError):
+            leaf_for("between", {"a"})
+
+
+class TestMatches:
+    RECORD = frozenset({"a", "b", "c"})
+
+    def test_leaf_semantics(self):
+        assert Subset({"a", "b"}).matches(self.RECORD)
+        assert not Subset({"a", "z"}).matches(self.RECORD)
+        assert Equality({"a", "b", "c"}).matches(self.RECORD)
+        assert not Equality({"a", "b"}).matches(self.RECORD)
+        assert Superset({"a", "b", "c", "d"}).matches(self.RECORD)
+        assert not Superset({"a", "b"}).matches(self.RECORD)
+
+    def test_boolean_semantics(self):
+        expr = And((Subset({"a"}), Not(Superset({"a", "b"}))))
+        assert expr.matches(self.RECORD)
+        assert not expr.matches(frozenset({"a", "b"}))
+        assert Or((Equality({"z"}), Subset({"c"}))).matches(self.RECORD)
+
+    def test_limit_matches_delegates_to_inner_predicate(self):
+        assert Subset({"a"}).limit(1).matches(self.RECORD)
+
+
+class TestNormalization:
+    def test_nested_ands_flatten(self):
+        expr = And((And((Subset({"a"}), Subset({"b"}))), Subset({"c"})))
+        normalized = expr.normalize()
+        assert isinstance(normalized, And)
+        assert len(normalized.operands) == 3
+
+    def test_duplicate_operands_dedupe_and_singletons_collapse(self):
+        expr = And((Subset({"a"}), Subset({"a"})))
+        assert expr.normalize() == Subset({"a"})
+        expr = Or((Subset({"b", "a"}), Subset({"a", "b"})))
+        assert expr.normalize() == Subset({"a", "b"})
+
+    def test_double_negation_eliminates(self):
+        assert Not(Not(Subset({"a"}))).normalize() == Subset({"a"})
+
+    def test_de_morgan_pushes_not_onto_leaves(self):
+        normalized = Not(And((Subset({"a"}), Superset({"b"})))).normalize()
+        assert normalized == Or((Not(Subset({"a"})), Not(Superset({"b"})))).normalize()
+        # After normalization every Not sits directly on a leaf.
+        def all_nots_on_leaves(expr):
+            if isinstance(expr, Not):
+                return not expr.operand.children()
+            return all(all_nots_on_leaves(child) for child in expr.children())
+        assert all_nots_on_leaves(normalized)
+
+    def test_stacked_limits_compose(self):
+        inner = Subset({"a"}).limit(10, offset=2)
+        outer = Limit(inner, count=3, offset=4)
+        normalized = outer.normalize()
+        assert normalized == Limit(Subset({"a"}), count=3, offset=6)
+        # An outer offset can exhaust the inner count entirely.
+        drained = Limit(Subset({"a"}).limit(3), count=None, offset=5).normalize()
+        assert drained == Limit(Subset({"a"}), count=0, offset=5)
+
+    def test_noop_limit_drops_away(self):
+        assert Limit(Subset({"a"}), count=None, offset=0).normalize() == Subset({"a"})
+
+    def test_normalization_is_idempotent(self):
+        expr = Not(And((Subset({"a"}), Or((Equality({"b"}), Not(Subset({"c"})))))))
+        once = expr.normalize()
+        assert once.normalize() == once
+
+
+class TestCanonicalKey:
+    def test_key_is_stable_across_construction_orders(self):
+        left = And((Subset({"a", "b"}), Not(Superset({"c"}))))
+        right = And((Not(Superset({"c"})), Subset({"b", "a"})))
+        assert left.canonical_key() == right.canonical_key()
+        assert left.normalize() == right.normalize()
+        assert hash(left.normalize()) == hash(right.normalize())
+
+    def test_key_distinguishes_predicates(self):
+        keys = {
+            Subset({"a"}).canonical_key(),
+            Equality({"a"}).canonical_key(),
+            Superset({"a"}).canonical_key(),
+            Not(Subset({"a"})).canonical_key(),
+            Subset({"a"}).limit(1).canonical_key(),
+        }
+        assert len(keys) == 5
+
+    def test_key_renders_sorted_items(self):
+        assert Subset({"b", "a"}).canonical_key() == ("subset", ("a", "b"))
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        expr = And(
+            (
+                Subset({"a", "b"}),
+                Not(Superset({"c"})),
+                Or((Equality({"d"}), Subset({"e"}))),
+            )
+        ).limit(7, offset=1)
+        parsed = expr_from_dict(expr.to_dict())
+        assert parsed.normalize() == expr.normalize()
+
+    def test_query_type_leaf_builder(self):
+        assert QueryType.SUBSET.leaf({"a"}) == Subset({"a"})
+        assert QueryType.parse("superset").leaf({"a"}) == Superset({"a"})
+
+    def test_malformed_payloads_raise_query_error(self):
+        for payload in (
+            None,
+            [],
+            {},
+            {"op": 7},
+            {"op": "subset"},
+            {"op": "subset", "items": []},
+            {"op": "and", "args": []},
+            {"op": "not"},
+            {"op": "teleport", "items": ["a"]},
+        ):
+            with pytest.raises(QueryError):
+                expr_from_dict(payload)
+
+
+class TestQueryTypeParse:
+    def test_non_string_inputs_raise_query_error(self):
+        for bad in (None, 7, 3.5, ["subset"], {"subset"}):
+            with pytest.raises(QueryError):
+                QueryType.parse(bad)
+
+    def test_unknown_string_raises_query_error(self):
+        with pytest.raises(QueryError):
+            QueryType.parse("between")

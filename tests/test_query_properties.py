@@ -1,0 +1,126 @@
+"""Property-based tests for the expression API.
+
+Hypothesis builds random boolean expressions over random small datasets and
+checks that every access method agrees with the brute-force per-record
+semantics (the naive oracle), that normalization preserves meaning, and that
+``limit``/``offset`` behave like a stream slice.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    InvertedFile,
+    NaiveScanIndex,
+    SignatureFile,
+    UnorderedBTreeInvertedFile,
+)
+from repro.core import Dataset, OrderedInvertedFile
+from repro.core.query import And, Equality, Not, Or, Subset, Superset, expr_from_dict
+
+ITEMS = list("abcdefgh")
+
+transactions_strategy = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=1, max_size=4),
+    min_size=1,
+    max_size=25,
+)
+
+items_strategy = st.sets(st.sampled_from(ITEMS + ["zz"]), min_size=1, max_size=3).map(
+    frozenset
+)
+
+leaf_strategy = st.one_of(
+    st.builds(Subset, items_strategy),
+    st.builds(Equality, items_strategy),
+    st.builds(Superset, items_strategy),
+)
+
+expr_strategy = st.recursive(
+    leaf_strategy,
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        st.builds(Not, children),
+    ),
+    max_leaves=5,
+)
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_all_indexes(dataset: Dataset):
+    return [
+        NaiveScanIndex(dataset),
+        OrderedInvertedFile(dataset, block_capacity=3),
+        OrderedInvertedFile(dataset, use_metadata=False, block_capacity=3),
+        InvertedFile(dataset),
+        UnorderedBTreeInvertedFile(dataset, block_capacity=3),
+        SignatureFile(dataset, signature_bits=32, bits_per_item=3),
+    ]
+
+
+def brute_force(dataset: Dataset, expr) -> list[int]:
+    return sorted(
+        record.record_id for record in dataset if expr.matches(record.items)
+    )
+
+
+class TestExpressionsMatchBruteForce:
+    @relaxed
+    @given(transactions_strategy, st.lists(expr_strategy, min_size=1, max_size=4))
+    def test_every_index_agrees_with_the_per_record_semantics(
+        self, transactions, exprs
+    ):
+        dataset = Dataset.from_transactions(transactions)
+        indexes = build_all_indexes(dataset)
+        for expr in exprs:
+            expected = brute_force(dataset, expr)
+            for index in indexes:
+                assert index.evaluate(expr) == expected, (index.name, expr)
+
+    @relaxed
+    @given(
+        transactions_strategy,
+        expr_strategy,
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_limit_is_a_slice_of_the_full_answer(
+        self, transactions, expr, count, offset
+    ):
+        dataset = Dataset.from_transactions(transactions)
+        full = brute_force(dataset, expr)
+        expected_size = max(0, min(count, len(full) - offset))
+        for index in build_all_indexes(dataset):
+            limited = index.evaluate(expr.limit(count, offset=offset))
+            assert len(limited) == expected_size, (index.name, expr)
+            assert set(limited) <= set(full), (index.name, expr)
+
+
+class TestNormalizationProperties:
+    @relaxed
+    @given(transactions_strategy, expr_strategy)
+    def test_normalization_preserves_semantics(self, transactions, expr):
+        normalized = expr.normalize()
+        for transaction in transactions:
+            record = frozenset(transaction)
+            assert expr.matches(record) == normalized.matches(record)
+
+    @relaxed
+    @given(expr_strategy)
+    def test_normalization_is_idempotent_and_keys_are_stable(self, expr):
+        once = expr.normalize()
+        assert once.normalize() == once
+        assert expr.canonical_key() == once.canonical_key()
+
+    @relaxed
+    @given(expr_strategy)
+    def test_wire_round_trip_preserves_the_canonical_form(self, expr):
+        assert expr_from_dict(expr.to_dict()).normalize() == expr.normalize()

@@ -7,14 +7,23 @@ import threading
 import pytest
 
 from repro.core.interfaces import QueryType
+from repro.core.query import And, Not, Subset, Superset
 from repro.errors import ServiceError
 from repro.service.cache import ResultCache, make_key
 
 
 def test_make_key_normalizes_query_type_and_items():
     key = make_key("idx", "subset", ["b", "a"])
-    assert key == ("idx", QueryType.SUBSET, frozenset({"a", "b"}))
+    assert key == ("idx", Subset(frozenset({"a", "b"})))
     assert make_key("idx", QueryType.SUBSET, {"a", "b"}) == key
+    assert make_key("idx", Subset({"b", "a"})) == key
+
+
+def test_make_key_canonicalizes_equivalent_expressions():
+    """Construction order and double negation must not split cache slots."""
+    left = make_key("idx", And((Subset({"a"}), Not(Superset({"a", "b"})))))
+    right = make_key("idx", And((Not(Not(Not(Superset({"b", "a"})))), Subset({"a"}))))
+    assert left == right
 
 
 def test_capacity_must_be_positive():

@@ -114,15 +114,15 @@ def test_identical_inflight_queries_are_deduplicated(dataset):
     manager = IndexManager()
     entry = manager.create("paper", dataset, kind="oif")
     release = threading.Event()
-    original_measured = entry.measured_query
+    original_measured = entry.measured_expr
     evaluations = []
 
-    def slow_measured(query_type, items):
-        evaluations.append(frozenset(items))
+    def slow_measured(expr):
+        evaluations.append(expr)
         release.wait(timeout=5.0)
-        return original_measured(query_type, items)
+        return original_measured(expr)
 
-    entry.measured_query = slow_measured
+    entry.measured_expr = slow_measured
     with QueryExecutor(manager, cache=None, max_workers=4) as executor:
         futures = [executor.submit("paper", "subset", {"a", "b"}) for _ in range(6)]
         release.set()

@@ -245,3 +245,123 @@ def test_server_adopts_cache_of_a_prebuilt_manager():
         after = test_client.query("pre", "subset", ["a"])
         assert after["cached"] is False
         assert len(after["record_ids"]) == len(first["record_ids"]) + 1
+
+
+EXPR_TRANSACTIONS = [
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"b", "c", "d"},
+    {"a"},
+    {"a", "c", "d", "e"},
+    {"d", "e"},
+]
+
+
+@pytest.fixture(scope="module")
+def expr_client(client):
+    client.create_index("exprs", transactions=EXPR_TRANSACTIONS)
+    return client
+
+
+def expr_brute_force(expr) -> list[int]:
+    return [
+        record_id
+        for record_id, items in enumerate(EXPR_TRANSACTIONS, start=1)
+        if expr.matches(frozenset(items))
+    ]
+
+
+def test_expression_round_trip_over_the_wire(expr_client):
+    from repro.core.query import And, Not, Subset, Superset
+
+    expr = And((Subset({"a"}), Not(Superset({"a", "b"}))))
+    result = expr_client.query_expr("exprs", expr)
+    assert result["record_ids"] == expr_brute_force(expr)
+    assert result["expr"] == expr.normalize().to_dict()
+    assert "type" not in result  # composite outcomes carry no point predicate
+
+
+def test_expression_accepts_raw_wire_dicts(expr_client):
+    wire = {
+        "op": "or",
+        "args": [
+            {"op": "equality", "items": ["a"]},
+            {"op": "subset", "items": ["d", "e"]},
+        ],
+    }
+    result = expr_client.query_expr("exprs", wire)
+    assert result["record_ids"] == [4, 5, 6]
+
+
+def test_limit_expression_over_the_wire(expr_client):
+    from repro.core.query import Subset
+
+    result = expr_client.query_expr("exprs", Subset({"a"}).limit(2))
+    assert len(result["record_ids"]) == 2
+    assert set(result["record_ids"]) <= {1, 2, 4, 5}
+
+
+def test_equivalent_expressions_share_one_cache_slot(expr_client):
+    from repro.core.query import And, Not, Subset, Superset
+
+    left = And((Subset({"c", "b"}), Not(Superset({"b", "c"}))))
+    right = And((Not(Not(Not(Superset({"c", "b"})))), Subset({"b", "c"})))
+    first = expr_client.query_expr("exprs", left)
+    second = expr_client.query_expr("exprs", right)
+    assert first["record_ids"] == second["record_ids"]
+    assert second["cached"] is True
+
+
+def test_point_leaf_expressions_keep_the_legacy_fields(expr_client):
+    result = expr_client.query_expr("exprs", {"op": "subset", "items": ["a", "b"]})
+    assert result["type"] == "subset"
+    assert result["items"] == ["a", "b"]
+    assert result["record_ids"] == [1, 2]
+
+
+def test_batch_mixes_expressions_and_point_queries(expr_client):
+    queries = [
+        {"expr": {"op": "not", "arg": {"op": "subset", "items": ["a"]}}},
+        {"type": "subset", "items": ["a"]},
+    ]
+    negated, positive = expr_client.batch(queries, index="exprs")
+    assert negated["record_ids"] == [3, 6]
+    assert positive["record_ids"] == [1, 2, 4, 5]
+
+
+def test_expr_and_type_together_map_to_400(expr_client):
+    with pytest.raises(ServiceError, match="not both"):
+        expr_client._request(
+            "POST",
+            "/query",
+            {
+                "index": "exprs",
+                "expr": {"op": "subset", "items": ["a"]},
+                "type": "subset",
+                "items": ["a"],
+            },
+        )
+
+
+def test_malformed_expressions_map_to_400(expr_client):
+    for wire in ({"op": "teleport"}, {"op": "subset", "items": []}, {"op": "and", "args": []}):
+        with pytest.raises(ServiceError):
+            expr_client.query_expr("exprs", wire)
+
+
+def test_update_invalidates_only_matching_expression_entries(expr_client):
+    from repro.core.query import And, Not, Subset, Superset
+
+    touched = And((Subset({"a"}), Not(Superset({"a", "b"}))))   # matches {a, c, x}
+    untouched = And((Subset({"d"}), Subset({"e"})))             # does not
+    expr_client.query_expr("exprs", touched)
+    expr_client.query_expr("exprs", untouched)
+    assert expr_client.query_expr("exprs", untouched)["cached"] is True
+
+    response = expr_client.insert("exprs", [{"a", "c", "x"}])
+    (new_id,) = response["record_ids"]
+
+    refreshed = expr_client.query_expr("exprs", touched)
+    assert refreshed["cached"] is False
+    assert new_id in refreshed["record_ids"]
+    assert expr_client.query_expr("exprs", untouched)["cached"] is True

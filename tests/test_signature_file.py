@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import SignatureFile
-from repro.core import Dataset
 from repro.errors import IndexBuildError, QueryError
 from tests.conftest import sample_queries
 

@@ -6,8 +6,7 @@ import itertools
 
 import pytest
 
-from repro.baselines import NaiveScanIndex, UnorderedBTreeInvertedFile
-from repro.core import Dataset
+from repro.baselines import UnorderedBTreeInvertedFile
 from repro.errors import QueryError
 from tests.conftest import sample_queries
 
