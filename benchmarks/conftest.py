@@ -19,6 +19,7 @@ so the figure benchmarks share their builds within one pytest session.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterable
 
@@ -47,16 +48,36 @@ def pytest_collection_modifyitems(items) -> None:
         if item.path is not None and item.path.is_relative_to(bench_dir):
             item.add_marker(pytest.mark.bench)
 
+#: Global size multiplier so CI smoke runs can execute the whole harness at
+#: tiny sizes (``REPRO_BENCH_SCALE=0.02 pytest -m bench``) — the point is to
+#: catch rot (imports, APIs, table schemas), not to produce meaningful
+#: numbers.  Timing-sensitive assertions should gate on ``BENCH_SCALE == 1``.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(num_records: int, floor: int = 500) -> int:
+    """Scale a benchmark dataset size by ``REPRO_BENCH_SCALE`` (min ``floor``)."""
+    return max(floor, int(num_records * BENCH_SCALE))
+
+
 #: Dataset used by the per-index timing benchmarks (shared across modules).
-BENCH_DATASET_CONFIG = SyntheticConfig(num_records=40_000, domain_size=2000, zipf_order=0.8, seed=7)
+BENCH_DATASET_CONFIG = SyntheticConfig(
+    num_records=scaled(40_000), domain_size=2000, zipf_order=0.8, seed=7
+)
 
 
 def save_tables(name: str, tables: Iterable[ResultTable]) -> str:
-    """Write the rendered tables to ``benchmarks/results/<name>.txt`` and return the text."""
+    """Write the rendered tables to ``benchmarks/results/<name>.txt`` and return the text.
+
+    Scaled-down runs (``REPRO_BENCH_SCALE != 1``) write to ``<name>.smoke.txt``
+    (git-ignored) so a smoke pass can never overwrite the tracked full-size
+    reference tables with meaningless tiny numbers.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = render_tables(list(tables))
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+    filename = f"{name}.txt" if BENCH_SCALE == 1 else f"{name}.smoke.txt"
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to benchmarks/results/{filename}]")
     return text
 
 

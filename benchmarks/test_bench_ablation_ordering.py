@@ -15,12 +15,12 @@ from repro.baselines import InvertedFile, UnorderedBTreeInvertedFile
 from repro.core import OrderedInvertedFile
 from repro.experiments import ordering_ablation
 
-from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables, scaled
 
 
 @pytest.fixture(scope="module")
 def ablation_table():
-    table = ordering_ablation(num_records=40_000, queries_per_size=5)
+    table = ordering_ablation(num_records=scaled(40_000), queries_per_size=5)
     save_tables("ablation_ordering", [table])
     return table
 

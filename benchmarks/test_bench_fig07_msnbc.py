@@ -15,14 +15,14 @@ from repro.core import OrderedInvertedFile
 from repro.datasets.msnbc import MsnbcConfig
 from repro.experiments import cache, figure7
 
-from conftest import run_workload_once, save_tables
+from conftest import run_workload_once, save_tables, scaled
 
-MSNBC_CONFIG = MsnbcConfig(num_sessions=40_000, seed=11)
+MSNBC_CONFIG = MsnbcConfig(num_sessions=scaled(40_000), seed=11)
 
 
 @pytest.fixture(scope="module")
 def figure7_msnbc_table():
-    table = figure7("msnbc", queries_per_size=5, num_sessions=40_000, seed=11)
+    table = figure7("msnbc", queries_per_size=5, num_sessions=scaled(40_000), seed=11)
     save_tables("figure7_msnbc", [table])
     return table
 

@@ -15,14 +15,14 @@ from repro.core import OrderedInvertedFile
 from repro.datasets.msweb import MswebConfig
 from repro.experiments import cache, figure7
 
-from conftest import run_workload_once, save_tables
+from conftest import run_workload_once, save_tables, scaled
 
-MSWEB_CONFIG = MswebConfig(num_sessions=8_000, replicas=3, seed=11)
+MSWEB_CONFIG = MswebConfig(num_sessions=scaled(8_000), replicas=3, seed=11)
 
 
 @pytest.fixture(scope="module")
 def figure7_msweb_table():
-    table = figure7("msweb", queries_per_size=5, num_sessions=8_000, replicas=3, seed=11)
+    table = figure7("msweb", queries_per_size=5, num_sessions=scaled(8_000), replicas=3, seed=11)
     save_tables("figure7_msweb", [table])
     return table
 

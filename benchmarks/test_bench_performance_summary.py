@@ -14,12 +14,12 @@ from repro.baselines import InvertedFile
 from repro.core import OrderedInvertedFile
 from repro.experiments import performance_summary
 
-from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables
+from conftest import BENCH_DATASET_CONFIG, build_cached_index, run_workload_once, save_tables, scaled
 
 
 @pytest.fixture(scope="module")
 def summary_table():
-    table = performance_summary(num_records=40_000)
+    table = performance_summary(num_records=scaled(40_000))
     save_tables("performance_summary", [table])
     return table
 

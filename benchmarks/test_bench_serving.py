@@ -26,9 +26,9 @@ from repro.experiments import cache as build_cache
 from repro.experiments.report import ResultTable
 from repro.service import IndexManager, QueryExecutor, ResultCache
 
-from conftest import save_tables
+from conftest import save_tables, scaled
 
-SERVING_CONFIG = SyntheticConfig(num_records=10_000, domain_size=1000, zipf_order=0.8, seed=7)
+SERVING_CONFIG = SyntheticConfig(num_records=scaled(10_000), domain_size=1000, zipf_order=0.8, seed=7)
 NUM_QUERIES = 200
 WAVES = 4       # the stream arrives as 4 sequential batches of 50
 HOT_POOL = 25   # distinct query sets the skewed stream draws from

@@ -1,0 +1,220 @@
+"""Shard-scaling benchmark: build, query fan-out, early-stop and merge cost.
+
+The partition-aware index trades a per-shard fixed cost (every shard answers
+every query) for three wins this benchmark quantifies at 1/2/4/8 shards:
+
+* **build** — each shard sorts and bulk-loads a fraction of the data (the
+  super-linear parts of construction shrink; thread fan-out helps only as
+  much as the GIL allows);
+* **pruning preserved** — aggregate data-page reads per query grow far more
+  slowly than the shard count: every shard still prunes with its own
+  metadata/ROI machinery;
+* **early-stop preserved** — a ``limit k`` over the merged cursor reads
+  fewer pages than draining either the sharded or the single-shard index;
+* **merge cost** — flushing a small delta batch rebuilds only the affected
+  shards, beating the monolithic full rebuild wall-clock.
+
+Small (1 KB) pages keep the page-access signal visible at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import OrderedInvertedFile, ShardedIndex
+from repro.core.query import Subset
+from repro.core.updates import UpdatableOIF, UpdatableShardedOIF
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import cache as build_cache
+from repro.experiments.report import ResultTable
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.queries import WorkloadGenerator
+
+from conftest import BENCH_SCALE, save_tables, scaled
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARDING_CONFIG = SyntheticConfig(
+    num_records=scaled(20_000), domain_size=500, zipf_order=0.8, seed=7
+)
+PAGE_SIZE = 1024
+LIMIT_K = 10
+#: Small delta batch: the per-shard merge should rebuild a *fraction* of the
+#: shards, which is exactly the effect the update experiment measures.
+UPDATE_BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_cache.synthetic_dataset(SHARDING_CONFIG)
+
+
+def build_index(dataset, num_shards: int):
+    """The single-shard path is the plain OIF; sharded builds fan out."""
+    if num_shards == 1:
+        return OrderedInvertedFile(dataset, page_size=PAGE_SIZE)
+    return ShardedIndex(
+        dataset, num_shards, max_workers=num_shards, page_size=PAGE_SIZE
+    )
+
+
+@pytest.fixture(scope="module")
+def hot_items(dataset):
+    """The most page-expensive frequent items on the single-shard index."""
+    index = build_index(dataset, 1)
+    vocabulary = dataset.vocabulary
+    by_support = sorted(vocabulary, key=vocabulary.support, reverse=True)
+    costs = []
+    for item in by_support[:10]:
+        index.drop_cache()
+        result = index.measured_execute(Subset(frozenset([item])))
+        costs.append((result.page_accesses, str(item), item))
+    costs.sort(reverse=True)
+    return [item for _, _, item in costs[:3]]
+
+
+def run_hot_queries(index, hot_items, limit: "int | None") -> tuple[int, float]:
+    """Drain (or limit) the hot items' lists cold; aggregate (pages, seconds)."""
+    pages = 0
+    started = time.perf_counter()
+    for item in hot_items:
+        expr = Subset(frozenset([item]))
+        if limit is not None:
+            expr = expr.limit(limit)
+        index.drop_cache()
+        pages += index.measured_execute(expr).page_accesses
+    return pages, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def sharding_table(dataset, hot_items):
+    generator = WorkloadGenerator(dataset, seed=17)
+    workload = generator.workload("subset", (1, 2, 3), 5)
+    runner = ExperimentRunner(drop_cache_per_query=True)
+    table = ResultTable(
+        title=(
+            f"Shard scaling over {len(dataset)} records "
+            f"({PAGE_SIZE} B pages, limit k={LIMIT_K}, "
+            f"update batch={UPDATE_BATCH})"
+        ),
+        columns=[
+            "shards", "build_s", "query_pages", "query_io_ms",
+            "hot_full_pages", "hot_limit_pages", "flush_s", "shards_rebuilt",
+        ],
+    )
+    reference_ids = None
+    for num_shards in SHARD_COUNTS:
+        started = time.perf_counter()
+        index = build_index(dataset, num_shards)
+        build_seconds = time.perf_counter() - started
+
+        run = runner.run_workload(index, workload)
+        overall = run.overall()
+        answers = index.evaluate(Subset(frozenset([hot_items[0]])))
+        if reference_ids is None:
+            reference_ids = answers
+        assert answers == reference_ids, "sharding must not change any answer"
+
+        hot_full_pages, _ = run_hot_queries(index, hot_items, limit=None)
+        hot_limit_pages, _ = run_hot_queries(index, hot_items, limit=LIMIT_K)
+
+        transactions = [sorted(record.items) for record in list(dataset)[:UPDATE_BATCH]]
+        if num_shards == 1:
+            updatable = UpdatableOIF(dataset, page_size=PAGE_SIZE)
+        else:
+            updatable = UpdatableShardedOIF(
+                dataset, num_shards, max_workers=num_shards, page_size=PAGE_SIZE
+            )
+        updatable.insert(transactions)
+        started = time.perf_counter()
+        if num_shards == 1:
+            updatable.flush()
+            rebuilt = 1
+        else:
+            before = [updatable.index.shard_at(i) for i in range(num_shards)]
+            updatable.flush()
+            rebuilt = sum(
+                1
+                for i in range(num_shards)
+                if updatable.index.shard_at(i) is not before[i]
+            )
+        flush_seconds = time.perf_counter() - started
+
+        table.add_row(
+            shards=num_shards,
+            build_s=build_seconds,
+            query_pages=overall.mean_page_accesses,
+            query_io_ms=overall.mean_io_ms,
+            hot_full_pages=hot_full_pages,
+            hot_limit_pages=hot_limit_pages,
+            flush_s=flush_seconds,
+            shards_rebuilt=rebuilt,
+        )
+    table.add_note(
+        "query_pages: mean aggregate data-page reads per subset query (cold cache); "
+        "pruning is preserved when it grows sublinearly in the shard count"
+    )
+    table.add_note(
+        "flush_s: merging a small delta batch — per-shard flushes rebuild only "
+        "the affected shards (shards_rebuilt) instead of the whole index"
+    )
+    save_tables("shard_scaling", [table])
+    return table
+
+
+def rows_by_shards(table) -> dict:
+    return {row["shards"]: row for row in table.rows}
+
+
+def test_pruning_is_preserved_across_shards(sharding_table):
+    """Aggregate page reads grow sublinearly in the shard count."""
+    rows = rows_by_shards(sharding_table)
+    base = rows[1]["query_pages"]
+    for num_shards in SHARD_COUNTS[1:]:
+        assert rows[num_shards]["query_pages"] < num_shards * base
+
+
+@pytest.mark.skipif(BENCH_SCALE < 1, reason="page-signal needs full-size lists")
+def test_limit_early_stop_survives_the_merge(sharding_table):
+    """limit-k reads fewer pages than draining either index (criterion).
+
+    Every shard count beats its own full drain; beating the *unsharded* full
+    scan additionally requires the per-shard fixed cost (B-tree descent ×
+    shard count) to stay below the avoided list pages, which holds while the
+    shard count is small relative to ``k``.
+    """
+    rows = rows_by_shards(sharding_table)
+    single_full = rows[1]["hot_full_pages"]
+    for num_shards in SHARD_COUNTS[1:]:
+        row = rows[num_shards]
+        assert row["hot_limit_pages"] < row["hot_full_pages"]
+    for num_shards in (2, 4):
+        assert rows[num_shards]["hot_limit_pages"] < single_full
+
+
+@pytest.mark.skipif(BENCH_SCALE < 1, reason="wall-clock is noise at smoke sizes")
+def test_per_shard_flush_beats_the_monolithic_rebuild(sharding_table):
+    """Merging a small batch rebuilds a fraction of the shards, and faster."""
+    rows = rows_by_shards(sharding_table)
+    mono = rows[1]["flush_s"]
+    for num_shards in (4, 8):
+        row = rows[num_shards]
+        assert row["shards_rebuilt"] <= min(UPDATE_BATCH, num_shards)
+        assert row["flush_s"] < mono
+
+
+def test_build_at_8_shards(benchmark, dataset, sharding_table):
+    benchmark.pedantic(build_index, args=(dataset, 8), rounds=2, iterations=1)
+
+
+def test_build_single_shard(benchmark, dataset, sharding_table):
+    benchmark.pedantic(build_index, args=(dataset, 1), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("num_shards", (1, 4))
+def test_hot_limit_queries(benchmark, dataset, hot_items, sharding_table, num_shards):
+    index = build_index(dataset, num_shards)
+    benchmark.pedantic(
+        run_hot_queries, args=(index, hot_items, LIMIT_K), rounds=3, iterations=1
+    )

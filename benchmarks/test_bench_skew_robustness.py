@@ -16,15 +16,15 @@ from repro.core import OrderedInvertedFile
 from repro.datasets.synthetic import SyntheticConfig
 from repro.experiments import cache, skew_robustness
 
-from conftest import build_cached_index, run_workload_once, save_tables
+from conftest import build_cached_index, run_workload_once, save_tables, scaled
 
-UNIFORM_CONFIG = SyntheticConfig(num_records=40_000, domain_size=2000, zipf_order=0.0, seed=7)
-SKEWED_CONFIG = SyntheticConfig(num_records=40_000, domain_size=2000, zipf_order=1.0, seed=7)
+UNIFORM_CONFIG = SyntheticConfig(num_records=scaled(40_000), domain_size=2000, zipf_order=0.0, seed=7)
+SKEWED_CONFIG = SyntheticConfig(num_records=scaled(40_000), domain_size=2000, zipf_order=1.0, seed=7)
 
 
 @pytest.fixture(scope="module")
 def skew_table():
-    table = skew_robustness(num_records=40_000, queries_per_size=5)
+    table = skew_robustness(num_records=scaled(40_000), queries_per_size=5)
     save_tables("skew_robustness", [table])
     return table
 

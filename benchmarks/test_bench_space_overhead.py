@@ -14,12 +14,12 @@ from repro.baselines import InvertedFile
 from repro.core import OrderedInvertedFile
 from repro.experiments import space_overhead
 
-from conftest import save_tables
+from conftest import save_tables, scaled
 
 
 @pytest.fixture(scope="module")
 def space_table():
-    table = space_overhead(num_records=40_000)
+    table = space_overhead(num_records=scaled(40_000))
     save_tables("space_overhead", [table])
     return table
 

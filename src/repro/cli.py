@@ -25,7 +25,7 @@ from typing import Sequence
 
 from repro import __version__
 from repro.baselines import InvertedFile, SignatureFile, UnorderedBTreeInvertedFile
-from repro.core import OrderedInvertedFile, QueryType
+from repro.core import OrderedInvertedFile, QueryType, ShardedIndex
 from repro.core.query import expr_from_dict
 from repro.datasets import (
     MsnbcConfig,
@@ -65,6 +65,17 @@ _INDEX_CLASSES = {
 }
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for options that must be a positive integer (--shards)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {number}")
+    return number
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-oif",
@@ -99,6 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
         '{"op": "not", "arg": {"op": "superset", "items": ["a", "b"]}}]}\'',
     )
     query.add_argument("--index", choices=sorted(_INDEX_CLASSES), default="oif")
+    query.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the index over N shards (fan-out + merged cursor)",
+    )
     query.add_argument("--limit", type=int, default=20, help="max record ids to print")
     query.add_argument("--explain", action="store_true", help="print the physical plan")
 
@@ -136,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data", help="transaction file to pre-load as an index")
     serve.add_argument("--name", default="default", help="name of the pre-loaded index")
     serve.add_argument("--index", choices=sorted(INDEX_KINDS), default="oif")
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the pre-loaded index over N shards (oif only)",
+    )
     serve.add_argument("--workers", type=int, default=4, help="query worker threads")
     serve.add_argument("--cache-capacity", type=int, default=4096, help="result cache entries")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
@@ -151,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
     client_create.add_argument("name")
     client_create.add_argument("data", help="transaction file readable by the *server*")
     client_create.add_argument("--kind", choices=sorted(INDEX_KINDS), default="oif")
+    client_create.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the index over N shards on the server (oif only)",
+    )
     client_drop = client_sub.add_parser("drop", help="drop a resident index")
     client_drop.add_argument("name")
     client_query = client_sub.add_parser("query", help="answer one containment query")
@@ -208,12 +231,17 @@ def _parse_cli_expr(args: argparse.Namespace):
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = read_transactions(args.data)
     index_class = _INDEX_CLASSES[args.index]
-    index = index_class(dataset)
+    if args.shards > 1:
+        index = ShardedIndex(
+            dataset, args.shards, factory=lambda shard_ds: index_class(shard_ds)
+        )
+    else:
+        index = index_class(dataset)
     expr = _parse_cli_expr(args)
     if args.explain:
         # Plan without opening a cursor: executing here would warm the buffer
         # pool and distort the measured page accesses below.
-        print(index.planner.plan(expr).explain())
+        print(index.explain(expr))
     result = index.measured_execute(expr)
     shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
     suffix = " ..." if result.cardinality > args.limit else ""
@@ -284,19 +312,24 @@ def build_server(args: argparse.Namespace):
         cache_capacity=args.cache_capacity,
         quiet=not args.verbose,
     )
+    if args.shards > 1 and not args.data:
+        server.shutdown()
+        raise ReproError("--shards only applies to the pre-loaded index; pass --data")
     if args.data:
+        options = {"shards": args.shards} if args.shards > 1 else {}
         try:
             dataset = read_transactions(args.data)
-            server.manager.create(args.name, dataset, kind=args.index)
+            server.manager.create(args.name, dataset, kind=args.index, **options)
         except ReproError:
             server.shutdown()  # release the bound socket and worker pool
             raise
         except OSError as error:
             server.shutdown()
             raise ReproError(f"cannot read transaction file: {error}") from error
+        sharding = f", {args.shards} shards" if args.shards > 1 else ""
         print(
-            f"loaded index {args.name!r} ({args.index}) over {len(dataset)} records "
-            f"from {args.data}"
+            f"loaded index {args.name!r} ({args.index}{sharding}) over "
+            f"{len(dataset)} records from {args.data}"
         )
     return server
 
@@ -324,7 +357,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
     elif args.action == "indexes":
         payload = {"indexes": client.indexes()}
     elif args.action == "create":
-        payload = client.create_index(args.name, path=args.data, kind=args.kind)
+        payload = client.create_index(
+            args.name,
+            path=args.data,
+            kind=args.kind,
+            shards=args.shards if args.shards > 1 else None,
+        )
     elif args.action == "drop":
         payload = client.drop_index(args.name)
     elif args.action == "insert":

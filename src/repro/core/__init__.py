@@ -25,6 +25,7 @@ from repro.core.query import (
 from repro.core.records import Dataset, Record
 from repro.core.roi import RangeOfInterest, equality_roi, subset_roi, superset_rois
 from repro.core.sequence import SequenceForm, sequence_form
+from repro.core.shard import MergedShardCursor, ShardedIndex
 
 __all__ = [
     "Item",
@@ -47,6 +48,8 @@ __all__ = [
     "QueryType",
     "QueryResult",
     "SetContainmentIndex",
+    "MergedShardCursor",
+    "ShardedIndex",
     "And",
     "Cursor",
     "Equality",

@@ -40,7 +40,7 @@ from repro.core.query.planner import Planner
 from repro.core.records import Dataset
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
-from repro.storage.stats import IOStatistics
+from repro.storage.stats import IOSnapshot, IOStatistics
 
 
 class QueryType(enum.Enum):
@@ -170,6 +170,15 @@ class SetContainmentIndex(ABC):
         """Answer ``expr`` fully materialized, as an ascending id list."""
         return sorted(self.execute(expr))
 
+    def explain(self, expr: Expr, planner: "Planner | None" = None) -> str:
+        """Render the physical plan for ``expr`` without executing it.
+
+        Unlike ``execute(expr).explain()``, no cursor is opened, so the
+        buffer pool stays untouched; composite access methods (sharding)
+        override this to render their fan-out structure.
+        """
+        return (planner or self.planner).plan(expr.normalize()).explain()
+
     def measured_execute(
         self, expr: Expr, planner: "Planner | None" = None
     ) -> QueryResult:
@@ -227,6 +236,18 @@ class SetContainmentIndex(ABC):
     def stats(self) -> IOStatistics:
         """The I/O counters shared with the index's storage environment."""
         return self.env.stats
+
+    def io_snapshot(self) -> IOSnapshot:
+        """Aggregate I/O counters over *every* storage environment this index reads.
+
+        This is the stats-aggregation contract the cursor machinery charges
+        queries through: deltas between two calls must cover all pages a
+        traversal touched.  Single-environment indexes (the default) return
+        their environment's counters; composite access methods such as
+        :class:`~repro.core.shard.ShardedIndex` override it to sum the
+        per-shard snapshots (:meth:`IOSnapshot.__add__`).
+        """
+        return self.stats.snapshot()
 
     @property
     def index_size_bytes(self) -> int:

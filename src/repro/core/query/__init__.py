@@ -33,6 +33,7 @@ from repro.core.query.expr import (
     Superset,
     expr_from_dict,
     leaf_for,
+    split_limit,
 )
 from repro.core.query.planner import (
     FilterPlan,
@@ -64,4 +65,5 @@ __all__ = [
     "UnionPlan",
     "expr_from_dict",
     "leaf_for",
+    "split_limit",
 ]

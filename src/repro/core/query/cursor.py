@@ -33,7 +33,7 @@ from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.interfaces import SetContainmentIndex
-    from repro.storage.stats import StatsSnapshot
+    from repro.storage.stats import IOSnapshot
 
 
 class Cursor:
@@ -43,7 +43,7 @@ class Cursor:
         self.index = index
         self.plan = plan
         self.expr = expr
-        self._before = index.stats.snapshot()
+        self._before = index.io_snapshot()
         self._iterator = _run(plan, index)
         self._consumed = 0
         self._exhausted = False
@@ -89,9 +89,14 @@ class Cursor:
         """Whether the underlying stream has run dry."""
         return self._exhausted
 
-    def io_delta(self) -> "StatsSnapshot":
-        """I/O charged to the index's environment since this cursor opened."""
-        return self.index.stats.since(self._before)
+    def io_delta(self) -> "IOSnapshot":
+        """I/O charged to the index's environment(s) since this cursor opened.
+
+        Goes through :meth:`SetContainmentIndex.io_snapshot`, so an index that
+        spreads a query over several storage environments (sharding) still
+        reports the page total of exactly this traversal.
+        """
+        return self.index.io_snapshot() - self._before
 
     def explain(self) -> str:
         """The plan being executed, rendered for humans."""

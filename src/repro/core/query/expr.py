@@ -46,6 +46,8 @@ __all__ = [
     "Limit",
     "expr_from_dict",
     "leaf_for",
+    "slice_ids",
+    "split_limit",
 ]
 
 
@@ -367,6 +369,32 @@ def _normalize_nary(node_type: type, operands: tuple[Expr, ...]) -> Expr:
     if len(ordered) == 1:
         return ordered[0]
     return node_type(tuple(ordered))
+
+
+def split_limit(expr: Expr) -> "tuple[Expr, int | None, int]":
+    """Normalize ``expr`` and peel a top-level limit off it.
+
+    Returns ``(inner, count, offset)`` with ``count=None, offset=0`` when the
+    expression carries no limit.  Every layer that applies stream truncation
+    *after* its own merge step (delta-aware evaluation, shard fan-out) uses
+    this instead of re-implementing the unwrap.
+    """
+    normalized = expr.normalize()
+    if isinstance(normalized, Limit):
+        return normalized.operand, normalized.count, normalized.offset
+    return normalized, None, 0
+
+
+def slice_ids(ids: list, count: "int | None", offset: int) -> list:
+    """Apply a peeled ``(count, offset)`` pair to a materialized id list.
+
+    The companion of :func:`split_limit` for layers that slice *after* their
+    own merge step, so the limit-after-merge arithmetic exists exactly once.
+    """
+    if count is None and offset == 0:
+        return ids
+    upper = None if count is None else offset + count
+    return ids[offset:upper]
 
 
 _LEAF_TYPES = {"subset": Subset, "equality": Equality, "superset": Superset}

@@ -1,0 +1,121 @@
+"""K-way merging of per-shard streaming cursors.
+
+A sharded query fans one expression out to every shard and combines the
+per-shard cursors into a single stream.  The merge must preserve the property
+that makes cursors worth having: a ``limit k`` query stops reading pages as
+soon as ``k`` ids have been produced.  :func:`merge_cursors` therefore pulls
+from the shard cursors lazily and round-robin — no shard is drained beyond
+the pulls the slice actually needs, and shards that cannot contribute are
+dropped from the rotation the moment they run dry.
+
+Shards partition the dataset, so the per-shard streams are disjoint and the
+merge needs no deduplication.  Like every cursor, the merged stream yields in
+*production* order (here: rotation order over the shards' plan orders), not
+ascending id order; materializing callers sort afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.core.query.cursor import Cursor
+from repro.core.query.expr import Expr
+from repro.core.query.planner import Plan
+from repro.storage.stats import IOSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.shard.sharded import ShardedIndex
+
+
+@dataclass(frozen=True)
+class FanoutPlan(Plan):
+    """Physical plan of a sharded execution: one sub-plan per live shard."""
+
+    shard_plans: tuple[Plan, ...]
+    count: "int | None" = None
+    offset: int = 0
+
+    def explain(self, depth: int = 0) -> str:
+        header = f"{'  ' * depth}fanout over {len(self.shard_plans)} shard(s)"
+        if self.count is not None or self.offset:
+            header += f" [offset={self.offset}, count={self.count}]"
+        lines = [header]
+        for position, plan in enumerate(self.shard_plans):
+            lines.append(f"{'  ' * (depth + 1)}shard {position}:")
+            lines.append(plan.explain(depth + 2))
+        return "\n".join(lines)
+
+
+def merge_cursors(
+    cursors: Sequence[Iterator[int]], count: "int | None" = None, offset: int = 0
+) -> Iterator[int]:
+    """Lazily interleave the shard streams, applying the slice while pulling.
+
+    Exactly ``offset + count`` ids are pulled in total (fewer when the streams
+    run dry), one at a time in rotation — the early-stop guarantee: a shard
+    is never advanced further than the slice needs, so its underlying probe
+    never reads pages for ids the query will not return.
+    """
+    live = deque(cursors)
+    to_skip = offset
+    remaining = count
+    if remaining is not None and remaining <= 0:
+        return
+    while live:
+        cursor = live.popleft()
+        try:
+            record_id = next(cursor)
+        except StopIteration:
+            continue
+        live.append(cursor)
+        if to_skip > 0:
+            to_skip -= 1
+            continue
+        yield record_id
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return
+
+
+class MergedShardCursor(Cursor):
+    """Cursor over the k-way merged streams of a sharded execution.
+
+    Reuses every :class:`Cursor` affordance (``fetch``/``fetch_all``,
+    ``io_delta`` via the owning index's aggregated snapshot, ``explain``),
+    replacing only the plan interpreter with the round-robin merge.
+    """
+
+    def __init__(
+        self,
+        index: "ShardedIndex",
+        shard_cursors: Sequence[Cursor],
+        expr: Expr,
+        count: "int | None" = None,
+        offset: int = 0,
+    ) -> None:
+        self.index = index
+        self.plan = FanoutPlan(
+            tuple(cursor.plan for cursor in shard_cursors), count=count, offset=offset
+        )
+        self.expr = expr
+        self.shard_cursors = tuple(shard_cursors)
+        self._iterator = merge_cursors(self.shard_cursors, count=count, offset=offset)
+        self._consumed = 0
+        self._exhausted = False
+
+    def io_delta(self) -> "IOSnapshot":
+        """Sum of the shard cursors' deltas (pinned to *their* shard indexes).
+
+        Deliberately not a diff of the owning index's live aggregate view:
+        an ``absorb``/flush that swaps a shard in mid-traversal would replace
+        the counters an open-time snapshot was taken against.  Each shard
+        cursor holds the shard object it reads, so its delta stays correct
+        even after the owner moved on.
+        """
+        total = IOSnapshot()
+        for cursor in self.shard_cursors:
+            total = total + cursor.io_delta()
+        return total

@@ -1,0 +1,365 @@
+"""A partition-aware index that fans queries out over per-shard indexes.
+
+:class:`ShardedIndex` implements the full
+:class:`~repro.core.interfaces.SetContainmentIndex` contract by splitting the
+dataset with a deterministic :mod:`partitioner <repro.core.shard.partitioner>`
+and building one complete index (an OIF by default) per shard, each with its
+*own* storage environment — its own pager, buffer pool and I/O counters.
+That independence is what the surrounding layers exploit:
+
+* shard builds and rebuilds are embarrassingly parallel and each sorts /
+  B-tree-loads a fraction of the data, so even a serial sharded build beats
+  the monolithic one on the super-linear parts of construction;
+* :meth:`execute` returns a
+  :class:`~repro.core.shard.merge.MergedShardCursor` over the per-shard
+  streaming cursors, so ``limit k`` still stops reading pages after ``k`` ids;
+* :meth:`fanout_evaluate` materializes per shard — optionally on a thread
+  pool — and reports a per-shard page/latency breakdown for the service layer;
+* :meth:`absorb` merges freshly inserted records by rebuilding *only the
+  shards that received any*, which is what shrinks the OIF's batch-update
+  merge cost.
+
+I/O accounting follows the aggregation contract of
+:meth:`SetContainmentIndex.io_snapshot`: the index's ``stats`` object sums
+the per-shard counters (:meth:`IOSnapshot.__add__`), so ``measured_execute``
+and the experiment runner report page totals comparable with the monolithic
+indexes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.core.interfaces import SetContainmentIndex
+from repro.core.oif import OrderedInvertedFile
+from repro.core.query.expr import Expr, Leaf, slice_ids, split_limit
+from repro.core.query.planner import Planner
+from repro.core.records import Dataset, Record
+from repro.core.shard.merge import FanoutPlan, MergedShardCursor
+from repro.core.shard.partitioner import Partitioner, make_partitioner
+from repro.errors import QueryError
+from repro.storage.stats import DiskModel, IOSnapshot
+
+#: Builds one shard's index over that shard's records.
+ShardFactory = Callable[[Dataset], SetContainmentIndex]
+
+DEFAULT_NUM_SHARDS = 4
+
+
+class AggregateIOStatistics:
+    """Summed, read-only view of the per-shard I/O counters.
+
+    Quacks like :class:`~repro.storage.stats.IOStatistics` for the read-side
+    API the query machinery uses (``snapshot`` / ``since`` / ``disk_model``),
+    but always reflects the *live* shard set — shards swapped in by a flush
+    are picked up automatically.
+    """
+
+    def __init__(self, owner: "ShardedIndex") -> None:
+        self._owner = owner
+
+    @property
+    def disk_model(self) -> DiskModel:
+        shards = self._owner.live_shards
+        return shards[0].stats.disk_model if shards else DiskModel()
+
+    def snapshot(self) -> IOSnapshot:
+        total = IOSnapshot()
+        for shard in self._owner.live_shards:
+            total = total + shard.stats.snapshot()
+        return total
+
+    def since(self, snapshot: IOSnapshot) -> IOSnapshot:
+        return self.snapshot() - snapshot
+
+    def reset(self) -> None:
+        for shard in self._owner.live_shards:
+            shard.stats.reset()
+
+
+@dataclass(frozen=True)
+class ShardQueryStat:
+    """Per-shard cost of one fanned-out evaluation (the ``/stats`` breakdown)."""
+
+    shard: int
+    matches: int
+    page_accesses: int
+    elapsed_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "matches": self.matches,
+            "page_accesses": self.page_accesses,
+            "elapsed_ms": round(self.elapsed_ms, 4),
+        }
+
+
+@dataclass(frozen=True)
+class AbsorbReport:
+    """What one :meth:`ShardedIndex.absorb` merge did."""
+
+    records_absorbed: int
+    rebuilt_shards: tuple[int, ...]
+    io: IOSnapshot
+
+
+class ShardedIndex(SetContainmentIndex):
+    """Fan-out wrapper satisfying the index contract over partitioned shards.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset; queries and the planner see it whole, storage is
+        partitioned.
+    num_shards:
+        Number of partitions.  Partitions without records keep an empty slot
+        (``None``) until an :meth:`absorb` routes records into them.
+    strategy:
+        Partitioning strategy name (``"hash"`` / ``"round_robin"``) or a
+        ready :class:`Partitioner`.
+    factory:
+        Optional builder for each shard's index; defaults to an
+        :class:`OrderedInvertedFile` with ``index_kwargs`` forwarded.  Every
+        shard must own a private environment, so passing ``env`` is rejected.
+    max_workers:
+        When > 1, shard (re)builds run on an ephemeral thread pool of this
+        size; ``None``/1 builds serially.
+    """
+
+    name = "ShardedOIF"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        *,
+        strategy: "str | Partitioner" = "hash",
+        factory: "ShardFactory | None" = None,
+        max_workers: "int | None" = None,
+        **index_kwargs,
+    ) -> None:
+        if "env" in index_kwargs:
+            raise QueryError(
+                "sharded indexes give every shard its own storage environment; "
+                "a shared 'env' would break per-shard accounting and parallelism"
+            )
+        if factory is not None and index_kwargs:
+            raise QueryError("pass either a shard factory or index options, not both")
+        # Deliberately not calling the base __init__: a sharded index owns no
+        # single environment — the env-dependent surface is overridden below.
+        self.dataset = dataset
+        self.env = None
+        self._planner: "Planner | None" = None
+        self.partitioner = make_partitioner(strategy, num_shards)
+        self.max_workers = max_workers
+        self._factory: ShardFactory = factory or (
+            lambda shard_dataset: OrderedInvertedFile(shard_dataset, **index_kwargs)
+        )
+        groups = self.partitioner.split(dataset)
+        built = self._map_positions(
+            [position for position, group in enumerate(groups) if group],
+            lambda position: self._factory(Dataset(groups[position])),
+        )
+        self._shards: list["SetContainmentIndex | None"] = [None] * num_shards
+        for position, shard in built:
+            self._shards[position] = shard
+        self._stats = AggregateIOStatistics(self)
+        template = self.live_shards[0]
+        self.name = f"{template.name}x{num_shards}"
+
+    # -- shard management ------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    @property
+    def live_shards(self) -> list[SetContainmentIndex]:
+        """The built (non-empty) shard indexes, in position order."""
+        return [shard for shard in self._shards if shard is not None]
+
+    def shard_at(self, position: int) -> "SetContainmentIndex | None":
+        return self._shards[position]
+
+    def shard_record_counts(self) -> list[int]:
+        """Records resident per shard position (0 for still-empty slots)."""
+        return [
+            len(shard.dataset) if shard is not None else 0 for shard in self._shards
+        ]
+
+    def _map_positions(
+        self, positions: Sequence[int], build, max_workers: "int | None" = None
+    ) -> list[tuple[int, object]]:
+        """Run ``build(position)`` for every position, in parallel when asked.
+
+        ``max_workers`` overrides the index default for this call.  Each task
+        touches only its own shard's (fresh) environment, so the tasks share
+        no mutable state and a plain thread pool is safe.
+        """
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers and workers > 1 and len(positions) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(positions)),
+                thread_name_prefix="repro-shard-build",
+            ) as pool:
+                results = list(pool.map(build, positions))
+        else:
+            results = [build(position) for position in positions]
+        return list(zip(positions, results))
+
+    # -- probe primitives (fan out + ordered merge) ----------------------------------
+
+    def _probe_subset(self, items: frozenset) -> list[int]:
+        return self._fanned_probe(lambda shard: shard._probe_subset(items))
+
+    def _probe_equality(self, items: frozenset) -> list[int]:
+        return self._fanned_probe(lambda shard: shard._probe_equality(items))
+
+    def _probe_superset(self, items: frozenset) -> list[int]:
+        return self._fanned_probe(lambda shard: shard._probe_superset(items))
+
+    def _fanned_probe(self, probe) -> list[int]:
+        # Shards are disjoint and each probe returns a sorted list, so an
+        # ordered merge reproduces exactly the unsharded answer.
+        return list(heapq.merge(*(probe(shard) for shard in self.live_shards)))
+
+    def probe(self, leaf: Leaf) -> Iterator[int]:
+        """Stream one predicate leaf by chaining the shards' streaming probes."""
+        for shard in self.live_shards:
+            yield from shard.probe(leaf)
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, expr: Expr, planner: "Planner | None" = None) -> MergedShardCursor:
+        """Fan ``expr`` out to every shard and merge the streaming cursors.
+
+        A top-level ``limit``/``offset`` is peeled off and applied by the
+        merge, so non-contributing shards are never drained; each shard plans
+        the inner expression with its own statistics unless an explicit
+        ``planner`` overrides them all.
+
+        Like every streaming cursor, a limited stream yields a prefix of its
+        *production* order — here the shard rotation — so which ``k`` of the
+        matching ids come back depends on the physical layout (just as the
+        unsharded cursor's prefix depends on page order).  Unlimited answers
+        are always exactly the unsharded ones; callers that need a
+        layout-independent limited answer slice the sorted result instead,
+        which is what the delta-aware wrappers and the service layer do
+        (:meth:`repro.core.updates._UpdatableBase.evaluate`).
+        """
+        if not isinstance(expr, Expr):
+            raise QueryError(f"execute() needs a query expression, got {expr!r}")
+        normalized = expr.normalize()
+        inner, count, offset = split_limit(normalized)
+        cursors = [shard.execute(inner, planner=planner) for shard in self.live_shards]
+        return MergedShardCursor(self, cursors, normalized, count=count, offset=offset)
+
+    def explain(self, expr: Expr, planner: "Planner | None" = None) -> str:
+        """Render the fan-out plan without opening any cursor (no I/O)."""
+        inner, count, offset = split_limit(expr)
+        plans = tuple(
+            (planner or shard.planner).plan(inner) for shard in self.live_shards
+        )
+        return FanoutPlan(plans, count=count, offset=offset).explain()
+
+    def fanout_evaluate(
+        self, expr: Expr, pool: "ThreadPoolExecutor | None" = None
+    ) -> tuple[list[int], list[ShardQueryStat]]:
+        """Materialize ``expr`` shard by shard with a per-shard cost breakdown.
+
+        Runs the shards on ``pool`` when one is given (each task reads only
+        its own environment).  A top-level limit is applied *after* the
+        ordered merge, matching the delta-aware evaluation semantics of
+        :meth:`repro.core.updates._UpdatableBase.evaluate`.
+        """
+        inner, count, offset = split_limit(expr)
+        pairs = [
+            (position, shard)
+            for position, shard in enumerate(self._shards)
+            if shard is not None
+        ]
+
+        def run(pair: "tuple[int, SetContainmentIndex]") -> tuple[list[int], ShardQueryStat]:
+            position, shard = pair
+            before = shard.stats.snapshot()
+            started = time.perf_counter()
+            ids = shard.evaluate(inner)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            stat = ShardQueryStat(
+                shard=position,
+                matches=len(ids),
+                page_accesses=shard.stats.since(before).page_reads,
+                elapsed_ms=elapsed_ms,
+            )
+            return ids, stat
+
+        if pool is not None and len(pairs) > 1:
+            outcomes = list(pool.map(run, pairs))
+        else:
+            outcomes = [run(pair) for pair in pairs]
+        merged = list(heapq.merge(*(ids for ids, _ in outcomes)))
+        return slice_ids(merged, count, offset), [stat for _, stat in outcomes]
+
+    # -- updates ---------------------------------------------------------------------
+
+    def absorb(
+        self, fresh_records: Sequence[Record], max_workers: "int | None" = None
+    ) -> AbsorbReport:
+        """Merge ``fresh_records`` by rebuilding only the shards that get any.
+
+        The untouched shards keep their indexes (and warm buffer pools)
+        as-is — this is the per-shard counterpart of the monolithic
+        ``UpdatableOIF.flush`` full rebuild.  Rebuilds run on an ephemeral
+        pool when ``max_workers`` (or the index default) allows.
+        """
+        fresh = list(fresh_records)
+        if not fresh:
+            return AbsorbReport(records_absorbed=0, rebuilt_shards=(), io=IOSnapshot())
+        groups: dict[int, list[Record]] = {}
+        for record in fresh:
+            groups.setdefault(self.partitioner.shard_of(record.record_id), []).append(record)
+
+        def rebuild(position: int) -> tuple[SetContainmentIndex, IOSnapshot]:
+            current = self._shards[position]
+            existing = list(current.dataset) if current is not None else []
+            shard = self._factory(Dataset(existing + groups[position]))
+            # The shard's environment is brand new, so its counters are
+            # exactly the build cost.
+            return shard, shard.stats.snapshot()
+
+        built = self._map_positions(sorted(groups), rebuild, max_workers=max_workers)
+        total_io = IOSnapshot()
+        for position, (shard, build_io) in built:
+            self._shards[position] = shard
+            total_io = total_io + build_io
+        self.dataset = Dataset(list(self.dataset) + fresh)
+        # Frequency statistics changed; replan from the merged dataset.
+        self._planner = None
+        return AbsorbReport(
+            records_absorbed=len(fresh),
+            rebuilt_shards=tuple(sorted(groups)),
+            io=total_io,
+        )
+
+    # -- instrumentation -------------------------------------------------------------
+
+    @property
+    def stats(self) -> AggregateIOStatistics:
+        """Aggregated per-shard counters (read-only view, always live)."""
+        return self._stats
+
+    def io_snapshot(self) -> IOSnapshot:
+        return self._stats.snapshot()
+
+    @property
+    def index_size_bytes(self) -> int:
+        return sum(shard.index_size_bytes for shard in self.live_shards)
+
+    def drop_cache(self) -> None:
+        for shard in self.live_shards:
+            shard.drop_cache()

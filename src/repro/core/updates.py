@@ -29,6 +29,7 @@ from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset, Record
+from repro.core.shard import Partitioner, ShardedIndex
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
 
@@ -90,15 +91,67 @@ class DeltaInvertedFile:
                 lengths[record_id] = length
         return sorted(rid for rid, count in counts.items() if count == lengths[rid])
 
-    def query(self, query_type: str, items: Iterable[Item]) -> list[int]:
-        """Dispatch helper mirroring :class:`SetContainmentIndex.query`."""
-        if query_type == "subset":
+    def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
+        """Dispatch helper mirroring :class:`SetContainmentIndex.query`.
+
+        Goes through :meth:`QueryType.parse`, so the delta path shares the
+        disk path's validation (and its error message) instead of duplicating
+        string comparisons.
+        """
+        query_type = QueryType.parse(query_type)
+        if query_type is QueryType.SUBSET:
             return self.subset_query(items)
-        if query_type == "equality":
+        if query_type is QueryType.EQUALITY:
             return self.equality_query(items)
-        if query_type == "superset":
-            return self.superset_query(items)
-        raise QueryError(f"unknown query type {query_type!r}")
+        return self.superset_query(items)
+
+
+class ShardedDeltaBuffer:
+    """Per-shard delta buffers behind the :class:`DeltaInvertedFile` interface.
+
+    Fresh records are routed by the owning index's partitioner on ``add``, so
+    at flush time each shard's pending records are already grouped — the
+    merge rebuilds exactly the shards with a non-empty buffer and leaves the
+    rest untouched.  The query/iteration surface aggregates over all buffers,
+    keeping :class:`_UpdatableBase`'s delta-aware paths oblivious to the
+    partitioning.
+    """
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+        self._buffers = [DeltaInvertedFile() for _ in range(partitioner.num_shards)]
+
+    def add(self, record: Record) -> None:
+        """Buffer one fresh record in its shard's delta."""
+        self._buffers[self.partitioner.shard_of(record.record_id)].add(record)
+
+    def __len__(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers)
+
+    @property
+    def records(self) -> list[Record]:
+        """All buffered records across shards, ordered by id."""
+        merged = [record for buffer in self._buffers for record in buffer.records]
+        merged.sort(key=lambda record: record.record_id)
+        return merged
+
+    def clear(self) -> None:
+        for buffer in self._buffers:
+            buffer.clear()
+
+    def pending_per_shard(self) -> list[int]:
+        """Buffered record count per shard position."""
+        return [len(buffer) for buffer in self._buffers]
+
+    def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
+        """Aggregate one predicate over every shard's buffer (ids ascending)."""
+        query_type = QueryType.parse(query_type)
+        out: list[int] = []
+        for buffer in self._buffers:
+            if len(buffer):
+                out.extend(buffer.query(query_type, items))
+        out.sort()
+        return out
 
 
 @dataclass(frozen=True)
@@ -175,6 +228,17 @@ class _UpdatableBase:
         """Dispatch helper mirroring :meth:`SetContainmentIndex.query`."""
         return self._combined(self.index, QueryType.parse(query_type).value, items)
 
+    # -- the delta-aware point predicates (shared by every wrapper) ------------------
+
+    def subset_query(self, items: Iterable[Item]) -> list[int]:
+        return self._combined(self.index, "subset", items)
+
+    def equality_query(self, items: Iterable[Item]) -> list[int]:
+        return self._combined(self.index, "equality", items)
+
+    def superset_query(self, items: Iterable[Item]) -> list[int]:
+        return self._combined(self.index, "superset", items)
+
     def evaluate(self, expr) -> list[int]:
         """Answer a query expression over the disk index *and* the delta buffer.
 
@@ -184,16 +248,26 @@ class _UpdatableBase:
         applied only after merging, so a buffered record cannot be shadowed
         by an early-stopping disk cursor.
         """
-        from repro.core.query.expr import Expr, Limit
+        from repro.core.query.expr import Expr, split_limit
 
         if not isinstance(expr, Expr):
             raise QueryError(f"evaluate() needs a query expression, got {expr!r}")
-        normalized = expr.normalize()
-        count, offset = None, 0
-        if isinstance(normalized, Limit):
-            count, offset = normalized.count, normalized.offset
-            normalized = normalized.operand
-        base = self.index.evaluate(normalized)
+        normalized, count, offset = split_limit(expr)
+        return self._merge_delta_and_slice(
+            self.index.evaluate(normalized), normalized, count, offset
+        )
+
+    def _merge_delta_and_slice(
+        self, base: list[int], normalized, count: "int | None", offset: int
+    ) -> list[int]:
+        """Union buffered delta matches into ``base`` (sorted), then slice.
+
+        The single definition of the delta-visibility and limit-after-merge
+        semantics; both the monolithic and the sharded evaluation paths go
+        through it.
+        """
+        from repro.core.query.expr import slice_ids
+
         if len(self.delta):
             fresh = [
                 record.record_id
@@ -201,10 +275,7 @@ class _UpdatableBase:
                 if normalized.matches(record.items)
             ]
             base = sorted(set(base) | set(fresh))
-        if count is None and offset == 0:
-            return base
-        upper = None if count is None else offset + count
-        return base[offset:upper]
+        return slice_ids(base, count, offset)
 
 
 class UpdatableOIF(_UpdatableBase):
@@ -242,14 +313,78 @@ class UpdatableOIF(_UpdatableBase):
             page_reads=delta_stats.page_reads,
         )
 
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "subset", items)
 
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "equality", items)
+class UpdatableShardedOIF(_UpdatableBase):
+    """Sharded OIF with per-shard delta buffers and independent shard flushes.
 
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "superset", items)
+    Inserts route to the delta buffer of the shard that will own the record
+    (same deterministic partitioner as the index), so :meth:`flush` merges by
+    rebuilding *only the shards with pending records* — typically a fraction
+    of the monolithic ``UpdatableOIF.flush`` rebuild.  With ``max_workers``
+    (or a pool-sized default from the service layer) the affected shards
+    rebuild concurrently.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_shards: int = 4,
+        *,
+        strategy: str = "hash",
+        max_workers: "int | None" = None,
+        **oif_kwargs,
+    ) -> None:
+        super().__init__(dataset)
+        self._oif_kwargs = dict(oif_kwargs)
+        self.index = ShardedIndex(
+            dataset,
+            num_shards,
+            strategy=strategy,
+            max_workers=max_workers,
+            **self._oif_kwargs,
+        )
+        self.delta = ShardedDeltaBuffer(self.index.partitioner)
+
+    @property
+    def num_shards(self) -> int:
+        return self.index.num_shards
+
+    def pending_per_shard(self) -> list[int]:
+        """Buffered record count per shard position (flush planning, /stats)."""
+        return self.delta.pending_per_shard()
+
+    def flush(self, max_workers: "int | None" = None) -> UpdateReport:
+        """Merge the per-shard deltas by rebuilding only the affected shards."""
+        merged_count = len(self.delta)
+        start = time.perf_counter()
+        report = self.index.absorb(self.delta.records, max_workers=max_workers)
+        elapsed = time.perf_counter() - start
+        self.dataset = self.index.dataset
+        self.delta.clear()
+        return UpdateReport(
+            index_name=self.index.name,
+            records_merged=merged_count,
+            merge_seconds=elapsed,
+            page_writes=report.io.page_writes,
+            page_reads=report.io.page_reads,
+        )
+
+    def evaluate_detail(self, expr, pool=None):
+        """Like :meth:`evaluate`, plus the per-shard cost breakdown.
+
+        The shards are materialized through
+        :meth:`ShardedIndex.fanout_evaluate` (concurrently when ``pool`` is
+        given); buffered delta records merge in with zero page cost and the
+        top-level limit slices the combined, sorted stream — identical
+        semantics to the base ``evaluate``.
+        """
+        from repro.core.query.expr import Expr, split_limit
+
+        if not isinstance(expr, Expr):
+            raise QueryError(f"evaluate_detail() needs a query expression, got {expr!r}")
+        normalized, count, offset = split_limit(expr)
+        base, shard_stats = self.index.fanout_evaluate(normalized, pool=pool)
+        return self._merge_delta_and_slice(base, normalized, count, offset), shard_stats
 
 
 class UpdatableIF(_UpdatableBase):
@@ -283,12 +418,3 @@ class UpdatableIF(_UpdatableBase):
             page_writes=delta_stats.page_writes,
             page_reads=delta_stats.page_reads,
         )
-
-    def subset_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "subset", items)
-
-    def equality_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "equality", items)
-
-    def superset_query(self, items: Iterable[Item]) -> list[int]:
-        return self._combined(self.index, "superset", items)

@@ -23,6 +23,7 @@ from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
 from repro.core.interfaces import QueryResult, QueryType, SetContainmentIndex
 from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset
+from repro.core.shard import ShardedIndex
 from repro.errors import ExperimentError
 from repro.workloads.queries import Query, Workload
 
@@ -43,6 +44,26 @@ class IndexFactory:
 def oif_factory(name: str = "OIF", **kwargs) -> IndexFactory:
     """Factory for the Ordered Inverted File (keyword args forwarded to it)."""
     return IndexFactory(name, lambda dataset: OrderedInvertedFile(dataset, **kwargs))
+
+
+def sharded_oif_factory(
+    name: "str | None" = None,
+    num_shards: int = 4,
+    strategy: str = "hash",
+    **kwargs,
+) -> IndexFactory:
+    """Factory for the OIF partitioned over ``num_shards`` shards.
+
+    ``measured_execute`` aggregates page counts across the shard
+    environments (:meth:`SetContainmentIndex.io_snapshot`), so runs of this
+    factory are directly comparable with the monolithic figures.
+    """
+    return IndexFactory(
+        name or f"OIFx{num_shards}",
+        lambda dataset: ShardedIndex(
+            dataset, num_shards, strategy=strategy, **kwargs
+        ),
+    )
 
 
 def if_factory(name: str = "IF", **kwargs) -> IndexFactory:

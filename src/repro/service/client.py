@@ -74,6 +74,7 @@ class ServiceClient:
         transactions: "Sequence[Iterable] | None" = None,
         path: "str | None" = None,
         kind: str = "oif",
+        shards: "int | None" = None,
         **options,
     ) -> dict:
         payload: dict = {"name": name, "kind": kind}
@@ -81,6 +82,8 @@ class ServiceClient:
             payload["transactions"] = [sorted(str(item) for item in t) for t in transactions]
         if path is not None:
             payload["path"] = path
+        if shards is not None:
+            payload["shards"] = shards
         if options:
             payload["options"] = options
         return self._request("POST", "/indexes", payload)

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.core.interfaces import QueryType
 from repro.core.query.expr import Expr, Leaf
+from repro.core.shard import ShardQueryStat
 from repro.errors import ServiceError, UnknownIndexError
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.index_manager import IndexManager
@@ -80,6 +81,10 @@ class QueryOutcome:
     deduplicated: bool
     latency_ms: float
     page_accesses: int
+    #: Per-shard cost breakdown when the target index is sharded (the fan-out
+    #: path measured each shard separately); ``None`` for monolithic indexes
+    #: and for answers that never touched an index (cache/dedup hits).
+    shard_stats: "tuple[ShardQueryStat, ...] | None" = None
 
     @property
     def query_type(self) -> "QueryType | None":
@@ -113,6 +118,8 @@ class QueryOutcome:
             "latency_ms": round(self.latency_ms, 4),
             "page_accesses": self.page_accesses,
         }
+        if self.shard_stats is not None:
+            out["shards"] = [stat.as_dict() for stat in self.shard_stats]
         query_type = self.query_type
         if query_type is not None:
             out["type"] = query_type.value
@@ -271,7 +278,9 @@ class QueryExecutor:
             with entry.lock:
                 if entry.dropped:
                     raise UnknownIndexError(f"no index named {request.index!r}")
-                record_ids, page_accesses = entry.measured_expr(request.expr)
+                record_ids, page_accesses, shard_stats = entry.measured_expr(
+                    request.expr
+                )
                 if self.cache is not None:
                     self.cache.put(request.key, record_ids)
                 # Deregister from in-flight while still holding the index
@@ -290,10 +299,12 @@ class QueryExecutor:
                 deduplicated=False,
                 latency_ms=(time.perf_counter() - start) * 1000.0,
                 page_accesses=page_accesses,
+                shard_stats=shard_stats,
             )
             self.stats.record_query(
                 request.index, outcome.latency_ms, cached=False,
                 deduplicated=False, page_accesses=page_accesses,
+                shard_stats=shard_stats,
             )
             return outcome
         except BaseException:

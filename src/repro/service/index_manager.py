@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator
 
 from repro.baselines.naive import NaiveScanIndex
@@ -32,7 +33,13 @@ from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
 from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.records import Dataset
-from repro.core.updates import UpdatableIF, UpdatableOIF, UpdateReport
+from repro.core.shard import ShardQueryStat
+from repro.core.updates import (
+    UpdatableIF,
+    UpdatableOIF,
+    UpdatableShardedOIF,
+    UpdateReport,
+)
 from repro.errors import ServiceError, UnknownIndexError
 from repro.service.cache import ResultCache
 
@@ -71,17 +78,53 @@ class ManagedIndex:
         self._insert_log: list[frozenset] = []
         #: Transactions trimmed off the front of the log (see insert_count).
         self._insert_log_base = 0
+        #: Dedicated pool for per-query shard fan-out, created lazily for
+        #: sharded handles.  Deliberately *not* the query executor's pool:
+        #: fan-out tasks are submitted while :attr:`lock` is held, and query
+        #: workers block on that same lock — sharing one pool could park
+        #: every worker on the lock and leave no thread to run the fan-out.
+        self._fanout_pool: "ThreadPoolExecutor | None" = None
+        self._pool_closed = False
         start = time.perf_counter()
         self._handle = self._build_handle(dataset)
         self.build_seconds = time.perf_counter() - start
 
     def _build_handle(self, dataset: Dataset):
+        options = dict(self.options)
+        shards = options.pop("shards", None)
+        build_workers = options.pop("build_workers", None)
+        for option_name, value in (("shards", shards), ("build_workers", build_workers)):
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int) or value < 1
+            ):
+                raise ServiceError(
+                    f"{option_name!r} must be a positive integer, got {value!r}"
+                )
+        sharded = bool(shards and shards > 1)
+        if sharded and self.kind != "oif":
+            raise ServiceError(
+                f"sharding is only supported for kind 'oif', not {self.kind!r}"
+            )
+        if not sharded:
+            # Silently building a monolithic index would ignore the client's
+            # partitioning request — fail loudly instead.
+            if "strategy" in options:
+                raise ServiceError("the 'strategy' option requires 'shards' > 1")
+            if build_workers is not None:
+                raise ServiceError("the 'build_workers' option requires 'shards' > 1")
         if self.kind == "oif":
-            handle = UpdatableOIF(dataset, **self.options)
+            if sharded:
+                # Shard builds (and later rebuild swaps / flushes) run
+                # concurrently; by default one worker per shard.
+                handle = UpdatableShardedOIF(
+                    dataset, shards, max_workers=build_workers or shards, **options
+                )
+            else:
+                handle = UpdatableOIF(dataset, **options)
         elif self.kind == "if":
-            handle = UpdatableIF(dataset, **self.options)
+            handle = UpdatableIF(dataset, **options)
         else:
-            return _STATIC_CLASSES[self.kind](dataset, **self.options)
+            return _STATIC_CLASSES[self.kind](dataset, **options)
         handle.add_update_listener(self._fanout)
         return handle
 
@@ -123,7 +166,7 @@ class ManagedIndex:
     def describe(self) -> dict:
         """JSON-friendly summary for the ``/indexes`` endpoint."""
         with self.lock:
-            return {
+            out = {
                 "name": self.name,
                 "kind": self.kind,
                 "index": self.index.name,
@@ -133,6 +176,11 @@ class ManagedIndex:
                 "build_seconds": round(self.build_seconds, 4),
                 "supports_updates": self.supports_updates,
             }
+            if isinstance(self._handle, UpdatableShardedOIF):
+                out["shards"] = self._handle.num_shards
+                out["shard_records"] = self._handle.index.shard_record_counts()
+                out["pending_per_shard"] = self._handle.pending_per_shard()
+            return out
 
     # -- serving operations ----------------------------------------------------------
 
@@ -146,18 +194,58 @@ class ManagedIndex:
         with self.lock:
             return self._handle.evaluate(expr)
 
-    def measured_expr(self, expr) -> tuple[tuple[int, ...], int]:
-        """Answer an expression and return ``(record_ids, page_accesses)``."""
+    def measured_expr(
+        self, expr
+    ) -> "tuple[tuple[int, ...], int, tuple[ShardQueryStat, ...] | None]":
+        """Answer an expression: ``(record_ids, page_accesses, shard_stats)``.
+
+        ``shard_stats`` is the per-shard page/latency breakdown when the
+        handle is sharded, ``None`` otherwise.
+
+        Sharded handles evaluate through the parallel fan-out path: each
+        shard materializes on the entry's dedicated pool (every task touches
+        only its own shard environment, so this is safe under the entry
+        lock), and the per-shard stats feed the executor's ``/stats``
+        breakdown.
+        """
         with self.lock:
+            if isinstance(self._handle, UpdatableShardedOIF):
+                record_ids, shard_stats = self._handle.evaluate_detail(
+                    expr, pool=self._ensure_fanout_pool()
+                )
+                pages = sum(stat.page_accesses for stat in shard_stats)
+                return tuple(record_ids), pages, tuple(shard_stats)
             before = self.index.stats.snapshot()
             record_ids = tuple(self.evaluate(expr))
             delta = self.index.stats.since(before)
-            return record_ids, delta.page_reads
+            return record_ids, delta.page_reads, None
+
+    def _ensure_fanout_pool(self) -> "ThreadPoolExecutor | None":
+        """The entry's shard fan-out pool (lazily created; caller holds lock).
+
+        ``None`` after :meth:`close` — a closed entry evaluates its shards
+        serially instead of silently re-arming a pool nothing will release.
+        """
+        if self._pool_closed or not isinstance(self._handle, UpdatableShardedOIF):
+            return None
+        if self._fanout_pool is None and self._handle.num_shards > 1:
+            self._fanout_pool = ThreadPoolExecutor(
+                max_workers=self._handle.num_shards,
+                thread_name_prefix=f"repro-fanout-{self.name}",
+            )
+        return self._fanout_pool
+
+    def close(self) -> None:
+        """Release per-entry resources (the fan-out pool) after a drop/shutdown."""
+        self._pool_closed = True
+        pool, self._fanout_pool = self._fanout_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def measured_query(
         self, query_type: "QueryType | str", items: Iterable[Item]
-    ) -> tuple[tuple[int, ...], int]:
-        """Answer a point query and return ``(record_ids, page_accesses)``."""
+    ) -> "tuple[tuple[int, ...], int, tuple[ShardQueryStat, ...] | None]":
+        """Point-predicate :meth:`measured_expr`."""
         return self.measured_expr(QueryType.parse(query_type).leaf(items))
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
@@ -330,6 +418,7 @@ class IndexManager:
         # under a name that may be reused.
         with entry.lock:
             entry.dropped = True
+        entry.close()
         if self.result_cache is not None:
             self.result_cache.invalidate_index(name)
 
@@ -359,3 +448,15 @@ class IndexManager:
 
     def flush(self, name: str) -> "UpdateReport | None":
         return self.get(name).flush()
+
+    # -- lifecycle of the manager itself ----------------------------------------------
+
+    def close(self) -> None:
+        """Release per-entry resources (shard fan-out pools) of every index.
+
+        The indexes stay registered and queryable — serial evaluation works
+        without a pool — but embedding servers call this on shutdown so no
+        idle fan-out threads outlive the serving stack.
+        """
+        for entry in self:
+            entry.close()

@@ -13,7 +13,9 @@ Endpoints (all payloads JSON):
 * ``GET  /stats``                — serving counters, cache counters, index list;
 * ``GET  /indexes``              — describe the resident indexes;
 * ``POST /indexes``              — create an index from inline transactions or
-  a transaction file (``{"name", "kind", "transactions" | "path", ...}``);
+  a transaction file (``{"name", "kind", "transactions" | "path", ...}``; an
+  optional ``"shards": N`` partitions an OIF over N concurrently built
+  shards);
 * ``DELETE /indexes/<name>``     — drop an index;
 * ``POST /indexes/<name>/rebuild`` — rebuild and swap the index in place;
 * ``POST /query``                — one query ``{"index", "type", "items"}``;
@@ -88,6 +90,10 @@ class ServiceServer:
         # invalidation; a split pair would never see its entries invalidated.
         # A supplied executor is authoritative (its cache/manager are already
         # bound); otherwise adopt a supplied manager's cache.
+        # Only a manager this server created itself is torn down on
+        # shutdown; an externally supplied one (directly or via an executor)
+        # may outlive the server, so its resources stay armed.
+        self._owns_manager = executor is None and manager is None
         if executor is not None:
             if manager is not None and manager is not executor.manager:
                 raise ServiceError(
@@ -149,6 +155,12 @@ class ServiceServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.executor.shutdown()
+        if self._owns_manager:
+            # Release the per-index shard fan-out pools too, so repeated
+            # server lifecycles in one process cannot accumulate idle
+            # threads.  An externally supplied manager is left armed — it
+            # may keep serving after this server is gone.
+            self.manager.close()
 
     def __enter__(self) -> "ServiceServer":
         return self.start()
@@ -198,6 +210,14 @@ class ServiceServer:
         options = payload.get("options") or {}
         if not isinstance(options, dict):
             raise ServiceError("'options' must be an object of index keyword arguments")
+        if "shards" in payload:
+            # Top-level convenience mirroring the CLI's --shards; validated
+            # by the manager when the handle is built.
+            if "shards" in options and options["shards"] != payload["shards"]:
+                raise ServiceError(
+                    "conflicting 'shards' values in the request body and 'options'"
+                )
+            options = {**options, "shards": payload["shards"]}
         try:
             entry = self.manager.create(name, dataset, kind=kind, **options)
         except TypeError as error:

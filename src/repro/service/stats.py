@@ -44,12 +44,38 @@ class LatencyRecorder:
 
 
 @dataclass
+class ShardRecorder:
+    """Aggregate cost of one shard position of one sharded resident index."""
+
+    queries: int = 0
+    matches: int = 0
+    page_accesses: int = 0
+    total_ms: float = 0.0
+
+    def record(self, matches: int, page_accesses: int, elapsed_ms: float) -> None:
+        self.queries += 1
+        self.matches += matches
+        self.page_accesses += page_accesses
+        self.total_ms += elapsed_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "matches": self.matches,
+            "page_accesses": self.page_accesses,
+            "mean_ms": round(self.total_ms / self.queries, 4) if self.queries else 0.0,
+        }
+
+
+@dataclass
 class ServingStats:
     """Counters for one :class:`~repro.service.executor.QueryExecutor`.
 
     ``queries`` counts every answered query, split into ``cache_hits`` (served
     from the result cache), ``dedup_hits`` (piggybacked on an identical
     in-flight query) and ``executed`` (actually evaluated on an index).
+    Queries answered by a sharded index additionally feed a per-shard
+    latency/page breakdown (``per_index_shards``).
     """
 
     queries: int = 0
@@ -60,6 +86,7 @@ class ServingStats:
     page_accesses: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     per_index: dict = field(default_factory=dict)
+    per_index_shards: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_query(
@@ -70,8 +97,14 @@ class ServingStats:
         cached: bool,
         deduplicated: bool,
         page_accesses: int,
+        shard_stats=None,
     ) -> None:
-        """Account one answered query (thread-safe)."""
+        """Account one answered query (thread-safe).
+
+        ``shard_stats`` is the fan-out breakdown — an iterable of
+        :class:`~repro.core.shard.ShardQueryStat` — for queries evaluated on
+        a sharded index.
+        """
         with self._lock:
             self.queries += 1
             if cached:
@@ -86,6 +119,13 @@ class ServingStats:
             if recorder is None:
                 recorder = self.per_index[index_name] = LatencyRecorder()
             recorder.record(latency_ms)
+            if shard_stats:
+                shards = self.per_index_shards.setdefault(index_name, {})
+                for stat in shard_stats:
+                    slot = shards.get(stat.shard)
+                    if slot is None:
+                        slot = shards[stat.shard] = ShardRecorder()
+                    slot.record(stat.matches, stat.page_accesses, stat.elapsed_ms)
 
     def record_error(self) -> None:
         with self._lock:
@@ -103,5 +143,12 @@ class ServingStats:
                 "latency": self.latency.as_dict(),
                 "per_index": {
                     name: recorder.as_dict() for name, recorder in self.per_index.items()
+                },
+                "per_index_shards": {
+                    name: {
+                        str(position): recorder.as_dict()
+                        for position, recorder in sorted(shards.items())
+                    }
+                    for name, shards in self.per_index_shards.items()
                 },
             }

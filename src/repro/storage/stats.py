@@ -66,6 +66,19 @@ class IOSnapshot:
             cache_hits=self.cache_hits - other.cache_hits,
         )
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Counter-wise sum, so per-shard snapshots aggregate into one total."""
+        if not isinstance(other, IOSnapshot):
+            return NotImplemented
+        return IOSnapshot(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            sequential_reads=self.sequential_reads + other.sequential_reads,
+            random_reads=self.random_reads + other.random_reads,
+            logical_reads=self.logical_reads + other.logical_reads,
+            cache_hits=self.cache_hits + other.cache_hits,
+        )
+
     def io_time_ms(self, model: DiskModel | None = None) -> float:
         """Simulated I/O time of the reads captured by this snapshot."""
         model = model or DiskModel()

@@ -59,6 +59,15 @@ class TestExamples:
         assert "cached on repeat: True" in output
         assert "probe subset(milk)" in output
 
+    def test_sharded_service_example_runs_end_to_end(self, capsys):
+        module = load_example("sharded_service")
+        module.main()
+        output = capsys.readouterr().out
+        assert "identical answers, sharded and monolithic" in output
+        assert "pending per shard after 2 inserts" in output
+        assert "per-shard breakdown" in output
+        assert "/stats per-shard slots: ['0', '1', '2', '3']" in output
+
     def test_weblog_sessions_components(self):
         load_example("weblog_sessions")
         from repro.datasets import MswebConfig, generate_msweb
