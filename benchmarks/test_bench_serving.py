@@ -17,6 +17,7 @@ Index builds happen in the benchmark setup, outside the timed region.
 from __future__ import annotations
 
 import random
+import threading
 import time
 
 import pytest
@@ -24,7 +25,13 @@ import pytest
 from repro.datasets.synthetic import SyntheticConfig
 from repro.experiments import cache as build_cache
 from repro.experiments.report import ResultTable
-from repro.service import IndexManager, QueryExecutor, ResultCache
+from repro.service import (
+    IndexManager,
+    QueryExecutor,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+)
 
 from conftest import save_tables, scaled
 
@@ -151,3 +158,110 @@ def test_cache_absorbs_the_hot_tail(serving_table):
     assert cached["executed"] <= 2 * HOT_POOL
     assert cached["cache_hits"] > NUM_QUERIES // 2
     assert uncached["cache_hits"] == 0
+
+
+# -- concurrent clients on ONE resident index --------------------------------------
+#
+# The concurrent-read-path scenario: N client threads hammer the same index
+# over HTTP (each thread reuses one keep-alive connection, so the numbers
+# measure the server, not TCP setup).  Queries are pairwise distinct, so no
+# result-cache hit and no in-flight dedup can mask an evaluation; the index
+# is built with an eviction-free buffer pool, so across a whole cold run each
+# page misses exactly once and the page-access total is schedule-independent
+# — the concurrent totals must equal the serial (1-thread) run exactly.
+
+CONCURRENT_THREADS = (1, 2, 4, 8)
+CONCURRENT_QUERIES = 64
+
+
+@pytest.fixture(scope="module")
+def unique_query_stream(dataset) -> list[frozenset]:
+    """Pairwise-distinct 2-item subset queries drawn from real records."""
+    rng = random.Random(4242)
+    records = [record for record in dataset if record.length >= 2]
+    pool: set[frozenset] = set()
+    while len(pool) < CONCURRENT_QUERIES:
+        record = rng.choice(records)
+        pool.add(frozenset(rng.sample(sorted(record.items, key=str), 2)))
+    return sorted(pool, key=sorted)
+
+
+def _serve_concurrently(dataset, queries, num_threads: int) -> dict:
+    """Fresh server + cold index; N client threads split the unique stream."""
+    with ServiceServer(port=0, max_workers=max(CONCURRENT_THREADS)) as server:
+        with ServiceClient(host=server.host, port=server.port) as admin:
+            admin.create_index(
+                "hot",
+                transactions=[sorted(record.items, key=str) for record in dataset],
+                # Eviction-free pool: page totals become schedule-independent.
+                cache_bytes=1 << 22,
+            )
+            # The build leaves every page resident; start the measured run
+            # cold so the queries do real reads (each page then misses
+            # exactly once across the run, whoever touches it first).
+            server.manager.get("hot").index.drop_cache()
+            slices = [queries[n::num_threads] for n in range(num_threads)]
+            failures: list[str] = []
+
+            def client_thread(slice_index: int) -> None:
+                with ServiceClient(host=server.host, port=server.port) as client:
+                    for items in slices[slice_index]:
+                        response = client.query("hot", "subset", sorted(items, key=str))
+                        if response["cached"] or response["deduplicated"]:
+                            failures.append("unique query was answered without evaluating")
+
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=client_thread, args=(n,))
+                for n in range(num_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            assert failures == []
+            serving = admin.stats()["serving"]
+    assert serving["executed"] == len(queries)
+    return {
+        "threads": num_threads,
+        "seconds": elapsed,
+        "qps": len(queries) / elapsed if elapsed else float("inf"),
+        "page_accesses": serving["page_accesses"],
+        "random_reads": serving["random_reads"],
+        "sequential_reads": serving["sequential_reads"],
+    }
+
+
+@pytest.fixture(scope="module")
+def concurrent_table(dataset, unique_query_stream):
+    table = ResultTable(
+        title=(
+            f"Concurrent clients on one resident OIF: {CONCURRENT_QUERIES} distinct "
+            f"subset queries over keep-alive HTTP"
+        ),
+        columns=["threads", "seconds", "qps", "page_accesses", "random_reads", "sequential_reads"],
+    )
+    for num_threads in CONCURRENT_THREADS:
+        table.add_row(**_serve_concurrently(dataset, unique_query_stream, num_threads))
+    table.add_note(
+        "eviction-free pool: page-access totals are exact and must not depend "
+        "on the client-thread count"
+    )
+    save_tables("serving_concurrent_same_index", [table])
+    return table
+
+
+@pytest.mark.parametrize("num_threads", CONCURRENT_THREADS)
+def test_concurrent_page_totals_match_serial(concurrent_table, num_threads):
+    """Interleaving N readers must not change what the queries read."""
+    rows = {row["threads"]: row for row in concurrent_table.rows}
+    serial = rows[1]
+    row = rows[num_threads]
+    assert row["page_accesses"] == serial["page_accesses"]
+    assert row["random_reads"] + row["sequential_reads"] == row["page_accesses"]
+
+
+def test_concurrent_throughput_recorded(concurrent_table):
+    assert {row["threads"] for row in concurrent_table.rows} == set(CONCURRENT_THREADS)
+    assert all(row["qps"] > 0 for row in concurrent_table.rows)

@@ -32,6 +32,7 @@ from repro.core.sequence import encode_rank
 from repro.errors import IndexNotBuiltError, QueryError
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.stats import ReadContext
 
 
 @dataclass(frozen=True)
@@ -134,16 +135,16 @@ class InvertedFile(SetContainmentIndex):
             raise IndexNotBuiltError("the inverted file has not been built yet")
         return self._order
 
-    def fetch_list(self, item: Item) -> list[Posting]:
+    def fetch_list(self, item: Item, ctx: "ReadContext | None" = None) -> list[Posting]:
         """Retrieve the complete inverted list of ``item`` (whole-tuple fetch)."""
         if self._table is None:
             raise IndexNotBuiltError("the inverted file has not been built yet")
         rank = self.order.try_rank_of(item)
         if rank is None:
             return []
-        if not self._table.contains(encode_rank(rank)):
+        if not self._table.contains(encode_rank(rank), ctx):
             return []
-        return self._codec.decode(self._table.get(encode_rank(rank)))
+        return self._codec.decode(self._table.get(encode_rank(rank), ctx))
 
     def list_page_count(self, item: Item) -> int:
         """Number of data pages occupied by the item's list (for the space study)."""
@@ -204,9 +205,9 @@ class InvertedFile(SetContainmentIndex):
 
     # -- query evaluation ----------------------------------------------------------
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
-        lists = [self.fetch_list(item) for item in sorted(query, key=str)]
+        lists = [self.fetch_list(item, ctx) for item in sorted(query, key=str)]
         if any(not postings for postings in lists):
             return []
         lists.sort(key=len)
@@ -217,10 +218,10 @@ class InvertedFile(SetContainmentIndex):
                 return []
         return sorted(result)
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         cardinality = len(query)
-        lists = [self.fetch_list(item) for item in sorted(query, key=str)]
+        lists = [self.fetch_list(item, ctx) for item in sorted(query, key=str)]
         if any(not postings for postings in lists):
             return []
         lists.sort(key=len)
@@ -235,12 +236,12 @@ class InvertedFile(SetContainmentIndex):
                 return []
         return sorted(result)
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         occurrences: dict[int, int] = {}
         lengths: dict[int, int] = {}
         for item in sorted(query, key=str):
-            for posting in self.fetch_list(item):
+            for posting in self.fetch_list(item, ctx):
                 occurrences[posting.record_id] = occurrences.get(posting.record_id, 0) + 1
                 lengths[posting.record_id] = posting.length
         return sorted(

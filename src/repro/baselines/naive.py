@@ -16,6 +16,7 @@ from repro.core.items import Item
 from repro.core.records import Dataset
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
+from repro.storage.stats import ReadContext
 
 
 class NaiveScanIndex(SetContainmentIndex):
@@ -26,19 +27,19 @@ class NaiveScanIndex(SetContainmentIndex):
     def __init__(self, dataset: Dataset, env: Environment | None = None) -> None:
         super().__init__(dataset, env or Environment(cache_bytes=4096, page_size=4096))
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if query <= record.items
         )
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if query == record.items
         )
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check(items)
         return sorted(
             record.record_id for record in self.dataset if record.items <= query

@@ -31,6 +31,7 @@ from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
 from repro.storage.recordstore import RecordStore
+from repro.storage.stats import ReadContext
 
 
 def _item_signature(rank: int, signature_bits: int, bits_per_item: int) -> int:
@@ -133,12 +134,14 @@ class SignatureFile(SetContainmentIndex):
                 signature |= _item_signature(rank, self.signature_bits, self.bits_per_item)
         return signature
 
-    def _scan_signatures(self) -> Iterable[tuple[int, int]]:
+    def _scan_signatures(
+        self, ctx: "ReadContext | None" = None
+    ) -> Iterable[tuple[int, int]]:
         """Yield ``(record_id, signature)`` for every record, page by page."""
         entry_size = 4 + self._signature_bytes
         remaining = len(self._record_ids)
         for page_id in self._signature_pages:
-            data = bytes(self.env.pool.get_page(page_id))
+            data = bytes(self.env.pool.get_page(page_id, ctx))
             in_page = min(self._per_page, remaining)
             for slot in range(in_page):
                 offset = slot * entry_size
@@ -149,47 +152,47 @@ class SignatureFile(SetContainmentIndex):
                 yield record_id, signature
             remaining -= in_page
 
-    def _verify(self, record_id: int) -> frozenset:
+    def _verify(self, record_id: int, ctx: "ReadContext | None" = None) -> frozenset:
         """Fetch the record's items from the record store (one page access)."""
         assert self._record_store is not None and self._order is not None
-        ranks = self._record_store.fetch(record_id)
+        ranks = self._record_store.fetch(record_id, ctx)
         return frozenset(self._order.item_at(rank) for rank in ranks)
 
     # -- query evaluation ----------------------------------------------------------
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         if any(self.order.try_rank_of(item) is None for item in query):
             return []
         query_signature = self.record_signature(query)
         result: list[int] = []
-        for record_id, signature in self._scan_signatures():
+        for record_id, signature in self._scan_signatures(ctx):
             if signature & query_signature == query_signature:
-                if query <= self._verify(record_id):
+                if query <= self._verify(record_id, ctx):
                     result.append(record_id)
         return sorted(result)
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         if any(self.order.try_rank_of(item) is None for item in query):
             return []
         query_signature = self.record_signature(query)
         result: list[int] = []
-        for record_id, signature in self._scan_signatures():
+        for record_id, signature in self._scan_signatures(ctx):
             if signature == query_signature:
-                if query == self._verify(record_id):
+                if query == self._verify(record_id, ctx):
                     result.append(record_id)
         return sorted(result)
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         query_signature = self.record_signature(query)
         mask = (1 << self.signature_bits) - 1
         complement = mask & ~query_signature
         result: list[int] = []
-        for record_id, signature in self._scan_signatures():
+        for record_id, signature in self._scan_signatures(ctx):
             if signature & complement == 0:
-                if self._verify(record_id) <= query:
+                if self._verify(record_id, ctx) <= query:
                     result.append(record_id)
         return sorted(result)
 

@@ -29,6 +29,7 @@ from repro.core.sequence import decode_rank, encode_rank
 from repro.errors import IndexNotBuiltError, QueryError
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.stats import ReadContext
 
 
 class UnorderedBTreeInvertedFile(SetContainmentIndex):
@@ -127,7 +128,11 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
         return self._order
 
     def scan_list(
-        self, rank: int, low_id: int = 0, high_id: int | None = None
+        self,
+        rank: int,
+        low_id: int = 0,
+        high_id: int | None = None,
+        ctx: "ReadContext | None" = None,
     ) -> Iterator[Posting]:
         """Yield the postings of one list, optionally limited to an id window.
 
@@ -138,7 +143,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
         if self._table is None:
             raise IndexNotBuiltError("the unordered B-tree index has not been built yet")
         seek = encode_rank(rank) + encode_rank(low_id)
-        for key, value in self._table.cursor(seek):
+        for key, value in self._table.cursor(seek, ctx):
             key_rank = decode_rank(key, 0)
             if key_rank != rank:
                 return
@@ -154,27 +159,27 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
 
     # -- query evaluation ----------------------------------------------------------
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         ranks = self._known_ranks(query)
         if ranks is None:
             return []
         # Least frequent item first: its list is the shortest.
         ranks.sort(key=lambda rank: -rank)
-        candidates = {posting.record_id for posting in self.scan_list(ranks[0])}
+        candidates = {posting.record_id for posting in self.scan_list(ranks[0], ctx=ctx)}
         for rank in ranks[1:]:
             if not candidates:
                 return []
             low, high = min(candidates), max(candidates)
             found = {
                 posting.record_id
-                for posting in self.scan_list(rank, low, high)
+                for posting in self.scan_list(rank, low, high, ctx=ctx)
                 if posting.record_id in candidates
             }
             candidates = found
         return sorted(candidates)
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         cardinality = len(query)
         ranks = self._known_ranks(query)
@@ -183,7 +188,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
         ranks.sort(key=lambda rank: -rank)
         candidates = {
             posting.record_id
-            for posting in self.scan_list(ranks[0])
+            for posting in self.scan_list(ranks[0], ctx=ctx)
             if posting.length == cardinality
         }
         for rank in ranks[1:]:
@@ -192,12 +197,12 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
             low, high = min(candidates), max(candidates)
             candidates = {
                 posting.record_id
-                for posting in self.scan_list(rank, low, high)
+                for posting in self.scan_list(rank, low, high, ctx=ctx)
                 if posting.length == cardinality and posting.record_id in candidates
             }
         return sorted(candidates)
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         occurrences: dict[int, int] = {}
         lengths: dict[int, int] = {}
@@ -205,7 +210,7 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
             rank = self.order.try_rank_of(item)
             if rank is None:
                 continue
-            for posting in self.scan_list(rank):
+            for posting in self.scan_list(rank, ctx=ctx):
                 occurrences[posting.record_id] = occurrences.get(posting.record_id, 0) + 1
                 lengths[posting.record_id] = posting.length
         return sorted(

@@ -350,6 +350,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
     client = ServiceClient(host=args.host, port=args.port)
+    # One-shot CLI invocations still close their keep-alive connection
+    # explicitly, so the server's handler thread is released immediately.
+    with client:
+        return _run_client_action(client, args)
+
+
+def _run_client_action(client, args: argparse.Namespace) -> int:
     if args.action == "health":
         payload = client.healthz()
     elif args.action == "stats":

@@ -40,7 +40,7 @@ from repro.core.query.planner import Planner
 from repro.core.records import Dataset
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
-from repro.storage.stats import IOSnapshot, IOStatistics
+from repro.storage.stats import IOSnapshot, IOStatistics, ReadContext
 
 
 class QueryType(enum.Enum):
@@ -124,25 +124,30 @@ class SetContainmentIndex(ABC):
     # -- probe primitives (implemented by each access method) ------------------------
 
     @abstractmethod
-    def _probe_subset(self, items: frozenset) -> list[int]:
-        """Records ``t`` with ``items ⊆ t.s``."""
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        """Records ``t`` with ``items ⊆ t.s``; page reads charged to ``ctx``."""
 
     @abstractmethod
-    def _probe_equality(self, items: frozenset) -> list[int]:
-        """Records ``t`` with ``items = t.s``."""
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        """Records ``t`` with ``items = t.s``; page reads charged to ``ctx``."""
 
     @abstractmethod
-    def _probe_superset(self, items: frozenset) -> list[int]:
-        """Records ``t`` with ``t.s ⊆ items``."""
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        """Records ``t`` with ``t.s ⊆ items``; page reads charged to ``ctx``."""
 
-    def probe(self, leaf: Leaf) -> Iterator[int]:
-        """Stream the record ids answering one predicate leaf."""
+    def probe(self, leaf: Leaf, ctx: "ReadContext | None" = None) -> Iterator[int]:
+        """Stream the record ids answering one predicate leaf.
+
+        ``ctx`` is the read context of the traversal this probe belongs to
+        (the owning cursor's); every page access the probe causes is charged
+        to it in addition to the pool-wide totals.
+        """
         if isinstance(leaf, Subset):
-            return iter(self._probe_subset(leaf.items))
+            return iter(self._probe_subset(leaf.items, ctx))
         if isinstance(leaf, Equality):
-            return iter(self._probe_equality(leaf.items))
+            return iter(self._probe_equality(leaf.items, ctx))
         if isinstance(leaf, Superset):
-            return iter(self._probe_superset(leaf.items))
+            return iter(self._probe_superset(leaf.items, ctx))
         raise QueryError(f"cannot probe non-leaf expression {leaf!r}")
 
     # -- the expression API ----------------------------------------------------------
@@ -154,17 +159,24 @@ class SetContainmentIndex(ABC):
             self._planner = Planner(self.dataset)
         return self._planner
 
-    def execute(self, expr: Expr, planner: "Planner | None" = None) -> Cursor:
+    def execute(
+        self,
+        expr: Expr,
+        planner: "Planner | None" = None,
+        ctx: "ReadContext | None" = None,
+    ) -> Cursor:
         """Plan ``expr`` and return a streaming cursor over its record ids.
 
         The cursor yields ids lazily in plan order; pass a custom ``planner``
-        to override the default rarest-conjunct-first strategy.
+        to override the default rarest-conjunct-first strategy.  ``ctx``
+        seeds the cursor's read context (a fresh one is created when
+        omitted), so callers can pre-own the accounting of a traversal.
         """
         if not isinstance(expr, Expr):
             raise QueryError(f"execute() needs a query expression, got {expr!r}")
         normalized = expr.normalize()
         plan = (planner or self.planner).plan(normalized)
-        return Cursor(self, plan, normalized)
+        return Cursor(self, plan, normalized, ctx=ctx)
 
     def evaluate(self, expr: Expr) -> list[int]:
         """Answer ``expr`` fully materialized, as an ascending id list."""
@@ -184,8 +196,11 @@ class SetContainmentIndex(ABC):
     ) -> QueryResult:
         """Run an expression and package the answer together with its cost.
 
-        The buffer pool is *not* dropped here; the experiment runner decides
-        the caching regime (the paper keeps a minimal cache across queries).
+        The cost is read from the cursor's own read context, so it is exact
+        for this query even when other queries interleave on the same
+        storage environment.  The buffer pool is *not* dropped here; the
+        experiment runner decides the caching regime (the paper keeps a
+        minimal cache across queries).
         """
         cursor = self.execute(expr, planner=planner)
         start = time.perf_counter()
@@ -240,12 +255,17 @@ class SetContainmentIndex(ABC):
     def io_snapshot(self) -> IOSnapshot:
         """Aggregate I/O counters over *every* storage environment this index reads.
 
-        This is the stats-aggregation contract the cursor machinery charges
-        queries through: deltas between two calls must cover all pages a
-        traversal touched.  Single-environment indexes (the default) return
-        their environment's counters; composite access methods such as
-        :class:`~repro.core.shard.ShardedIndex` override it to sum the
-        per-shard snapshots (:meth:`IOSnapshot.__add__`).
+        This is the *pool-wide totals* contract: deltas between two calls
+        cover all pages touched in between, by anyone.  Single-environment
+        indexes (the default) return their environment's counters; composite
+        access methods such as :class:`~repro.core.shard.ShardedIndex`
+        override it to sum the per-shard snapshots
+        (:meth:`IOSnapshot.__add__`).  Per-*query* accounting does not go
+        through here any more — each cursor carries a
+        :class:`~repro.storage.stats.ReadContext` charged with exactly its
+        own traversal (sharded cursors one per shard), and the contexts sum
+        to these totals; snapshot diffs are only exact while nothing else
+        runs, which single-threaded experiment phases still rely on.
         """
         return self.stats.snapshot()
 

@@ -37,6 +37,7 @@ from repro.core.sequence import SequenceForm
 from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.stats import ReadContext
 
 
 @dataclass(frozen=True)
@@ -90,16 +91,16 @@ class BlockRef:
             return len(self._inline)
         return self._length
 
-    def raw(self) -> bytes:
+    def raw(self, ctx: "ReadContext | None" = None) -> bytes:
         """Return the encoded block bytes (reads the data page if needed)."""
         if self._inline is not None:
             return self._inline
-        page = self._oif.env.pool.get_page(self._page_id)
+        page = self._oif.env.pool.get_page(self._page_id, ctx)
         return bytes(page[self._offset : self._offset + self._length])
 
-    def postings(self) -> list[Posting]:
-        """Decode the block's postings."""
-        return self._oif.decode_postings(self.raw())
+    def postings(self, ctx: "ReadContext | None" = None) -> list[Posting]:
+        """Decode the block's postings, charging the data-page read to ``ctx``."""
+        return self._oif.decode_postings(self.raw(ctx))
 
 
 class _BlockPageWriter:
@@ -335,7 +336,11 @@ class OrderedInvertedFile(SetContainmentIndex):
         return self._codec.decode(raw_value)
 
     def scan_blocks(
-        self, item_rank: int, roi: RangeOfInterest, start_after_id: int = 0
+        self,
+        item_rank: int,
+        roi: RangeOfInterest,
+        start_after_id: int = 0,
+        ctx: "ReadContext | None" = None,
     ) -> Iterator[tuple[BlockKey, BlockRef]]:
         """Yield ``(key, block_ref)`` for the blocks of a list overlapping ``roi``.
 
@@ -359,7 +364,7 @@ class OrderedInvertedFile(SetContainmentIndex):
             raise IndexNotBuiltError("the OIF has not been built yet")
         seek_lower = roi.lower if self.tag_prefix is None else roi.lower[: self.tag_prefix]
         seek = search_key(item_rank, seek_lower, start_after_id)
-        for key_bytes, value in self._table.cursor(seek):
+        for key_bytes, value in self._table.cursor(seek, ctx):
             block_key = BlockKey.decode(key_bytes)
             if block_key.item_rank != item_rank:
                 return
@@ -391,23 +396,23 @@ class OrderedInvertedFile(SetContainmentIndex):
 
     # -- the three containment predicates -------------------------------------------
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         """Records whose set-value contains every query item (Algorithm 1)."""
         item_set = self._check_query(items)
         ranks = self.query_ranks(item_set)
         if ranks is None:
             return []
-        return self.to_original_ids(_queries.evaluate_subset(self, ranks))
+        return self.to_original_ids(_queries.evaluate_subset(self, ranks, ctx))
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         """Records whose set-value equals the query set (Section 4.2)."""
         item_set = self._check_query(items)
         ranks = self.query_ranks(item_set)
         if ranks is None:
             return []
-        return self.to_original_ids(_queries.evaluate_equality(self, ranks))
+        return self.to_original_ids(_queries.evaluate_equality(self, ranks, ctx))
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         """Records whose set-value is contained in the query set (Algorithm 2)."""
         item_set = self._check_query(items)
         ranks: list[int] = []
@@ -417,9 +422,11 @@ class OrderedInvertedFile(SetContainmentIndex):
                 ranks.append(rank)
         if not ranks:
             return []
-        return self.to_original_ids(_queries.evaluate_superset(self, tuple(sorted(ranks))))
+        return self.to_original_ids(
+            _queries.evaluate_superset(self, tuple(sorted(ranks)), ctx)
+        )
 
-    def probe(self, leaf) -> Iterator[int]:
+    def probe(self, leaf, ctx: "ReadContext | None" = None) -> Iterator[int]:
         """Stream one predicate leaf; single-item subset probes stay lazy.
 
         A single-item subset query is the item's inverted list plus its
@@ -434,15 +441,17 @@ class OrderedInvertedFile(SetContainmentIndex):
             rank = self.order.try_rank_of(next(iter(leaf.items)))
             if rank is None:
                 return iter(())
-            return self._stream_single_item_subset(rank)
-        return super().probe(leaf)
+            return self._stream_single_item_subset(rank, ctx)
+        return super().probe(leaf, ctx)
 
-    def _stream_single_item_subset(self, item_rank: int) -> Iterator[int]:
+    def _stream_single_item_subset(
+        self, item_rank: int, ctx: "ReadContext | None" = None
+    ) -> Iterator[int]:
         """Yield the item's list (and metadata region) block by block."""
         ordered = self.ordered
         roi = subset_roi((item_rank,), self.domain_size)
-        for _block_key, block in self.scan_blocks(item_rank, roi):
-            for posting in block.postings():
+        for _block_key, block in self.scan_blocks(item_rank, roi, ctx=ctx):
+            for posting in block.postings(ctx):
                 yield ordered.original_id(posting.record_id)
         if self.use_metadata:
             region = self.metadata.region_for(item_rank)

@@ -17,9 +17,14 @@ from repro.core.sequence import SequenceForm
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
     from repro.core.oif import OrderedInvertedFile
+    from repro.storage.stats import ReadContext
 
 
-def evaluate_equality(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+def evaluate_equality(
+    oif: "OrderedInvertedFile",
+    query_ranks: SequenceForm,
+    ctx: "ReadContext | None" = None,
+) -> list[int]:
     """Return the internal ids of records whose sequence form equals ``query_ranks``."""
     roi = equality_roi(query_ranks, oif.domain_size)
     cardinality = len(query_ranks)
@@ -32,7 +37,7 @@ def evaluate_equality(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> 
         return []
 
     if cardinality == 1:
-        return _single_item_equality(oif, smallest)
+        return _single_item_equality(oif, smallest, ctx)
 
     # The smallest query item's list never holds postings for records equal to
     # the query (their smallest item is the query's smallest item, which the
@@ -42,8 +47,8 @@ def evaluate_equality(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> 
     candidates: dict[int, int] | None = None
     for item_rank in reversed(ranks_to_scan):
         found: dict[int, int] = {}
-        for _block_key, block in oif.scan_blocks(item_rank, roi):
-            for posting in block.postings():
+        for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
+            for posting in block.postings(ctx):
                 if posting.length != cardinality:
                     continue
                 if candidates is not None and posting.record_id not in candidates:
@@ -62,7 +67,9 @@ def evaluate_equality(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> 
     return sorted(result)
 
 
-def _single_item_equality(oif: "OrderedInvertedFile", item_rank: int) -> list[int]:
+def _single_item_equality(
+    oif: "OrderedInvertedFile", item_rank: int, ctx: "ReadContext | None" = None
+) -> list[int]:
     """Equality query with a single item: only records equal to ``{item}`` match."""
     if oif.use_metadata:
         region = oif.metadata.region_for(item_rank)
@@ -71,8 +78,8 @@ def _single_item_equality(oif: "OrderedInvertedFile", item_rank: int) -> list[in
         return list(region.singleton_ids)
     roi = equality_roi((item_rank,), oif.domain_size)
     result: list[int] = []
-    for _block_key, block in oif.scan_blocks(item_rank, roi):
-        for posting in block.postings():
+    for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
+        for posting in block.postings(ctx):
             if posting.length == 1:
                 result.append(posting.record_id)
     return sorted(result)

@@ -25,13 +25,18 @@ from repro.core.sequence import SequenceForm
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
     from repro.core.oif import OrderedInvertedFile
+    from repro.storage.stats import ReadContext
 
 
-def evaluate_subset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+def evaluate_subset(
+    oif: "OrderedInvertedFile",
+    query_ranks: SequenceForm,
+    ctx: "ReadContext | None" = None,
+) -> list[int]:
     """Return the internal ids of records containing every rank in ``query_ranks``."""
     roi = subset_roi(query_ranks, oif.domain_size)
     if len(query_ranks) == 1:
-        return _single_item_subset(oif, query_ranks[0])
+        return _single_item_subset(oif, query_ranks[0], ctx)
 
     smallest = query_ranks[0]
     largest = query_ranks[-1]
@@ -39,8 +44,8 @@ def evaluate_subset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> li
 
     # Step 1: candidates from the least frequent item's list, inside the RoI.
     candidates: dict[int, int] = {}
-    for _block_key, block in oif.scan_blocks(largest, roi):
-        for posting in block.postings():
+    for _block_key, block in oif.scan_blocks(largest, roi, ctx=ctx):
+        for posting in block.postings(ctx):
             candidates[posting.record_id] = posting.length
     if not candidates:
         return []
@@ -66,14 +71,14 @@ def evaluate_subset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> li
         previous_tag = scan_range.lower
         first_survivor_lower = None
         last_survivor_upper = None
-        for block_key, block in oif.scan_blocks(item_rank, scan_range):
+        for block_key, block in oif.scan_blocks(item_rank, scan_range, ctx=ctx):
             if oif.narrow_candidate_range and block_key.last_id < lowest_candidate:
                 # The block precedes every remaining candidate: its data page
                 # is never touched; only its key was read from the leaf.
                 previous_tag = block_key.tag
                 continue
             found_here = False
-            for posting in block.postings():
+            for posting in block.postings(ctx):
                 if posting.record_id in candidates:
                     survivors[posting.record_id] = posting.length
                     found_here = True
@@ -113,12 +118,14 @@ def evaluate_subset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> li
     return sorted(candidates)
 
 
-def _single_item_subset(oif: "OrderedInvertedFile", item_rank: int) -> list[int]:
+def _single_item_subset(
+    oif: "OrderedInvertedFile", item_rank: int, ctx: "ReadContext | None" = None
+) -> list[int]:
     """Subset query with a single item: the item's full list plus its metadata region."""
     roi = subset_roi((item_rank,), oif.domain_size)
     result: list[int] = []
-    for _block_key, block in oif.scan_blocks(item_rank, roi):
-        result.extend(posting.record_id for posting in block.postings())
+    for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
+        result.extend(posting.record_id for posting in block.postings(ctx))
     if oif.use_metadata:
         region = oif.metadata.region_for(item_rank)
         if region is not None:

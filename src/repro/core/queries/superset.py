@@ -29,6 +29,7 @@ from repro.core.sequence import SequenceForm
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
     from repro.core.oif import OrderedInvertedFile
+    from repro.storage.stats import ReadContext
 
 
 @dataclass
@@ -39,7 +40,11 @@ class _Candidate:
     found: int = 0
 
 
-def evaluate_superset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> list[int]:
+def evaluate_superset(
+    oif: "OrderedInvertedFile",
+    query_ranks: SequenceForm,
+    ctx: "ReadContext | None" = None,
+) -> list[int]:
     """Return the internal ids of records whose items are all in ``query_ranks``."""
     query_size = len(query_ranks)
     rois_per_item = superset_rois(query_ranks, oif.domain_size)
@@ -68,6 +73,7 @@ def evaluate_superset(oif: "OrderedInvertedFile", query_ranks: SequenceForm) -> 
             remaining_items=idx,
             candidates=candidates,
             results=results,
+            ctx=ctx,
         )
 
         if oif.use_metadata:
@@ -94,6 +100,7 @@ def _scan_item_ranges(
     remaining_items: int,
     candidates: dict[int, _Candidate],
     results: list[int],
+    ctx: "ReadContext | None" = None,
 ) -> None:
     """Scan one item's list over its Ranges of Interest, updating candidates."""
     # A record first encountered here can collect at most one occurrence now
@@ -103,12 +110,12 @@ def _scan_item_ranges(
     last_processed_id = 0
 
     for roi in ranges:
-        for block_key, block in oif.scan_blocks(item_rank, roi):
+        for block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
             if block_key.last_id <= last_processed_id:
                 # The previous range's trailing block already covered this one
                 # (the check of line 21 in Algorithm 2): skip re-processing.
                 continue
-            for posting in block.postings():
+            for posting in block.postings(ctx):
                 if posting.record_id <= last_processed_id:
                     continue
                 candidate = candidates.get(posting.record_id)

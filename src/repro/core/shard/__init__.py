@@ -21,6 +21,7 @@ from repro.core.shard.sharded import (
     AggregateIOStatistics,
     ShardedIndex,
     ShardQueryStat,
+    run_sharing_pool,
 )
 
 __all__ = [
@@ -35,5 +36,6 @@ __all__ = [
     "ShardedIndex",
     "make_partitioner",
     "merge_cursors",
+    "run_sharing_pool",
     "stable_id_hash",
 ]

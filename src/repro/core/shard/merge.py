@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 from repro.core.query.cursor import Cursor
 from repro.core.query.expr import Expr
 from repro.core.query.planner import Plan
-from repro.storage.stats import IOSnapshot
+from repro.storage.stats import IOSnapshot, ReadContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.shard.sharded import ShardedIndex
@@ -95,26 +95,36 @@ class MergedShardCursor(Cursor):
         expr: Expr,
         count: "int | None" = None,
         offset: int = 0,
+        ctx: "ReadContext | None" = None,
     ) -> None:
         self.index = index
         self.plan = FanoutPlan(
             tuple(cursor.plan for cursor in shard_cursors), count=count, offset=offset
         )
         self.expr = expr
+        #: ``None`` by default — each shard cursor then owns a private
+        #: context and ``io_delta`` sums them.  A caller-supplied context is
+        #: the one every shard cursor shares, so it must be read directly
+        #: (summing the per-cursor views would count it once per shard).
+        self.ctx = ctx
         self.shard_cursors = tuple(shard_cursors)
         self._iterator = merge_cursors(self.shard_cursors, count=count, offset=offset)
         self._consumed = 0
         self._exhausted = False
 
     def io_delta(self) -> "IOSnapshot":
-        """Sum of the shard cursors' deltas (pinned to *their* shard indexes).
+        """Sum of the shard cursors' per-context deltas.
 
-        Deliberately not a diff of the owning index's live aggregate view:
-        an ``absorb``/flush that swaps a shard in mid-traversal would replace
-        the counters an open-time snapshot was taken against.  Each shard
-        cursor holds the shard object it reads, so its delta stays correct
-        even after the owner moved on.
+        Each shard cursor owns a :class:`~repro.storage.stats.ReadContext`
+        charged with exactly its traversal, so the sum is this query's exact
+        page cost — immune both to other queries interleaving on the same
+        shards and to an ``absorb``/flush swapping a shard mid-traversal
+        (the context travels with the cursor, not with the owner's counters).
         """
+        if self.ctx is not None:
+            # Caller-shared context: every shard cursor charged this one
+            # object, so read it once instead of summing N aliased views.
+            return self.ctx.snapshot()
         total = IOSnapshot()
         for cursor in self.shard_cursors:
             total = total + cursor.io_delta()

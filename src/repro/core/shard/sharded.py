@@ -19,11 +19,12 @@ That independence is what the surrounding layers exploit:
   shards that received any*, which is what shrinks the OIF's batch-update
   merge cost.
 
-I/O accounting follows the aggregation contract of
-:meth:`SetContainmentIndex.io_snapshot`: the index's ``stats`` object sums
-the per-shard counters (:meth:`IOSnapshot.__add__`), so ``measured_execute``
-and the experiment runner report page totals comparable with the monolithic
-indexes.
+I/O accounting is two-level, like everywhere else: per *query*, each shard
+cursor (or fanned-out evaluation) carries its own
+:class:`~repro.storage.stats.ReadContext` whose counts are exact under
+concurrency; pool-wide, :meth:`SetContainmentIndex.io_snapshot` sums the
+per-shard totals (:meth:`IOSnapshot.__add__`), so the experiment runner's
+phase-level numbers stay comparable with the monolithic indexes.
 """
 
 from __future__ import annotations
@@ -42,12 +43,52 @@ from repro.core.records import Dataset, Record
 from repro.core.shard.merge import FanoutPlan, MergedShardCursor
 from repro.core.shard.partitioner import Partitioner, make_partitioner
 from repro.errors import QueryError
-from repro.storage.stats import DiskModel, IOSnapshot
+from repro.storage.stats import DiskModel, IOSnapshot, ReadContext
 
 #: Builds one shard's index over that shard's records.
 ShardFactory = Callable[[Dataset], SetContainmentIndex]
 
 DEFAULT_NUM_SHARDS = 4
+
+
+def run_sharing_pool(pool: "ThreadPoolExecutor | None", run, items: Sequence) -> list:
+    """Run ``run(item)`` for every item, borrowing ``pool`` without deadlocking.
+
+    Safe on a *shared* pool whose workers may themselves be blocked waiting
+    on fan-outs: every task is submitted, then each is either awaited (it got
+    a thread and, being lock-free, will finish) or — if ``Future.cancel()``
+    succeeds because no worker ever picked it up — executed inline by the
+    caller.  Progress is therefore guaranteed regardless of pool saturation,
+    which is what lets the serving layer share one executor pool between
+    query workers and shard fan-out instead of keeping a dedicated pool per
+    resident index.  Results come back in item order.
+    """
+    if pool is None or len(items) < 2:
+        return [run(item) for item in items]
+    futures = []
+    for item in items:
+        try:
+            futures.append((item, pool.submit(run, item)))
+        except RuntimeError:
+            # The pool is shutting down; the remaining items run inline so a
+            # query already in flight still completes.
+            futures.append((item, None))
+    out = []
+    for position, (item, future) in enumerate(futures):
+        try:
+            if future is None or future.cancel():
+                out.append(run(item))
+            else:
+                out.append(future.result())
+        except BaseException:
+            # Don't abandon siblings on the shared pool: queued ones are
+            # cancelled, started ones are drained, so no work outlives the
+            # failed call (or its caller's lock scope).
+            for _, leftover in futures[position + 1:]:
+                if leftover is not None and not leftover.cancel():
+                    leftover.exception()
+            raise
+    return out
 
 
 class AggregateIOStatistics:
@@ -83,12 +124,18 @@ class AggregateIOStatistics:
 
 @dataclass(frozen=True)
 class ShardQueryStat:
-    """Per-shard cost of one fanned-out evaluation (the ``/stats`` breakdown)."""
+    """Per-shard cost of one fanned-out evaluation (the ``/stats`` breakdown).
+
+    Measured through the shard cursor's own read context, so the numbers are
+    exact per query even when other queries interleave on the same shard.
+    """
 
     shard: int
     matches: int
     page_accesses: int
     elapsed_ms: float
+    random_reads: int = 0
+    sequential_reads: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -96,6 +143,8 @@ class ShardQueryStat:
             "matches": self.matches,
             "page_accesses": self.page_accesses,
             "elapsed_ms": round(self.elapsed_ms, 4),
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
         }
 
 
@@ -214,34 +263,62 @@ class ShardedIndex(SetContainmentIndex):
 
     # -- probe primitives (fan out + ordered merge) ----------------------------------
 
-    def _probe_subset(self, items: frozenset) -> list[int]:
-        return self._fanned_probe(lambda shard: shard._probe_subset(items))
+    def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        return self._fanned_probe(lambda shard, sub: shard._probe_subset(items, sub), ctx)
 
-    def _probe_equality(self, items: frozenset) -> list[int]:
-        return self._fanned_probe(lambda shard: shard._probe_equality(items))
+    def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        return self._fanned_probe(lambda shard, sub: shard._probe_equality(items, sub), ctx)
 
-    def _probe_superset(self, items: frozenset) -> list[int]:
-        return self._fanned_probe(lambda shard: shard._probe_superset(items))
+    def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
+        return self._fanned_probe(lambda shard, sub: shard._probe_superset(items, sub), ctx)
 
-    def _fanned_probe(self, probe) -> list[int]:
+    def _fanned_probe(self, probe, ctx: "ReadContext | None") -> list[int]:
         # Shards are disjoint and each probe returns a sorted list, so an
-        # ordered merge reproduces exactly the unsharded answer.
-        return list(heapq.merge(*(probe(shard) for shard in self.live_shards)))
+        # ordered merge reproduces exactly the unsharded answer.  Each shard
+        # gets a private sub-context (page ids are per page file, so one
+        # shared last-page-id would fake sequentiality across shards); the
+        # counts fold back into the caller's context.
+        streams = []
+        for shard in self.live_shards:
+            sub = ReadContext() if ctx is not None else None
+            streams.append(probe(shard, sub))
+            if ctx is not None and sub is not None:
+                ctx.absorb(sub)
+        return list(heapq.merge(*streams))
 
-    def probe(self, leaf: Leaf) -> Iterator[int]:
+    def probe(self, leaf: Leaf, ctx: "ReadContext | None" = None) -> Iterator[int]:
         """Stream one predicate leaf by chaining the shards' streaming probes."""
         for shard in self.live_shards:
-            yield from shard.probe(leaf)
+            sub = ReadContext() if ctx is not None else None
+            try:
+                yield from shard.probe(leaf, sub)
+            finally:
+                # Runs on exhaustion *and* on early close (GeneratorExit), so
+                # a limit-stopped stream still folds its partial reads back.
+                if ctx is not None and sub is not None:
+                    ctx.absorb(sub)
 
     # -- execution -------------------------------------------------------------------
 
-    def execute(self, expr: Expr, planner: "Planner | None" = None) -> MergedShardCursor:
+    def execute(
+        self,
+        expr: Expr,
+        planner: "Planner | None" = None,
+        ctx: "ReadContext | None" = None,
+    ) -> MergedShardCursor:
         """Fan ``expr`` out to every shard and merge the streaming cursors.
 
         A top-level ``limit``/``offset`` is peeled off and applied by the
         merge, so non-contributing shards are never drained; each shard plans
         the inner expression with its own statistics unless an explicit
         ``planner`` overrides them all.
+
+        An explicit ``ctx`` is shared by every shard cursor, so the caller's
+        context receives the exact page counts of the whole fan-out (the
+        merged cursor's ``io_delta`` then reads from it); because page ids
+        are per shard file, the sequential/random split of a shared context
+        blurs at shard boundaries — omit ``ctx`` (the default) to keep
+        per-shard classification.
 
         Like every streaming cursor, a limited stream yields a prefix of its
         *production* order — here the shard rotation — so which ``k`` of the
@@ -256,8 +333,12 @@ class ShardedIndex(SetContainmentIndex):
             raise QueryError(f"execute() needs a query expression, got {expr!r}")
         normalized = expr.normalize()
         inner, count, offset = split_limit(normalized)
-        cursors = [shard.execute(inner, planner=planner) for shard in self.live_shards]
-        return MergedShardCursor(self, cursors, normalized, count=count, offset=offset)
+        cursors = [
+            shard.execute(inner, planner=planner, ctx=ctx) for shard in self.live_shards
+        ]
+        return MergedShardCursor(
+            self, cursors, normalized, count=count, offset=offset, ctx=ctx
+        )
 
     def explain(self, expr: Expr, planner: "Planner | None" = None) -> str:
         """Render the fan-out plan without opening any cursor (no I/O)."""
@@ -272,10 +353,16 @@ class ShardedIndex(SetContainmentIndex):
     ) -> tuple[list[int], list[ShardQueryStat]]:
         """Materialize ``expr`` shard by shard with a per-shard cost breakdown.
 
-        Runs the shards on ``pool`` when one is given (each task reads only
-        its own environment).  A top-level limit is applied *after* the
-        ordered merge, matching the delta-aware evaluation semantics of
-        :meth:`repro.core.updates._UpdatableBase.evaluate`.
+        Each shard evaluates through its own cursor — and therefore its own
+        read context — so the per-shard page counts are exact even while
+        other queries run against the same shards concurrently.  A top-level
+        limit is applied *after* the ordered merge, matching the delta-aware
+        evaluation semantics of :meth:`repro.core.updates._UpdatableBase.evaluate`.
+
+        ``pool`` may be any shared executor, including the serving layer's
+        query pool: tasks are submitted and then either awaited or — when the
+        pool is saturated and never started them — cancelled and run inline
+        by the caller, so fan-out can never deadlock on pool exhaustion.
         """
         inner, count, offset = split_limit(expr)
         pairs = [
@@ -286,22 +373,22 @@ class ShardedIndex(SetContainmentIndex):
 
         def run(pair: "tuple[int, SetContainmentIndex]") -> tuple[list[int], ShardQueryStat]:
             position, shard = pair
-            before = shard.stats.snapshot()
             started = time.perf_counter()
-            ids = shard.evaluate(inner)
+            cursor = shard.execute(inner)
+            ids = sorted(cursor.fetch_all())
             elapsed_ms = (time.perf_counter() - started) * 1000.0
+            delta = cursor.io_delta()
             stat = ShardQueryStat(
                 shard=position,
                 matches=len(ids),
-                page_accesses=shard.stats.since(before).page_reads,
+                page_accesses=delta.page_reads,
                 elapsed_ms=elapsed_ms,
+                random_reads=delta.random_reads,
+                sequential_reads=delta.sequential_reads,
             )
             return ids, stat
 
-        if pool is not None and len(pairs) > 1:
-            outcomes = list(pool.map(run, pairs))
-        else:
-            outcomes = [run(pair) for pair in pairs]
+        outcomes = run_sharing_pool(pool, run, pairs)
         merged = list(heapq.merge(*(ids for ids, _ in outcomes)))
         return slice_ids(merged, count, offset), [stat for _, stat in outcomes]
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.baselines.inverted_file import InvertedFile
+from repro.concurrency import ReadWriteLock
 from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.oif import OrderedInvertedFile
@@ -32,6 +33,7 @@ from repro.core.records import Dataset, Record
 from repro.core.shard import Partitioner, ShardedIndex
 from repro.errors import QueryError
 from repro.storage.kvstore import Environment
+from repro.storage.stats import IOSnapshot
 
 
 class DeltaInvertedFile:
@@ -178,11 +180,20 @@ UpdateListener = Callable[[list[frozenset]], None]
 
 
 class _UpdatableBase:
-    """Shared plumbing for the updatable index wrappers."""
+    """Shared plumbing for the updatable index wrappers.
+
+    Every wrapper carries a :class:`~repro.concurrency.ReadWriteLock`
+    (``rwlock``): queries take the read side — any number run concurrently,
+    the storage engine below is reader-safe — while ``insert`` and ``flush``
+    take the exclusive write side (they mutate the delta buffer and swap the
+    disk index).
+    """
 
     def __init__(self, dataset: Dataset) -> None:
         self.dataset = dataset
         self.delta = DeltaInvertedFile()
+        #: Concurrent readers / exclusive insert+flush.
+        self.rwlock = ReadWriteLock()
         self._next_id = max(dataset.record_ids) + 1
         self._update_listeners: list[UpdateListener] = []
 
@@ -197,21 +208,28 @@ class _UpdatableBase:
         self._update_listeners.append(listener)
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
-        """Buffer new records in the memory-resident delta; returns their ids."""
+        """Buffer new records in the memory-resident delta; returns their ids.
+
+        Exclusive: takes the write side of :attr:`rwlock`, so no query reads
+        the delta structures mid-mutation.  Listeners fire while the lock is
+        still held — a cache invalidation is therefore ordered after every
+        result cached under the pre-insert state.
+        """
         # Validate the whole batch before touching the delta, so a bad
         # transaction cannot leave a partially applied (and unannounced) batch.
         inserted = [frozenset(transaction) for transaction in transactions]
         if any(not items for items in inserted):
             raise QueryError("cannot insert an empty transaction")
-        new_ids: list[int] = []
-        for items in inserted:
-            self.delta.add(Record(self._next_id, items))
-            new_ids.append(self._next_id)
-            self._next_id += 1
-        if inserted:
-            for listener in self._update_listeners:
-                listener(inserted)
-        return new_ids
+        with self.rwlock.write_locked():
+            new_ids: list[int] = []
+            for items in inserted:
+                self.delta.add(Record(self._next_id, items))
+                new_ids.append(self._next_id)
+                self._next_id += 1
+            if inserted:
+                for listener in self._update_listeners:
+                    listener(inserted)
+            return new_ids
 
     @property
     def pending_updates(self) -> int:
@@ -219,10 +237,11 @@ class _UpdatableBase:
         return len(self.delta)
 
     def _combined(self, index: SetContainmentIndex, query_type: str, items: Iterable[Item]) -> list[int]:
-        item_set = frozenset(items)
-        base = index.query(query_type, item_set)
-        fresh = self.delta.query(query_type, item_set) if len(self.delta) else []
-        return sorted(set(base) | set(fresh))
+        with self.rwlock.read_locked():
+            item_set = frozenset(items)
+            base = index.query(query_type, item_set)
+            fresh = self.delta.query(query_type, item_set) if len(self.delta) else []
+            return sorted(set(base) | set(fresh))
 
     def query(self, query_type, items: Iterable[Item]) -> list[int]:
         """Dispatch helper mirroring :meth:`SetContainmentIndex.query`."""
@@ -252,10 +271,46 @@ class _UpdatableBase:
 
         if not isinstance(expr, Expr):
             raise QueryError(f"evaluate() needs a query expression, got {expr!r}")
-        normalized, count, offset = split_limit(expr)
-        return self._merge_delta_and_slice(
-            self.index.evaluate(normalized), normalized, count, offset
-        )
+        with self.rwlock.read_locked():
+            normalized, count, offset = split_limit(expr)
+            return self._merge_delta_and_slice(
+                self.index.evaluate(normalized), normalized, count, offset
+            )
+
+    def flush(self) -> UpdateReport:
+        """Merge the delta buffer into the disk index, exclusively.
+
+        Holds the write side of :attr:`rwlock` for the whole merge (each
+        wrapper's ``_flush_locked`` does the structure-specific work).
+        Serving deployments that cannot afford the pause rebuild outside the
+        lock instead and swap atomically
+        (:meth:`repro.service.index_manager.IndexManager.rebuild`).
+        """
+        with self.rwlock.write_locked():
+            return self._flush_locked()
+
+    def _flush_locked(self) -> UpdateReport:
+        raise NotImplementedError
+
+    def measured_evaluate(self, expr) -> "tuple[list[int], IOSnapshot]":
+        """Like :meth:`evaluate`, plus the exact I/O delta of this query.
+
+        The disk index evaluates through a cursor whose read context is
+        charged with exactly this traversal, so the returned
+        :class:`~repro.storage.stats.IOSnapshot` stays correct when many
+        queries run concurrently on the same handle; the delta-buffer merge
+        is memory resident and costs no pages.
+        """
+        from repro.core.query.expr import Expr, split_limit
+
+        if not isinstance(expr, Expr):
+            raise QueryError(f"measured_evaluate() needs a query expression, got {expr!r}")
+        with self.rwlock.read_locked():
+            normalized, count, offset = split_limit(expr)
+            cursor = self.index.execute(normalized)
+            base = sorted(cursor.fetch_all())
+            ids = self._merge_delta_and_slice(base, normalized, count, offset)
+            return ids, cursor.io_delta()
 
     def _merge_delta_and_slice(
         self, base: list[int], normalized, count: "int | None", offset: int
@@ -286,7 +341,7 @@ class UpdatableOIF(_UpdatableBase):
         self._oif_kwargs = dict(oif_kwargs)
         self.index = OrderedInvertedFile(dataset, **self._oif_kwargs)
 
-    def flush(self) -> UpdateReport:
+    def _flush_locked(self) -> UpdateReport:
         """Merge the delta into the OIF by rebuilding it over the merged data."""
         merged_count = len(self.delta)
         start = time.perf_counter()
@@ -355,19 +410,20 @@ class UpdatableShardedOIF(_UpdatableBase):
 
     def flush(self, max_workers: "int | None" = None) -> UpdateReport:
         """Merge the per-shard deltas by rebuilding only the affected shards."""
-        merged_count = len(self.delta)
-        start = time.perf_counter()
-        report = self.index.absorb(self.delta.records, max_workers=max_workers)
-        elapsed = time.perf_counter() - start
-        self.dataset = self.index.dataset
-        self.delta.clear()
-        return UpdateReport(
-            index_name=self.index.name,
-            records_merged=merged_count,
-            merge_seconds=elapsed,
-            page_writes=report.io.page_writes,
-            page_reads=report.io.page_reads,
-        )
+        with self.rwlock.write_locked():
+            merged_count = len(self.delta)
+            start = time.perf_counter()
+            report = self.index.absorb(self.delta.records, max_workers=max_workers)
+            elapsed = time.perf_counter() - start
+            self.dataset = self.index.dataset
+            self.delta.clear()
+            return UpdateReport(
+                index_name=self.index.name,
+                records_merged=merged_count,
+                merge_seconds=elapsed,
+                page_writes=report.io.page_writes,
+                page_reads=report.io.page_reads,
+            )
 
     def evaluate_detail(self, expr, pool=None):
         """Like :meth:`evaluate`, plus the per-shard cost breakdown.
@@ -382,9 +438,10 @@ class UpdatableShardedOIF(_UpdatableBase):
 
         if not isinstance(expr, Expr):
             raise QueryError(f"evaluate_detail() needs a query expression, got {expr!r}")
-        normalized, count, offset = split_limit(expr)
-        base, shard_stats = self.index.fanout_evaluate(normalized, pool=pool)
-        return self._merge_delta_and_slice(base, normalized, count, offset), shard_stats
+        with self.rwlock.read_locked():
+            normalized, count, offset = split_limit(expr)
+            base, shard_stats = self.index.fanout_evaluate(normalized, pool=pool)
+            return self._merge_delta_and_slice(base, normalized, count, offset), shard_stats
 
 
 class UpdatableIF(_UpdatableBase):
@@ -395,8 +452,12 @@ class UpdatableIF(_UpdatableBase):
         self._if_kwargs = dict(if_kwargs)
         self.index = InvertedFile(dataset, **self._if_kwargs)
 
-    def flush(self) -> UpdateReport:
-        """Merge the delta into the IF by appending postings to the lists."""
+    def _flush_locked(self) -> UpdateReport:
+        """Merge the delta into the IF by appending postings to the lists.
+
+        The merge rewrites list pages in place, which no concurrent reader
+        may observe half-done — hence the base class's exclusive hold.
+        """
         merged_count = len(self.delta)
         fresh_records = self.delta.records
         start = time.perf_counter()

@@ -1,15 +1,20 @@
 """Small stdlib HTTP client for the query-serving subsystem.
 
 :class:`ServiceClient` mirrors the server's endpoints one method per route.
-Each call opens a fresh :class:`http.client.HTTPConnection`, which keeps the
-client trivially thread-safe (the server reuses worker threads either way).
-Error responses surface as :class:`~repro.errors.ServiceError` with the
-server-provided message.
+Connections are **persistent**: each thread keeps one
+:class:`http.client.HTTPConnection` alive and pipelines its requests over it
+(HTTP/1.1 keep-alive), so benchmark loops measure the server rather than TCP
+setup.  The per-thread connection (``threading.local``) keeps the client
+thread-safe without any locking; a request that fails on a *reused*
+connection — the server may close an idle keep-alive at any time — is
+retried once on a fresh one.  Error responses surface as
+:class:`~repro.errors.ServiceError` with the server-provided message.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from http.client import HTTPConnection, HTTPException
 from typing import Iterable, Sequence
 from urllib.parse import quote
@@ -24,37 +29,78 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
 
     # -- transport -------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+    def _connection(self) -> tuple[HTTPConnection, bool]:
+        """This thread's live connection; True when it is freshly opened."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, False
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        self._local.connection = connection
+        return connection, True
+
+    def _discard_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            connection.close()
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (others close on GC)."""
+        self._discard_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection, fresh = self._connection()
         try:
-            body = json.dumps(payload).encode("utf-8") if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
             connection.request(method, path, body=body, headers=headers)
+        except (OSError, HTTPException) as error:
+            # Failed while *sending*: the server never processed the request,
+            # so one retry on a fresh connection is safe for any method (the
+            # usual cause is a keep-alive the server closed while idle).
+            self._discard_connection()
+            if not fresh:
+                return self._request(method, path, payload)
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        try:
             response = connection.getresponse()
             raw = response.read()
-            try:
-                decoded = json.loads(raw) if raw else {}
-            except json.JSONDecodeError:
-                raise ServiceError(
-                    f"{method} {path}: non-JSON response (HTTP {response.status})"
-                ) from None
-            if response.status >= 400:
-                message = decoded.get("error", raw.decode("utf-8", "replace"))
-                raise ServiceError(f"{method} {path}: {message}")
-            return decoded
-        except ServiceError:
-            raise
         except (OSError, HTTPException) as error:
+            self._discard_connection()
+            if not fresh and method == "GET":
+                # The request may already have been processed server-side, so
+                # only idempotent reads are replayed; retrying a POST/DELETE
+                # here could apply a mutation twice.
+                return self._request(method, path, payload)
             # HTTPException covers non-HTTP peers (BadStatusLine etc.), so
             # every transport failure surfaces as one catchable ServiceError.
             raise ServiceError(
                 f"cannot reach {self.host}:{self.port}: {error}"
             ) from error
-        finally:
-            connection.close()
+        if response.will_close:
+            self._discard_connection()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response (HTTP {response.status})"
+            ) from None
+        if response.status >= 400:
+            message = decoded.get("error", raw.decode("utf-8", "replace"))
+            raise ServiceError(f"{method} {path}: {message}")
+        return decoded
 
     # -- endpoints -------------------------------------------------------------------
 

@@ -10,9 +10,14 @@ just a point predicate — goes through three gates:
    normalized expression) is already being evaluated, the new request
    piggybacks on its future instead of evaluating the query twice;
 3. **Thread pool** — otherwise the query is dispatched to a worker, which
-   takes the target index's lock, evaluates the expression through the
-   planner/cursor machinery, charges the page accesses and populates the
-   cache.
+   takes the *read side* of the target index's reader-writer lock (many
+   queries evaluate concurrently; only inserts/flushes/swaps are exclusive),
+   evaluates the expression through the planner/cursor machinery, charges
+   exactly its own page accesses through the traversal's read context and
+   populates the cache.  Sharded indexes fan their per-shard work out over
+   this same pool — :func:`repro.core.shard.run_sharing_pool` runs tasks the
+   saturated pool never starts inline in the submitting worker, so sharing
+   cannot deadlock.
 
 Batches (:meth:`QueryExecutor.execute_batch`) dispatch every query before
 waiting on any, so independent queries overlap across indexes and cache hits
@@ -72,7 +77,12 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """Answer of one served query plus how it was produced."""
+    """Answer of one served query plus how it was produced.
+
+    ``page_accesses`` / ``random_reads`` / ``sequential_reads`` come from the
+    query's own read context, so they are exact for this query even when it
+    ran interleaved with others on the same index.
+    """
 
     index: str
     expr: Expr
@@ -81,6 +91,8 @@ class QueryOutcome:
     deduplicated: bool
     latency_ms: float
     page_accesses: int
+    random_reads: int = 0
+    sequential_reads: int = 0
     #: Per-shard cost breakdown when the target index is sharded (the fan-out
     #: path measured each shard separately); ``None`` for monolithic indexes
     #: and for answers that never touched an index (cache/dedup hits).
@@ -117,6 +129,8 @@ class QueryOutcome:
             "deduplicated": self.deduplicated,
             "latency_ms": round(self.latency_ms, 4),
             "page_accesses": self.page_accesses,
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
         }
         if self.shard_stats is not None:
             out["shards"] = [stat.as_dict() for stat in self.shard_stats]
@@ -271,23 +285,25 @@ class QueryExecutor:
         deregistered = False
         try:
             entry = self.manager.get(request.index)
-            # The cache is populated under the same per-index lock that
-            # serializes inserts (whose invalidation listeners also fire under
-            # it), so a concurrent insert can never slip between evaluating
-            # the query and caching its (then stale) result.
-            with entry.lock:
+            # Shared (read-side) hold: any number of workers evaluate this
+            # index at once.  The cache is still populated while the hold is
+            # open, and inserts take the exclusive write side, so an insert
+            # can never slip between evaluating the query and caching its
+            # (then stale) result — it serializes wholly after the put, and
+            # its invalidation listeners then drop the entry.
+            with entry.lock.read_locked():
                 if entry.dropped:
                     raise UnknownIndexError(f"no index named {request.index!r}")
-                record_ids, page_accesses, shard_stats = entry.measured_expr(
-                    request.expr
+                record_ids, io_delta, shard_stats = entry.measured_expr(
+                    request.expr, fanout_pool=self._pool
                 )
                 if self.cache is not None:
                     self.cache.put(request.key, record_ids)
-                # Deregister from in-flight while still holding the index
-                # lock: an insert that is acknowledged after this point takes
-                # the same lock, so no later request can piggyback on this
-                # (now potentially stale) result — it will probe the cache,
-                # which that insert's listeners keep honest.
+                # Deregister from in-flight while the read hold is still
+                # open: an insert acknowledged after this point waits for the
+                # write side, so no later request can piggyback on this (now
+                # potentially stale) result — it will probe the cache, which
+                # that insert's listeners keep honest.
                 with self._inflight_lock:
                     self._inflight.pop(request.key, None)
                     deregistered = True
@@ -298,12 +314,16 @@ class QueryExecutor:
                 cached=False,
                 deduplicated=False,
                 latency_ms=(time.perf_counter() - start) * 1000.0,
-                page_accesses=page_accesses,
+                page_accesses=io_delta.page_reads,
+                random_reads=io_delta.random_reads,
+                sequential_reads=io_delta.sequential_reads,
                 shard_stats=shard_stats,
             )
             self.stats.record_query(
                 request.index, outcome.latency_ms, cached=False,
-                deduplicated=False, page_accesses=page_accesses,
+                deduplicated=False, page_accesses=io_delta.page_reads,
+                random_reads=io_delta.random_reads,
+                sequential_reads=io_delta.sequential_reads,
                 shard_stats=shard_stats,
             )
             return outcome

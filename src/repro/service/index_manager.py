@@ -3,9 +3,11 @@
 A one-shot experiment rebuilds its index per run; a server cannot afford to.
 :class:`IndexManager` keeps any number of *named*, memory-resident
 :class:`~repro.core.interfaces.SetContainmentIndex` instances alive across
-requests, guarded by per-index locks (the simulated storage engine mutates its
-buffer pool on every read, so an index handle must never be queried from two
-threads at once).
+requests.  Each entry is guarded by a reader-writer lock: any number of
+queries read one index handle concurrently (the storage engine is safe for
+concurrent readers and charges each query through its own
+:class:`~repro.storage.stats.ReadContext`), while inserts, delta flushes and
+rebuild swaps take the exclusive write side.
 
 Lifecycle:
 
@@ -14,9 +16,9 @@ Lifecycle:
 * ``insert`` routes updates through the delta-buffer machinery of
   :mod:`repro.core.updates` (OIF/IF only) and fires its update listeners, so
   the result cache drops exactly the affected entries;
-* ``rebuild`` builds a fresh index *outside* the query lock, replays any
-  inserts that raced with the build, then swaps the handle in atomically —
-  queries keep being served from the old index during the (slow) build;
+* ``rebuild`` builds a fresh index *outside* any lock, replays any inserts
+  that raced with the build, then swaps the handle in atomically — queries
+  keep being served from the old index during the (slow) build;
 * ``drop`` evicts the index and flushes its cache entries.
 """
 
@@ -30,6 +32,7 @@ from typing import Iterable, Iterator
 from repro.baselines.naive import NaiveScanIndex
 from repro.baselines.signature_file import SignatureFile
 from repro.baselines.unordered_btree import UnorderedBTreeInvertedFile
+from repro.concurrency import ReadWriteLock
 from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.records import Dataset
@@ -42,6 +45,7 @@ from repro.core.updates import (
 )
 from repro.errors import ServiceError, UnknownIndexError
 from repro.service.cache import ResultCache
+from repro.storage.stats import IOSnapshot
 
 #: Index kinds the manager can build.  ``oif`` and ``if`` are updatable (they
 #: wrap the delta-buffer machinery); the rest are static baselines.
@@ -55,7 +59,13 @@ _STATIC_CLASSES = {
 
 
 class ManagedIndex:
-    """One named, resident index plus the lock serializing access to it."""
+    """One named, resident index plus the reader-writer lock guarding it.
+
+    Queries hold the read side of :attr:`lock` and run concurrently — the
+    buffer pool below is thread-safe and every query carries its own read
+    context, so the per-query page counts stay exact under interleaving.
+    Inserts, flushes, the drop flag and rebuild swaps take the write side.
+    """
 
     def __init__(self, name: str, kind: str, dataset: Dataset, **options) -> None:
         if kind not in INDEX_KINDS:
@@ -65,12 +75,11 @@ class ManagedIndex:
         self.name = name
         self.kind = kind
         self.options = dict(options)
-        #: Serializes queries/updates on the handle (index reads mutate the
-        #: buffer pool, so they are not safe to interleave).
-        self.lock = threading.RLock()
+        #: Reader-writer guard: shared for queries, exclusive for mutation.
+        self.lock = ReadWriteLock()
         #: Serializes rebuilds only; queries proceed under :attr:`lock`.
         self.rebuild_lock = threading.Lock()
-        #: Set (under :attr:`lock`) when the index is evicted, so an
+        #: Set (under the write lock) when the index is evicted, so an
         #: in-flight evaluation cannot re-populate the result cache after
         #: the drop already invalidated the index's entries.
         self.dropped = False
@@ -78,13 +87,6 @@ class ManagedIndex:
         self._insert_log: list[frozenset] = []
         #: Transactions trimmed off the front of the log (see insert_count).
         self._insert_log_base = 0
-        #: Dedicated pool for per-query shard fan-out, created lazily for
-        #: sharded handles.  Deliberately *not* the query executor's pool:
-        #: fan-out tasks are submitted while :attr:`lock` is held, and query
-        #: workers block on that same lock — sharing one pool could park
-        #: every worker on the lock and leave no thread to run the fan-out.
-        self._fanout_pool: "ThreadPoolExecutor | None" = None
-        self._pool_closed = False
         start = time.perf_counter()
         self._handle = self._build_handle(dataset)
         self.build_seconds = time.perf_counter() - start
@@ -147,7 +149,7 @@ class ManagedIndex:
 
     @property
     def num_records(self) -> int:
-        with self.lock:
+        with self.lock.read_locked():
             count = len(self._handle.dataset)
             if self.supports_updates:
                 count += self._handle.pending_updates
@@ -155,7 +157,7 @@ class ManagedIndex:
 
     @property
     def pending_updates(self) -> int:
-        with self.lock:
+        with self.lock.read_locked():
             return self._handle.pending_updates if self.supports_updates else 0
 
     @property
@@ -165,7 +167,7 @@ class ManagedIndex:
 
     def describe(self) -> dict:
         """JSON-friendly summary for the ``/indexes`` endpoint."""
-        with self.lock:
+        with self.lock.read_locked():
             out = {
                 "name": self.name,
                 "kind": self.kind,
@@ -186,67 +188,67 @@ class ManagedIndex:
 
     def query(self, query_type: "QueryType | str", items: Iterable[Item]) -> list[int]:
         """Answer one containment query (delta-aware for updatable kinds)."""
-        with self.lock:
+        with self.lock.read_locked():
             return self._handle.query(query_type, items)
 
     def evaluate(self, expr) -> list[int]:
         """Answer one query expression (delta-aware for updatable kinds)."""
-        with self.lock:
+        with self.lock.read_locked():
             return self._handle.evaluate(expr)
 
     def measured_expr(
-        self, expr
-    ) -> "tuple[tuple[int, ...], int, tuple[ShardQueryStat, ...] | None]":
-        """Answer an expression: ``(record_ids, page_accesses, shard_stats)``.
+        self, expr, fanout_pool: "ThreadPoolExecutor | None" = None
+    ) -> "tuple[tuple[int, ...], IOSnapshot, tuple[ShardQueryStat, ...] | None]":
+        """Answer an expression: ``(record_ids, io_delta, shard_stats)``.
 
-        ``shard_stats`` is the per-shard page/latency breakdown when the
-        handle is sharded, ``None`` otherwise.
+        ``io_delta`` is the exact I/O of this query, read from the
+        traversal's own context(s) — page, random and sequential read counts
+        stay correct when many queries interleave on this handle.
+        ``shard_stats`` is the per-shard breakdown for sharded handles,
+        ``None`` otherwise.
 
-        Sharded handles evaluate through the parallel fan-out path: each
-        shard materializes on the entry's dedicated pool (every task touches
-        only its own shard environment, so this is safe under the entry
-        lock), and the per-shard stats feed the executor's ``/stats``
-        breakdown.
+        Holds only the *read* side of the entry lock, so any number of
+        queries evaluate concurrently.  Sharded handles fan out on
+        ``fanout_pool`` (typically the query executor's own pool — see
+        :func:`repro.core.shard.run_sharing_pool` for why sharing it cannot
+        deadlock); without one the shards evaluate serially.
         """
-        with self.lock:
+        with self.lock.read_locked():
             if isinstance(self._handle, UpdatableShardedOIF):
                 record_ids, shard_stats = self._handle.evaluate_detail(
-                    expr, pool=self._ensure_fanout_pool()
+                    expr, pool=fanout_pool
                 )
-                pages = sum(stat.page_accesses for stat in shard_stats)
-                return tuple(record_ids), pages, tuple(shard_stats)
-            before = self.index.stats.snapshot()
-            record_ids = tuple(self.evaluate(expr))
-            delta = self.index.stats.since(before)
-            return record_ids, delta.page_reads, None
-
-    def _ensure_fanout_pool(self) -> "ThreadPoolExecutor | None":
-        """The entry's shard fan-out pool (lazily created; caller holds lock).
-
-        ``None`` after :meth:`close` — a closed entry evaluates its shards
-        serially instead of silently re-arming a pool nothing will release.
-        """
-        if self._pool_closed or not isinstance(self._handle, UpdatableShardedOIF):
-            return None
-        if self._fanout_pool is None and self._handle.num_shards > 1:
-            self._fanout_pool = ThreadPoolExecutor(
-                max_workers=self._handle.num_shards,
-                thread_name_prefix=f"repro-fanout-{self.name}",
+                delta = IOSnapshot(
+                    page_reads=sum(stat.page_accesses for stat in shard_stats),
+                    random_reads=sum(stat.random_reads for stat in shard_stats),
+                    sequential_reads=sum(stat.sequential_reads for stat in shard_stats),
+                )
+                return tuple(record_ids), delta, tuple(shard_stats)
+            if self.supports_updates:
+                record_ids, delta = self._handle.measured_evaluate(expr)
+                return tuple(record_ids), delta, None
+            result = self._handle.measured_execute(expr)
+            delta = IOSnapshot(
+                page_reads=result.page_accesses,
+                random_reads=result.random_reads,
+                sequential_reads=result.sequential_reads,
             )
-        return self._fanout_pool
-
-    def close(self) -> None:
-        """Release per-entry resources (the fan-out pool) after a drop/shutdown."""
-        self._pool_closed = True
-        pool, self._fanout_pool = self._fanout_pool, None
-        if pool is not None:
-            pool.shutdown(wait=False)
+            return result.record_ids, delta, None
 
     def measured_query(
         self, query_type: "QueryType | str", items: Iterable[Item]
-    ) -> "tuple[tuple[int, ...], int, tuple[ShardQueryStat, ...] | None]":
+    ) -> "tuple[tuple[int, ...], IOSnapshot, tuple[ShardQueryStat, ...] | None]":
         """Point-predicate :meth:`measured_expr`."""
         return self.measured_expr(QueryType.parse(query_type).leaf(items))
+
+    def close(self) -> None:
+        """Compatibility no-op: entries no longer own per-index resources.
+
+        The dedicated per-entry shard fan-out pool is gone — fan-out borrows
+        the caller's pool deadlock-free — so there is nothing left to
+        release.  Kept so embedding servers written against the old
+        lifecycle keep working.
+        """
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
         """Buffer new records (updatable kinds only); fires update listeners."""
@@ -255,7 +257,7 @@ class ManagedIndex:
                 f"index {self.name!r} (kind {self.kind!r}) does not support updates"
             )
         materialized = [frozenset(transaction) for transaction in transactions]
-        with self.lock:
+        with self.lock.write_locked():
             if self.dropped:
                 # Mirrors the query-path guard: a write racing a drop must
                 # fail loudly, not be acknowledged into a discarded handle.
@@ -268,7 +270,7 @@ class ManagedIndex:
         """Merge the delta buffer into the disk index (no-op for static kinds)."""
         if not self.supports_updates:
             return None
-        with self.lock:
+        with self.lock.write_locked():
             if self.dropped:
                 raise UnknownIndexError(f"no index named {self.name!r}")
             if not self._handle.pending_updates:
@@ -278,7 +280,7 @@ class ManagedIndex:
             return report
 
     def _trim_insert_log(self) -> None:
-        """Drop replay history no rebuild can still need (caller holds lock).
+        """Drop replay history no rebuild can still need (caller holds write lock).
 
         The log exists so a rebuild can replay inserts that raced with its
         build; once those inserts are part of the base index (flush) or of a
@@ -303,8 +305,8 @@ class ManagedIndex:
     # -- rebuild ---------------------------------------------------------------------
 
     def snapshot_dataset(self) -> Dataset:
-        """Merged dataset (base + delta) as of now; caller should hold the lock."""
-        with self.lock:
+        """Merged dataset (base + delta) as of now."""
+        with self.lock.read_locked():
             if self.supports_updates and self._handle.pending_updates:
                 return Dataset(list(self._handle.dataset) + self._handle.delta.records)
             return self._handle.dataset
@@ -314,9 +316,10 @@ class ManagedIndex:
 
         ``since_insert`` is the insert-log position the fresh handle was built
         from; any transactions inserted after it are replayed first so the
-        swap loses no update.
+        swap loses no update.  Exclusive: readers drain before the swap and
+        the next ones see the fresh handle — atomicity is the write lock.
         """
-        with self.lock:
+        with self.lock.write_locked():
             missed = self._insert_log[max(0, since_insert - self._insert_log_base):]
             if missed:
                 fresh._handle.insert(missed)
@@ -412,11 +415,11 @@ class IndexManager:
                 # twice and one index would be silently clobbered.
                 raise UnknownIndexError(f"no index named {name!r}")
             del self._indexes[name]
-        # Mark the entry dead under its own lock *before* invalidating, so
-        # any evaluation still holding the lock finishes (and caches) first,
-        # and any later one sees the flag and refuses to cache stale results
-        # under a name that may be reused.
-        with entry.lock:
+        # Mark the entry dead under the exclusive lock *before* invalidating:
+        # acquiring it drains every in-flight read (they finish and cache
+        # first), and any later evaluation sees the flag and refuses to
+        # cache stale results under a name that may be reused.
+        with entry.lock.write_locked():
             entry.dropped = True
         entry.close()
         if self.result_cache is not None:
@@ -425,15 +428,20 @@ class IndexManager:
     def rebuild(self, name: str) -> ManagedIndex:
         """Rebuild ``name`` from its merged dataset and swap the handle in.
 
-        The expensive build happens outside the per-index query lock, so
+        The expensive build happens outside the per-index lock entirely, so
         readers keep hitting the old index; inserts that arrive during the
-        build are replayed into the fresh handle before the swap.  Cached
-        results stay valid: the snapshot keeps every record id, so the swap
-        changes the physical layout but no query answer.
+        build are replayed into the fresh handle before the swap, and the
+        swap itself is the only exclusive section.  Cached results stay
+        valid: the snapshot keeps every record id, so the swap changes the
+        physical layout but no query answer.
         """
         entry = self.get(name)
         with entry.rebuild_lock:
-            with entry.lock:
+            with entry.lock.read_locked():
+                # Snapshot and log mark must be one atomic observation: an
+                # insert between them would be in neither the snapshot nor
+                # the replayed suffix.  Inserts take the write side, so the
+                # shared read hold is enough.
                 dataset = entry.snapshot_dataset()
                 mark = entry.insert_count
             fresh = ManagedIndex(entry.name, entry.kind, dataset, **entry.options)
@@ -452,11 +460,11 @@ class IndexManager:
     # -- lifecycle of the manager itself ----------------------------------------------
 
     def close(self) -> None:
-        """Release per-entry resources (shard fan-out pools) of every index.
+        """Compatibility no-op (see :meth:`ManagedIndex.close`).
 
-        The indexes stay registered and queryable — serial evaluation works
-        without a pool — but embedding servers call this on shutdown so no
-        idle fan-out threads outlive the serving stack.
+        Earlier versions parked a dedicated shard fan-out thread pool on
+        every sharded entry and released them here; fan-out now shares the
+        caller's executor pool, so no per-index threads exist to tear down.
         """
         for entry in self:
             entry.close()

@@ -156,10 +156,10 @@ class ServiceServer:
             self._thread = None
         self.executor.shutdown()
         if self._owns_manager:
-            # Release the per-index shard fan-out pools too, so repeated
-            # server lifecycles in one process cannot accumulate idle
-            # threads.  An externally supplied manager is left armed — it
-            # may keep serving after this server is gone.
+            # Compatibility hook: entries no longer own threads (shard
+            # fan-out borrows the executor pool), but close() stays in the
+            # lifecycle for embedders.  An externally supplied manager may
+            # keep serving after this server is gone either way.
             self.manager.close()
 
     def __enter__(self) -> "ServiceServer":

@@ -84,6 +84,8 @@ class ServingStats:
     executed: int = 0
     errors: int = 0
     page_accesses: int = 0
+    random_reads: int = 0
+    sequential_reads: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     per_index: dict = field(default_factory=dict)
     per_index_shards: dict = field(default_factory=dict)
@@ -97,6 +99,8 @@ class ServingStats:
         cached: bool,
         deduplicated: bool,
         page_accesses: int,
+        random_reads: int = 0,
+        sequential_reads: int = 0,
         shard_stats=None,
     ) -> None:
         """Account one answered query (thread-safe).
@@ -114,6 +118,8 @@ class ServingStats:
             else:
                 self.executed += 1
             self.page_accesses += page_accesses
+            self.random_reads += random_reads
+            self.sequential_reads += sequential_reads
             self.latency.record(latency_ms)
             recorder = self.per_index.get(index_name)
             if recorder is None:
@@ -140,6 +146,8 @@ class ServingStats:
                 "executed": self.executed,
                 "errors": self.errors,
                 "page_accesses": self.page_accesses,
+                "random_reads": self.random_reads,
+                "sequential_reads": self.sequential_reads,
                 "latency": self.latency.as_dict(),
                 "per_index": {
                     name: recorder.as_dict() for name, recorder in self.per_index.items()

@@ -38,6 +38,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import BTreeError, DuplicateKeyError, KeyNotFoundError
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.stats import ReadContext
 
 _LEAF = 0
 _INTERNAL = 1
@@ -189,21 +190,21 @@ class BTree:
 
     # -- public API ----------------------------------------------------------------
 
-    def get(self, key: bytes) -> bytes:
-        """Return the value stored for ``key``.
+    def get(self, key: bytes, ctx: "ReadContext | None" = None) -> bytes:
+        """Return the value stored for ``key``, charging reads to ``ctx``.
 
         Raises :class:`KeyNotFoundError` if the key is absent.
         """
-        leaf, _ = self._descend_to_leaf(key)
+        leaf, _ = self._descend_to_leaf(key, ctx)
         index = _bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:
             return leaf.values[index]
         raise KeyNotFoundError(f"key {key!r} not found")
 
-    def contains(self, key: bytes) -> bool:
+    def contains(self, key: bytes, ctx: "ReadContext | None" = None) -> bool:
         """Return whether ``key`` is present."""
         try:
-            self.get(key)
+            self.get(key, ctx)
         except KeyNotFoundError:
             return False
         return True
@@ -252,20 +253,23 @@ class BTree:
         del leaf.values[index]
         self._write_node(page_id, leaf)
 
-    def seek(self, key: bytes) -> Iterator[tuple[bytes, bytes]]:
+    def seek(
+        self, key: bytes, ctx: "ReadContext | None" = None
+    ) -> Iterator[tuple[bytes, bytes]]:
         """Iterate entries in key order starting at the first key >= ``key``.
 
         This is the equivalent of a Berkeley DB ``set_range`` cursor and is the
         primitive the OIF query algorithms use to locate the first block of a
-        Range of Interest and then scan forward.
+        Range of Interest and then scan forward.  Page reads — the descent and
+        every leaf the iteration advances to — are charged to ``ctx``.
         """
-        leaf, page_id = self._descend_to_leaf(key)
+        leaf, page_id = self._descend_to_leaf(key, ctx)
         index = _bisect_left(leaf.keys, key)
-        return self._iterate_from(leaf, page_id, index)
+        return self._iterate_from(leaf, page_id, index, ctx)
 
-    def items(self) -> Iterator[tuple[bytes, bytes]]:
+    def items(self, ctx: "ReadContext | None" = None) -> Iterator[tuple[bytes, bytes]]:
         """Iterate every entry in key order."""
-        return self.seek(b"")
+        return self.seek(b"", ctx)
 
     def first_key(self) -> bytes | None:
         """Return the smallest key, or ``None`` when the tree is empty."""
@@ -403,7 +407,11 @@ class BTree:
             yield from self._collect_keys(child, height - 1)
 
     def _iterate_from(
-        self, leaf: _LeafNode, page_id: int, index: int
+        self,
+        leaf: _LeafNode,
+        page_id: int,
+        index: int,
+        ctx: "ReadContext | None" = None,
     ) -> Iterator[tuple[bytes, bytes]]:
         while True:
             while index < len(leaf.keys):
@@ -412,21 +420,23 @@ class BTree:
             if leaf.next_leaf == _NO_PAGE:
                 return
             page_id = leaf.next_leaf
-            node = self._read_node(page_id)
+            node = self._read_node(page_id, ctx)
             if not isinstance(node, _LeafNode):
                 raise BTreeError("leaf chain points at a non-leaf page")
             leaf = node
             index = 0
 
-    def _descend_to_leaf(self, key: bytes) -> tuple[_LeafNode, int]:
+    def _descend_to_leaf(
+        self, key: bytes, ctx: "ReadContext | None" = None
+    ) -> tuple[_LeafNode, int]:
         page_id = self.root_page_id
         for _ in range(self.height - 1):
-            node = self._read_node(page_id)
+            node = self._read_node(page_id, ctx)
             if not isinstance(node, _InternalNode):
                 raise BTreeError("tree height is inconsistent with node types")
             slot = _bisect_right(node.keys, key)
             page_id = node.children[slot]
-        node = self._read_node(page_id)
+        node = self._read_node(page_id, ctx)
         if not isinstance(node, _LeafNode):
             raise BTreeError("expected a leaf at the bottom of the tree")
         return node, page_id
@@ -511,8 +521,10 @@ class BTree:
         if len(key) > 0xFFFF or len(value) > 0xFFFF:
             raise BTreeError("keys and values are limited to 65535 bytes")
 
-    def _read_node(self, page_id: int) -> _LeafNode | _InternalNode:
-        return _deserialize(bytes(self.pool.get_page(page_id)))
+    def _read_node(
+        self, page_id: int, ctx: "ReadContext | None" = None
+    ) -> _LeafNode | _InternalNode:
+        return _deserialize(bytes(self.pool.get_page(page_id, ctx)))
 
     def _write_node(self, page_id: int, node: _LeafNode | _InternalNode) -> None:
         data = _serialize_leaf(node) if isinstance(node, _LeafNode) else _serialize_internal(node)

@@ -1,4 +1,4 @@
-"""LRU buffer pool with cache-miss accounting.
+"""LRU buffer pool with cache-miss accounting, safe for concurrent readers.
 
 The buffer pool sits between the access methods (B+-tree, hash file) and the
 page file.  It keeps at most ``capacity`` pages in memory, evicts the least
@@ -10,16 +10,31 @@ The paper's experiments use the minimum Berkeley DB cache (32 KB), i.e. a
 handful of pages, precisely so that the measured cache misses reflect how the
 indexes would behave when the database is much larger than the available
 memory.  The experiment runner reproduces that setting by default.
+
+Concurrency model
+-----------------
+Any number of threads may call :meth:`get_page` concurrently: one lock guards
+the frame map, the LRU order and the shared I/O counters, so lookups,
+installs and evictions never corrupt each other.  Each reader passes its own
+:class:`~repro.storage.stats.ReadContext` and is charged exactly the reads it
+caused, with the context's counts also summed into the pool-wide totals.
+Mutating operations (``allocate_page`` / ``put_page`` / ``mark_dirty`` /
+``flush`` / ``clear``) take the same lock but are expected to run while the
+owning index holds its *exclusive* writer lock — concurrent readers of a
+structure that is being rewritten see torn logical state no page lock can
+repair.  A frame evicted mid-read stays alive for the reader that already
+holds a reference to its bytearray; readers never mutate frame payloads.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import BufferPoolError
 from repro.storage.pager import PageFile
-from repro.storage.stats import IOStatistics
+from repro.storage.stats import IOStatistics, ReadContext
 
 
 @dataclass
@@ -42,7 +57,7 @@ class BufferPool:
         corresponds to ``capacity = 32 * 1024 // page_size``.
     stats:
         Shared :class:`IOStatistics` instance; a fresh one is created when
-        omitted.
+        omitted.  All mutation of it happens under this pool's lock.
     """
 
     def __init__(
@@ -57,33 +72,37 @@ class BufferPool:
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStatistics()
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # -- page-level API ------------------------------------------------------------
 
     def allocate_page(self) -> int:
         """Allocate a fresh page in the backing file and cache it as dirty."""
-        page_id = self.page_file.allocate()
-        frame = _Frame(data=bytearray(self.page_file.page_size), dirty=True)
-        self._install(page_id, frame)
-        return page_id
+        with self._lock:
+            page_id = self.page_file.allocate()
+            frame = _Frame(data=bytearray(self.page_file.page_size), dirty=True)
+            self._install(page_id, frame)
+            return page_id
 
-    def get_page(self, page_id: int) -> bytearray:
+    def get_page(self, page_id: int, ctx: "ReadContext | None" = None) -> bytearray:
         """Return the (mutable) payload of ``page_id``, reading it on a miss.
 
-        The returned bytearray is the cached frame itself: callers that mutate
-        it must also call :meth:`mark_dirty` so the change is flushed.
+        ``ctx`` is the read context this lookup is charged to; without one
+        the read lands only in the pool-wide totals.  The returned bytearray
+        is the cached frame itself: callers that mutate it must also call
+        :meth:`mark_dirty` so the change is flushed.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.record_logical_read(hit=True)
-            self._frames.move_to_end(page_id)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.record_read(page_id, hit=True, ctx=ctx)
+                self._frames.move_to_end(page_id)
+                return frame.data
+            self.stats.record_read(page_id, hit=False, ctx=ctx)
+            data = self.page_file.read(page_id)
+            frame = _Frame(data=data, dirty=False)
+            self._install(page_id, frame)
             return frame.data
-        self.stats.record_logical_read(hit=False)
-        self.stats.record_physical_read(page_id)
-        data = self.page_file.read(page_id)
-        frame = _Frame(data=data, dirty=False)
-        self._install(page_id, frame)
-        return frame.data
 
     def put_page(self, page_id: int, data: bytes) -> None:
         """Replace the payload of ``page_id`` and mark it dirty."""
@@ -94,43 +113,49 @@ class BufferPool:
             )
         payload = bytearray(data)
         payload.extend(b"\x00" * (self.page_file.page_size - len(payload)))
-        frame = self._frames.get(page_id)
-        if frame is None:
-            frame = _Frame(data=payload, dirty=True)
-            self._install(page_id, frame)
-        else:
-            frame.data = payload
-            frame.dirty = True
-            self._frames.move_to_end(page_id)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                frame = _Frame(data=payload, dirty=True)
+                self._install(page_id, frame)
+            else:
+                frame.data = payload
+                frame.dirty = True
+                self._frames.move_to_end(page_id)
 
     def mark_dirty(self, page_id: int) -> None:
         """Flag an in-cache page as modified so eviction writes it back."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"page {page_id} is not resident in the buffer pool")
-        frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"page {page_id} is not resident in the buffer pool")
+            frame.dirty = True
 
     def flush(self) -> None:
         """Write back every dirty frame without evicting anything."""
-        for page_id, frame in self._frames.items():
-            if frame.dirty:
-                self.page_file.write(page_id, bytes(frame.data))
-                self.stats.record_physical_write()
-                frame.dirty = False
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.page_file.write(page_id, bytes(frame.data))
+                    self.stats.record_physical_write()
+                    frame.dirty = False
 
     def clear(self) -> None:
         """Flush and drop every cached frame (used between experiment phases)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     @property
     def resident_pages(self) -> int:
         """Number of pages currently cached."""
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     # -- internals -----------------------------------------------------------------
 
     def _install(self, page_id: int, frame: _Frame) -> None:
+        # Caller holds self._lock.
         self._frames[page_id] = frame
         self._frames.move_to_end(page_id)
         while len(self._frames) > self.capacity:

@@ -28,6 +28,7 @@ from typing import Iterator
 
 from repro.errors import HashFileError, KeyNotFoundError
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.stats import ReadContext
 
 _BUCKET_HEADER = struct.Struct("<HI")  # entry count, next overflow bucket page
 # key length, first data page, page count, value length, offset in first page
@@ -94,21 +95,21 @@ class HashFile:
         else:
             self._append_entry(entry)
 
-    def get(self, key: bytes) -> bytes:
-        """Fetch the whole value stored under ``key``.
+    def get(self, key: bytes, ctx: "ReadContext | None" = None) -> bytes:
+        """Fetch the whole value stored under ``key``, charging reads to ``ctx``.
 
         Models the Berkeley DB behaviour of always retrieving the full tuple:
         every data page of the value is read through the buffer pool.
         Raises :class:`KeyNotFoundError` when the key is absent.
         """
-        entry = self._find_entry(key)
+        entry = self._find_entry(key, ctx)
         if entry is None:
             raise KeyNotFoundError(f"key {key!r} not found")
-        return self._read_value(entry)
+        return self._read_value(entry, ctx)
 
-    def contains(self, key: bytes) -> bool:
+    def contains(self, key: bytes, ctx: "ReadContext | None" = None) -> bool:
         """Return whether ``key`` is present (touches only bucket pages)."""
-        return self._find_entry(key) is not None
+        return self._find_entry(key, ctx) is not None
 
     def value_page_count(self, key: bytes) -> int:
         """Number of data pages occupied by the value of ``key``."""
@@ -135,10 +136,12 @@ class HashFile:
     def _bucket_for(self, key: bytes) -> int:
         return self._bucket_pages[_hash_key(key) % self.num_buckets]
 
-    def _find_entry(self, key: bytes) -> _Entry | None:
+    def _find_entry(
+        self, key: bytes, ctx: "ReadContext | None" = None
+    ) -> _Entry | None:
         page_id = self._bucket_for(key)
         while page_id != _NO_PAGE:
-            entries, next_page = self._read_bucket(page_id)
+            entries, next_page = self._read_bucket(page_id, ctx)
             for entry in entries:
                 if entry.key == key:
                     return entry
@@ -173,8 +176,10 @@ class HashFile:
             page_id = next_page
         raise HashFileError(f"entry for key {key!r} vanished during replace")
 
-    def _read_bucket(self, page_id: int) -> tuple[list[_Entry], int]:
-        data = bytes(self.pool.get_page(page_id))
+    def _read_bucket(
+        self, page_id: int, ctx: "ReadContext | None" = None
+    ) -> tuple[list[_Entry], int]:
+        data = bytes(self.pool.get_page(page_id, ctx))
         count, next_page = _BUCKET_HEADER.unpack_from(data, 0)
         offset = _BUCKET_HEADER.size
         entries: list[_Entry] = []
@@ -232,11 +237,11 @@ class HashFile:
         self._pack_used += len(value)
         return _Entry(key, self._pack_page, 1, len(value), offset=offset)
 
-    def _read_value(self, entry: _Entry) -> bytes:
+    def _read_value(self, entry: _Entry, ctx: "ReadContext | None" = None) -> bytes:
         if entry.page_count == 1:
-            data = self.pool.get_page(entry.first_page)
+            data = self.pool.get_page(entry.first_page, ctx)
             return bytes(data[entry.offset : entry.offset + entry.value_length])
         out = bytearray()
         for index in range(entry.page_count):
-            out += self.pool.get_page(entry.first_page + index)
+            out += self.pool.get_page(entry.first_page + index, ctx)
         return bytes(out[: entry.value_length])

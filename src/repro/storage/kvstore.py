@@ -25,7 +25,7 @@ from repro.storage.btree import BTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.hashfile import HashFile
 from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePageFile, MemoryPageFile, PageFile
-from repro.storage.stats import DiskModel, IOStatistics
+from repro.storage.stats import DiskModel, IOStatistics, ReadContext
 
 #: Cache size used by the paper's experiments (the Berkeley DB minimum).
 PAPER_CACHE_BYTES = 32 * 1024
@@ -128,19 +128,19 @@ class Table:
             assert self._hash is not None
             self._hash.put(key, value, replace=replace)
 
-    def get(self, key: bytes) -> bytes:
+    def get(self, key: bytes, ctx: "ReadContext | None" = None) -> bytes:
         """Fetch the value for ``key``; raises ``KeyNotFoundError`` if absent."""
         if self._btree is not None:
-            return self._btree.get(key)
+            return self._btree.get(key, ctx)
         assert self._hash is not None
-        return self._hash.get(key)
+        return self._hash.get(key, ctx)
 
-    def contains(self, key: bytes) -> bool:
+    def contains(self, key: bytes, ctx: "ReadContext | None" = None) -> bool:
         """Membership test."""
         if self._btree is not None:
-            return self._btree.contains(key)
+            return self._btree.contains(key, ctx)
         assert self._hash is not None
-        return self._hash.contains(key)
+        return self._hash.contains(key, ctx)
 
     def __len__(self) -> int:
         if self._btree is not None:
@@ -154,12 +154,15 @@ class Table:
         """Bulk load sorted entries (B-tree tables only)."""
         self._require_btree().bulk_load(entries, fill_factor=fill_factor)
 
-    def cursor(self, start_key: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+    def cursor(
+        self, start_key: bytes = b"", ctx: "ReadContext | None" = None
+    ) -> Iterator[tuple[bytes, bytes]]:
         """Range cursor from the first key >= ``start_key`` (B-tree tables only).
 
-        Equivalent to Berkeley DB's ``DB_SET_RANGE`` cursor positioning.
+        Equivalent to Berkeley DB's ``DB_SET_RANGE`` cursor positioning;
+        page reads are charged to ``ctx``.
         """
-        return self._require_btree().seek(start_key)
+        return self._require_btree().seek(start_key, ctx)
 
     def delete(self, key: bytes) -> None:
         """Delete one key (B-tree tables only)."""

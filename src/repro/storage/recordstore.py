@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 from repro.compression import vbyte
 from repro.errors import DatasetError, KeyNotFoundError
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.stats import ReadContext
 
 
 class RecordStore:
@@ -60,12 +61,12 @@ class RecordStore:
         for record_id, ranks in rows:
             self.append(record_id, ranks)
 
-    def fetch(self, record_id: int) -> list[int]:
+    def fetch(self, record_id: int, ctx: "ReadContext | None" = None) -> list[int]:
         """Return the item ranks of ``record_id`` (one page access on a cache miss)."""
         page_id = self._directory.get(record_id)
         if page_id is None:
             raise KeyNotFoundError(f"record {record_id} is not in the store")
-        data = bytes(self.pool.get_page(page_id))
+        data = bytes(self.pool.get_page(page_id, ctx))
         offset = 0
         while offset < len(data):
             stored_id, offset = vbyte.decode_uint(data, offset)

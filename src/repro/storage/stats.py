@@ -12,9 +12,15 @@ storage engine, the same quantities are collected deterministically:
   I/O time, so the time plots of Figures 8-10 can be regenerated without a
   spinning disk.
 
-All counters live in :class:`IOStatistics`, which supports snapshots and
-diffs so the experiment runner can charge each query with exactly the I/O it
-caused.
+Accounting is two-level.  A :class:`ReadContext` is carried by one traversal
+(one open cursor, one probe): it counts exactly that operation's reads and
+classifies them sequential/random against *its own* last-page-id, so the
+numbers stay exact even when many queries interleave on one buffer pool.
+Every contextual read is simultaneously summed into the pool-wide
+:class:`IOStatistics` totals (the classification decided by the context), so
+the per-context counts always add up to the pool totals.  The older
+snapshot/diff API on :class:`IOStatistics` remains for single-threaded uses
+(experiment phases, build accounting).
 """
 
 from __future__ import annotations
@@ -85,9 +91,99 @@ class IOSnapshot:
         return model.io_time_ms(self.random_reads, self.sequential_reads)
 
 
+class ReadContext:
+    """Per-operation read accounting, carried explicitly through one traversal.
+
+    A context is created when a query opens (one per
+    :class:`~repro.core.query.cursor.Cursor`, one per fanned-out shard) and
+    passed down to every :meth:`BufferPool.get_page` the traversal causes.
+    It owns its own last-page-id, so the sequential/random split describes
+    the locality of *this* operation's access pattern — interleaved readers
+    cannot pollute each other's classification the way a single global
+    last-page-id would.
+    """
+
+    __slots__ = (
+        "page_reads",
+        "sequential_reads",
+        "random_reads",
+        "logical_reads",
+        "cache_hits",
+        "_last_read_page",
+    )
+
+    def __init__(self) -> None:
+        self.page_reads = 0
+        self.sequential_reads = 0
+        self.random_reads = 0
+        self.logical_reads = 0
+        self.cache_hits = 0
+        self._last_read_page: int | None = None
+
+    def record_logical_read(self, hit: bool) -> None:
+        """Count one buffer-pool lookup; ``hit`` says whether it avoided disk."""
+        self.logical_reads += 1
+        if hit:
+            self.cache_hits += 1
+
+    def record_physical_read(self, page_id: int) -> bool:
+        """Count one page fetched from disk; returns True when sequential."""
+        self.page_reads += 1
+        sequential = (
+            self._last_read_page is not None and page_id == self._last_read_page + 1
+        )
+        if sequential:
+            self.sequential_reads += 1
+        else:
+            self.random_reads += 1
+        self._last_read_page = page_id
+        return sequential
+
+    def absorb(self, other: "ReadContext") -> None:
+        """Add another context's counts into this one (locality untouched).
+
+        Used when an operation fans out into sub-operations with their own
+        locality — e.g. one shard context per shard of a fanned probe: page
+        ids are per page file, so chaining one last-page-id across shards
+        would invent sequentiality that no disk arm ever saw.
+        """
+        self.page_reads += other.page_reads
+        self.sequential_reads += other.sequential_reads
+        self.random_reads += other.random_reads
+        self.logical_reads += other.logical_reads
+        self.cache_hits += other.cache_hits
+
+    def reset(self) -> None:
+        """Zero the counters and forget locality."""
+        self.page_reads = 0
+        self.sequential_reads = 0
+        self.random_reads = 0
+        self.logical_reads = 0
+        self.cache_hits = 0
+        self._last_read_page = None
+
+    def snapshot(self) -> IOSnapshot:
+        """This context's counts as an :class:`IOSnapshot` (no writes)."""
+        return IOSnapshot(
+            page_reads=self.page_reads,
+            sequential_reads=self.sequential_reads,
+            random_reads=self.random_reads,
+            logical_reads=self.logical_reads,
+            cache_hits=self.cache_hits,
+        )
+
+
 @dataclass
 class IOStatistics:
-    """Mutable I/O counters shared by a pager / buffer pool / index stack."""
+    """Mutable I/O counters shared by a pager / buffer pool / index stack.
+
+    The counters are the *pool-wide totals*: every read recorded through a
+    :class:`ReadContext` (:meth:`record_read`) is summed in here as well, and
+    uncontextualized reads are classified against an internal default
+    context.  Mutation is not internally synchronized — the owning
+    :class:`~repro.storage.buffer_pool.BufferPool` serializes all updates
+    under its frame lock.
+    """
 
     disk_model: DiskModel = field(default_factory=DiskModel)
     page_reads: int = 0
@@ -96,7 +192,29 @@ class IOStatistics:
     random_reads: int = 0
     logical_reads: int = 0
     cache_hits: int = 0
-    _last_read_page: int | None = field(default=None, repr=False)
+    _default_context: ReadContext = field(
+        default_factory=ReadContext, repr=False, compare=False
+    )
+
+    def record_read(self, page_id: int, hit: bool, ctx: "ReadContext | None" = None) -> None:
+        """Charge one buffer-pool lookup to ``ctx`` *and* the pool totals.
+
+        On a miss the sequential/random classification is decided by the
+        context's own locality and applied identically to both levels, which
+        is what keeps ``sum(contexts) == totals`` exact under concurrency.
+        """
+        ctx = ctx if ctx is not None else self._default_context
+        ctx.record_logical_read(hit)
+        self.logical_reads += 1
+        if hit:
+            self.cache_hits += 1
+            return
+        sequential = ctx.record_physical_read(page_id)
+        self.page_reads += 1
+        if sequential:
+            self.sequential_reads += 1
+        else:
+            self.random_reads += 1
 
     def record_logical_read(self, hit: bool) -> None:
         """Count a buffer-pool lookup; ``hit`` says whether it avoided disk."""
@@ -107,11 +225,10 @@ class IOStatistics:
     def record_physical_read(self, page_id: int) -> None:
         """Count a page fetched from disk and classify it as sequential/random."""
         self.page_reads += 1
-        if self._last_read_page is not None and page_id == self._last_read_page + 1:
+        if self._default_context.record_physical_read(page_id):
             self.sequential_reads += 1
         else:
             self.random_reads += 1
-        self._last_read_page = page_id
 
     def record_physical_write(self) -> None:
         """Count a dirty page flushed to disk."""
@@ -125,7 +242,7 @@ class IOStatistics:
         self.random_reads = 0
         self.logical_reads = 0
         self.cache_hits = 0
-        self._last_read_page = None
+        self._default_context.reset()
 
     def snapshot(self) -> IOSnapshot:
         """Capture the current counter values."""

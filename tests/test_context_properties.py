@@ -1,0 +1,86 @@
+"""Hypothesis properties of the per-context I/O accounting.
+
+The invariant the concurrent read path rests on: every page access is charged
+to exactly one :class:`~repro.storage.stats.ReadContext` *and* to the
+pool-wide totals with the same sequential/random classification — so the
+per-context counts of any set of traversals sum exactly to the pool totals,
+for arbitrary datasets, query mixes, interleavings and cache sizes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import InvertedFile, UnorderedBTreeInvertedFile
+from repro.core import Dataset, OrderedInvertedFile
+from repro.core.query import Equality, Subset, Superset
+from repro.storage.stats import ReadContext
+
+ITEMS = list("abcdefgh")
+
+transactions_strategy = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=1, max_size=5),
+    min_size=2,
+    max_size=30,
+)
+query_strategy = st.sets(st.sampled_from(ITEMS), min_size=1, max_size=3)
+queries_strategy = st.lists(
+    st.tuples(st.sampled_from(["subset", "equality", "superset"]), query_strategy),
+    min_size=1,
+    max_size=8,
+)
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_LEAVES = {"subset": Subset, "equality": Equality, "superset": Superset}
+
+
+def _run_queries(index, queries) -> list[ReadContext]:
+    contexts = []
+    for predicate, items in queries:
+        cursor = index.execute(_LEAVES[predicate](frozenset(items)))
+        cursor.fetch_all()
+        contexts.append(cursor.ctx)
+    return contexts
+
+
+class TestContextsSumToPoolTotals:
+    @relaxed
+    @given(
+        transactions_strategy,
+        queries_strategy,
+        st.sampled_from([4096, 8192, 32 * 1024]),  # 1-page, tiny and paper cache
+    )
+    def test_oif_contexts_sum_to_totals(self, transactions, queries, cache_bytes):
+        dataset = Dataset.from_transactions(transactions)
+        index = OrderedInvertedFile(dataset, block_capacity=3, cache_bytes=cache_bytes)
+        before = index.stats.snapshot()
+        contexts = _run_queries(index, queries)
+        total = index.stats.snapshot() - before
+        assert sum(ctx.page_reads for ctx in contexts) == total.page_reads
+        assert sum(ctx.logical_reads for ctx in contexts) == total.logical_reads
+        assert sum(ctx.cache_hits for ctx in contexts) == total.cache_hits
+        assert sum(ctx.random_reads for ctx in contexts) == total.random_reads
+        assert sum(ctx.sequential_reads for ctx in contexts) == total.sequential_reads
+        for ctx in contexts:
+            assert ctx.random_reads + ctx.sequential_reads == ctx.page_reads
+            assert ctx.cache_hits + ctx.page_reads == ctx.logical_reads
+
+    @relaxed
+    @given(transactions_strategy, queries_strategy)
+    def test_baseline_contexts_sum_to_totals(self, transactions, queries):
+        dataset = Dataset.from_transactions(transactions)
+        for index in (
+            InvertedFile(dataset),
+            UnorderedBTreeInvertedFile(dataset, block_capacity=3),
+        ):
+            before = index.stats.snapshot()
+            contexts = _run_queries(index, queries)
+            total = index.stats.snapshot() - before
+            assert sum(ctx.page_reads for ctx in contexts) == total.page_reads
+            assert sum(ctx.logical_reads for ctx in contexts) == total.logical_reads

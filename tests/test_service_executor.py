@@ -117,10 +117,10 @@ def test_identical_inflight_queries_are_deduplicated(dataset):
     original_measured = entry.measured_expr
     evaluations = []
 
-    def slow_measured(expr):
+    def slow_measured(expr, fanout_pool=None):
         evaluations.append(expr)
         release.wait(timeout=5.0)
-        return original_measured(expr)
+        return original_measured(expr, fanout_pool=fanout_pool)
 
     entry.measured_expr = slow_measured
     with QueryExecutor(manager, cache=None, max_workers=4) as executor:

@@ -48,11 +48,12 @@ class TestManagerSharding:
         manager.create("sharded", dataset, kind="oif", shards=4)
         expr = Subset(frozenset(["a", "b"]))
         mono_ids, _, mono_stats = manager.get("mono").measured_expr(expr)
-        sharded_ids, pages, shard_stats = manager.get("sharded").measured_expr(expr)
+        sharded_ids, delta, shard_stats = manager.get("sharded").measured_expr(expr)
         assert sharded_ids == mono_ids
         assert mono_stats is None
         assert shard_stats is not None
-        assert pages == sum(stat.page_accesses for stat in shard_stats)
+        assert delta.page_reads == sum(stat.page_accesses for stat in shard_stats)
+        assert delta.random_reads + delta.sequential_reads == delta.page_reads
         assert sum(stat.matches for stat in shard_stats) == len(sharded_ids)
 
     def test_shards_option_is_validated(self, dataset):
@@ -105,16 +106,38 @@ class TestManagerSharding:
         assert isinstance(entry._handle, UpdatableShardedOIF), "rebuild keeps sharding"
         assert entry.evaluate(expr) == manager.get("mono").evaluate(expr)
 
-    def test_drop_shuts_down_the_fanout_pool(self, dataset):
+    def test_fanout_borrows_the_caller_pool_without_deadlock(self, dataset):
+        """Sharded fan-out shares the query pool; saturation runs tasks inline.
+
+        Regression for the removed per-entry fan-out pool: even a 1-worker
+        executor — where the submitting worker IS the whole pool — must
+        answer sharded queries (the fan-out tasks are cancelled off the full
+        queue and executed by the caller itself).
+        """
+        manager = IndexManager()
+        manager.create("s", dataset, kind="oif", shards=4)
+        with QueryExecutor(manager, cache=None, max_workers=1) as executor:
+            outcome = executor.execute_expr("s", Subset(frozenset(["a"])))
+        assert outcome.shard_stats is not None and len(outcome.shard_stats) == 4
+        oracle = sorted(
+            record.record_id for record in dataset if "a" in record.items
+        )
+        assert list(outcome.record_ids) == oracle
+
+    def test_dropped_entry_refuses_served_queries_and_writes(self, dataset):
+        from repro.errors import UnknownIndexError
+
         manager = IndexManager()
         entry = manager.create("s", dataset, kind="oif", shards=2)
-        entry.measured_expr(Subset(frozenset(["a"])))  # forces pool creation
-        pool = entry._fanout_pool
-        assert pool is not None
-        manager.drop("s")
-        assert entry._fanout_pool is None
-        with pytest.raises(RuntimeError):
-            pool.submit(lambda: None)
+        with QueryExecutor(manager, cache=None, max_workers=2) as executor:
+            manager.drop("s")
+            assert entry.dropped
+            # The serving path refuses the name, and a retained entry
+            # reference refuses writes — nothing lands in a discarded handle.
+            with pytest.raises(UnknownIndexError):
+                executor.execute_expr("s", Subset(frozenset(["a"])))
+            with pytest.raises(UnknownIndexError):
+                entry.insert([["a", "b"]])
 
 
 class TestExecutorSharding:
@@ -177,7 +200,9 @@ class TestServerSharding:
             described = {entry["name"]: entry for entry in client.indexes()}
             assert described["wire"]["shards"] == 3
 
-    def test_server_shutdown_releases_fanout_pools(self, dataset):
+    def test_entries_answer_after_server_shutdown(self, dataset):
+        """No per-entry threads exist any more: a shut-down server's manager
+        keeps answering sharded queries serially (fan-out needs no pool)."""
         server = ServiceServer(port=0)
         with server:
             client = ServiceClient(host=server.host, port=server.port)
@@ -186,14 +211,10 @@ class TestServerSharding:
                 transactions=[sorted(record.items) for record in dataset],
                 shards=2,
             )
-            client.query("wire", "subset", ["a"])  # lazily creates the pool
-            assert server.manager.get("wire")._fanout_pool is not None
+            client.query("wire", "subset", ["a"])
         entry = server.manager.get("wire")
-        assert entry._fanout_pool is None
-        # A closed entry still answers (serially) but never re-arms a pool.
         ids, _, shard_stats = entry.measured_expr(Subset(frozenset(["a"])))
         assert len(ids) > 0 and shard_stats is not None
-        assert entry._fanout_pool is None
 
     def test_shutdown_leaves_an_external_manager_armed(self, dataset):
         manager = IndexManager()
@@ -201,14 +222,13 @@ class TestServerSharding:
         with ServiceServer(port=0, manager=manager) as server:
             client = ServiceClient(host=server.host, port=server.port)
             client.query("mine", "subset", ["a"])
-        # The embedder's manager outlives the server: fan-out still arms.
+        # The embedder's manager outlives the server and keeps answering.
         entry = manager.get("mine")
-        assert not entry._pool_closed
         ids, _, shard_stats = entry.measured_expr(Subset(frozenset(["a"])))
         assert len(ids) > 0 and shard_stats is not None
-        assert entry._fanout_pool is not None
-        manager.close()
-        assert entry._fanout_pool is None
+        manager.close()  # compatibility no-op
+        ids_again, _, _ = entry.measured_expr(Subset(frozenset(["a"])))
+        assert ids_again == ids
 
     def test_invalid_shards_is_a_client_error(self, dataset):
         with ServiceServer(port=0) as server:
