@@ -24,8 +24,9 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.compression.postings import Posting, PostingListCodec
+from repro.compression.postings import Posting, PostingColumns, PostingListCodec
 from repro.core.interfaces import SetContainmentIndex
+from repro.core.intersect import intersect_ids, superset_matches
 from repro.core.items import Item, ItemOrder
 from repro.core.records import Dataset
 from repro.core.sequence import encode_rank
@@ -137,14 +138,23 @@ class InvertedFile(SetContainmentIndex):
 
     def fetch_list(self, item: Item, ctx: "ReadContext | None" = None) -> list[Posting]:
         """Retrieve the complete inverted list of ``item`` (whole-tuple fetch)."""
+        return self.fetch_columns(item, ctx).postings()
+
+    def fetch_columns(self, item: Item, ctx: "ReadContext | None" = None) -> PostingColumns:
+        """Retrieve one inverted list in columnar form (the query hot path).
+
+        Same whole-tuple fetch as :meth:`fetch_list`, but the value is
+        batch-decoded into parallel sorted id/length columns — no per-posting
+        decode calls or :class:`Posting` allocations.
+        """
         if self._table is None:
             raise IndexNotBuiltError("the inverted file has not been built yet")
         rank = self.order.try_rank_of(item)
         if rank is None:
-            return []
+            return PostingColumns((), ())
         if not self._table.contains(encode_rank(rank), ctx):
-            return []
-        return self._codec.decode(self._table.get(encode_rank(rank), ctx))
+            return PostingColumns((), ())
+        return self._codec.decode_columns(self._table.get(encode_rank(rank), ctx))
 
     def list_page_count(self, item: Item) -> int:
         """Number of data pages occupied by the item's list (for the space study)."""
@@ -207,48 +217,48 @@ class InvertedFile(SetContainmentIndex):
 
     def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
-        lists = [self.fetch_list(item, ctx) for item in sorted(query, key=str)]
-        if any(not postings for postings in lists):
+        lists = [self.fetch_columns(item, ctx) for item in sorted(query, key=str)]
+        if any(not len(columns) for columns in lists):
             return []
+        # Shortest list first: ids are stored ascending, so the intersection
+        # is a galloping merge join over sorted columns (no hashing).
         lists.sort(key=len)
-        result = {posting.record_id for posting in lists[0]}
-        for postings in lists[1:]:
-            result &= {posting.record_id for posting in postings}
+        result = list(lists[0].ids)
+        for columns in lists[1:]:
+            result = intersect_ids(result, columns.ids)
             if not result:
                 return []
-        return sorted(result)
+        return result
 
     def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
         cardinality = len(query)
-        lists = [self.fetch_list(item, ctx) for item in sorted(query, key=str)]
-        if any(not postings for postings in lists):
+        lists = [self.fetch_columns(item, ctx) for item in sorted(query, key=str)]
+        if any(not len(columns) for columns in lists):
             return []
         lists.sort(key=len)
-        result = {
-            posting.record_id for posting in lists[0] if posting.length == cardinality
-        }
-        for postings in lists[1:]:
-            result &= {
-                posting.record_id for posting in postings if posting.length == cardinality
-            }
+        result: "list[int] | None" = None
+        for columns in lists:
+            matching = [
+                record_id
+                for record_id, length in zip(columns.ids, columns.lengths)
+                if length == cardinality
+            ]
+            result = matching if result is None else intersect_ids(result, matching)
             if not result:
                 return []
-        return sorted(result)
+        assert result is not None
+        return result
 
     def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
-        occurrences: dict[int, int] = {}
-        lengths: dict[int, int] = {}
-        for item in sorted(query, key=str):
-            for posting in self.fetch_list(item, ctx):
-                occurrences[posting.record_id] = occurrences.get(posting.record_id, 0) + 1
-                lengths[posting.record_id] = posting.length
-        return sorted(
-            record_id
-            for record_id, count in occurrences.items()
-            if count == lengths[record_id]
-        )
+        runs = [
+            (columns.ids, columns.lengths)
+            for columns in (
+                self.fetch_columns(item, ctx) for item in sorted(query, key=str)
+            )
+        ]
+        return superset_matches(runs)
 
     @staticmethod
     def _check_query(items: Iterable[Item]) -> frozenset:

@@ -21,6 +21,7 @@ false negatives are not):
 
 from __future__ import annotations
 
+import struct
 import time
 from typing import Iterable
 
@@ -75,6 +76,15 @@ class SignatureFile(SetContainmentIndex):
         self.signature_bits = signature_bits
         self.bits_per_item = bits_per_item
         self._signature_bytes = signature_bits // 8
+        # Batch page parser: one C-level iter_unpack per page instead of two
+        # slices + int conversions per record.  The default 64-bit width maps
+        # straight to ">IQ"; wider signatures unpack as bytes and convert.
+        if self._signature_bytes == 8:
+            self._entry_struct = struct.Struct(">IQ")
+            self._wide_signatures = False
+        else:
+            self._entry_struct = struct.Struct(f">I{self._signature_bytes}s")
+            self._wide_signatures = True
         self._order: ItemOrder | None = None
         self._record_ids: list[int] = []
         self._signature_pages: list[int] = []
@@ -137,19 +147,23 @@ class SignatureFile(SetContainmentIndex):
     def _scan_signatures(
         self, ctx: "ReadContext | None" = None
     ) -> Iterable[tuple[int, int]]:
-        """Yield ``(record_id, signature)`` for every record, page by page."""
+        """Yield ``(record_id, signature)`` for every record, page by page.
+
+        Each page is parsed with one :meth:`struct.Struct.iter_unpack` call —
+        the signature scan is sequential and CPU-bound, so the per-entry
+        slicing it used to do dominated its cost.
+        """
         entry_size = 4 + self._signature_bytes
         remaining = len(self._record_ids)
         for page_id in self._signature_pages:
             data = bytes(self.env.pool.get_page(page_id, ctx))
             in_page = min(self._per_page, remaining)
-            for slot in range(in_page):
-                offset = slot * entry_size
-                record_id = int.from_bytes(data[offset : offset + 4], "big")
-                signature = int.from_bytes(
-                    data[offset + 4 : offset + entry_size], "big"
-                )
-                yield record_id, signature
+            window = data[: in_page * entry_size]
+            if self._wide_signatures:
+                for record_id, raw_signature in self._entry_struct.iter_unpack(window):
+                    yield record_id, int.from_bytes(raw_signature, "big")
+            else:
+                yield from self._entry_struct.iter_unpack(window)
             remaining -= in_page
 
     def _verify(self, record_id: int, ctx: "ReadContext | None" = None) -> frozenset:

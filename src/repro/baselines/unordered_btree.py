@@ -19,10 +19,12 @@ reproduces that competitor:
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
-from repro.compression.postings import Posting, PostingBlockCodec
+from repro.compression.postings import Posting, PostingBlockCodec, PostingColumns
 from repro.core.interfaces import SetContainmentIndex
+from repro.core.intersect import intersect_ids, superset_matches
 from repro.core.items import Item, ItemOrder
 from repro.core.records import Dataset
 from repro.core.sequence import decode_rank, encode_rank
@@ -136,9 +138,26 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
     ) -> Iterator[Posting]:
         """Yield the postings of one list, optionally limited to an id window.
 
+        Compatibility wrapper over :meth:`scan_list_columns`; the query
+        probes consume the columnar blocks directly.
+        """
+        for columns in self.scan_list_columns(rank, low_id, high_id, ctx):
+            yield from columns
+
+    def scan_list_columns(
+        self,
+        rank: int,
+        low_id: int = 0,
+        high_id: int | None = None,
+        ctx: "ReadContext | None" = None,
+    ) -> Iterator[PostingColumns]:
+        """Yield one list's blocks as columnar runs, trimmed to an id window.
+
         The B-tree lets the scan start at the first block whose last id is >=
         ``low_id`` and stop once a block's last id passes ``high_id`` — the
-        "access to intermediate points" that this baseline shares with the OIF.
+        "access to intermediate points" that this baseline shares with the
+        OIF.  Each block is batch-decoded once; the window trim is a
+        :mod:`bisect` cut on the sorted id column.
         """
         if self._table is None:
             raise IndexNotBuiltError("the unordered B-tree index has not been built yet")
@@ -148,12 +167,18 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
             if key_rank != rank:
                 return
             last_id = decode_rank(key, 4)
-            for posting in self._codec.decode(value):
-                if posting.record_id < low_id:
-                    continue
-                if high_id is not None and posting.record_id > high_id:
-                    return
-                yield posting
+            columns = self._codec.decode_columns(value)
+            ids = columns.ids
+            start = bisect_left(ids, low_id) if ids and ids[0] < low_id else 0
+            end = len(ids)
+            if high_id is not None and last_id > high_id:
+                end = bisect_right(ids, high_id, start)
+            if start or end < len(ids):
+                trimmed = PostingColumns(ids[start:end], columns.lengths[start:end])
+                if len(trimmed):
+                    yield trimmed
+            else:
+                yield columns
             if high_id is not None and last_id >= high_id:
                 return
 
@@ -164,20 +189,22 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
         ranks = self._known_ranks(query)
         if ranks is None:
             return []
-        # Least frequent item first: its list is the shortest.
+        # Least frequent item first: its list is the shortest.  Block scans
+        # yield ascending id runs, so candidates stay a sorted column and
+        # every step is a galloping merge join.
         ranks.sort(key=lambda rank: -rank)
-        candidates = {posting.record_id for posting in self.scan_list(ranks[0], ctx=ctx)}
+        candidates: list[int] = []
+        for columns in self.scan_list_columns(ranks[0], ctx=ctx):
+            candidates.extend(columns.ids)
         for rank in ranks[1:]:
             if not candidates:
                 return []
-            low, high = min(candidates), max(candidates)
-            found = {
-                posting.record_id
-                for posting in self.scan_list(rank, low, high, ctx=ctx)
-                if posting.record_id in candidates
-            }
+            low, high = candidates[0], candidates[-1]
+            found: list[int] = []
+            for columns in self.scan_list_columns(rank, low, high, ctx=ctx):
+                found.extend(intersect_ids(candidates, columns.ids))
             candidates = found
-        return sorted(candidates)
+        return candidates
 
     def _probe_equality(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
@@ -186,38 +213,42 @@ class UnorderedBTreeInvertedFile(SetContainmentIndex):
         if ranks is None:
             return []
         ranks.sort(key=lambda rank: -rank)
-        candidates = {
-            posting.record_id
-            for posting in self.scan_list(ranks[0], ctx=ctx)
-            if posting.length == cardinality
-        }
+        candidates: list[int] = []
+        for columns in self.scan_list_columns(ranks[0], ctx=ctx):
+            candidates.extend(
+                record_id
+                for record_id, length in zip(columns.ids, columns.lengths)
+                if length == cardinality
+            )
         for rank in ranks[1:]:
             if not candidates:
                 return []
-            low, high = min(candidates), max(candidates)
-            candidates = {
-                posting.record_id
-                for posting in self.scan_list(rank, low, high, ctx=ctx)
-                if posting.length == cardinality and posting.record_id in candidates
-            }
-        return sorted(candidates)
+            low, high = candidates[0], candidates[-1]
+            found: list[int] = []
+            for columns in self.scan_list_columns(rank, low, high, ctx=ctx):
+                matching = [
+                    record_id
+                    for record_id, length in zip(columns.ids, columns.lengths)
+                    if length == cardinality
+                ]
+                found.extend(intersect_ids(candidates, matching))
+            candidates = found
+        return candidates
 
     def _probe_superset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
-        occurrences: dict[int, int] = {}
-        lengths: dict[int, int] = {}
+        runs: list[tuple[list[int], list[int]]] = []
         for item in sorted(query, key=str):
             rank = self.order.try_rank_of(item)
             if rank is None:
                 continue
-            for posting in self.scan_list(rank, ctx=ctx):
-                occurrences[posting.record_id] = occurrences.get(posting.record_id, 0) + 1
-                lengths[posting.record_id] = posting.length
-        return sorted(
-            record_id
-            for record_id, count in occurrences.items()
-            if count == lengths[record_id]
-        )
+            run_ids: list[int] = []
+            run_lens: list[int] = []
+            for columns in self.scan_list_columns(rank, ctx=ctx):
+                run_ids.extend(columns.ids)
+                run_lens.extend(columns.lengths)
+            runs.append((run_ids, run_lens))
+        return superset_matches(runs)
 
     def _known_ranks(self, query: frozenset) -> list[int] | None:
         ranks: list[int] = []

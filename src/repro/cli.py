@@ -116,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--limit", type=int, default=20, help="max record ids to print")
     query.add_argument("--explain", action="store_true", help="print the physical plan")
+    query.add_argument(
+        "--cpu-profile", type=int, nargs="?", const=15, default=None, metavar="N",
+        help="run the query under cProfile and print the top N functions by "
+        "cumulative time (default 15) — for diagnosing hot-path regressions",
+    )
 
     compare = sub.add_parser("compare", help="compare IF and OIF on a generated workload")
     compare.add_argument("data", help="transaction file (one record per line)")
@@ -242,7 +247,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # Plan without opening a cursor: executing here would warm the buffer
         # pool and distort the measured page accesses below.
         print(index.explain(expr))
-    result = index.measured_execute(expr)
+    if args.cpu_profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = index.measured_execute(expr)
+        profiler.disable()
+    else:
+        result = index.measured_execute(expr)
     shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
     suffix = " ..." if result.cardinality > args.limit else ""
     print(f"{result.cardinality} matching records: {shown}{suffix}")
@@ -251,6 +265,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"({result.random_reads} random, {result.sequential_reads} sequential), "
         f"{result.io_time_ms:.2f} ms simulated I/O, {result.cpu_time_ms:.2f} ms CPU"
     )
+    if args.cpu_profile is not None:
+        print(f"\ncProfile: top {args.cpu_profile} by cumulative time")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(args.cpu_profile)
     return 0
 
 

@@ -1,17 +1,24 @@
 """Compression primitives used by the inverted-file indexes.
 
 The subpackage contains the v-byte integer codec, the d-gap transform for
-sorted id lists, and posting-list / posting-block codecs built on top of them.
+sorted id lists, and posting-list / posting-block codecs built on top of them
+— in both the scalar (one :class:`Posting` per entry) and the columnar
+(:class:`PostingColumns` parallel arrays) forms.  The columnar batch
+decoders/encoders are the query hot path.
 """
 
 from repro.compression.dgap import gaps_from_ids, ids_from_gaps
 from repro.compression.postings import (
     Posting,
     PostingBlockCodec,
+    PostingColumns,
     PostingListCodec,
+    decode_columns,
+    encode_columns,
     postings_from_pairs,
 )
 from repro.compression.vbyte import (
+    decode_batch,
     decode_sequence,
     decode_uint,
     encode_sequence,
@@ -22,13 +29,17 @@ from repro.compression.vbyte import (
 __all__ = [
     "Posting",
     "PostingBlockCodec",
+    "PostingColumns",
     "PostingListCodec",
     "postings_from_pairs",
+    "decode_columns",
+    "encode_columns",
     "gaps_from_ids",
     "ids_from_gaps",
     "encode_uint",
     "decode_uint",
     "encode_sequence",
+    "decode_batch",
     "decode_sequence",
     "encoded_size",
 ]

@@ -13,6 +13,7 @@ sign of corruption and is rejected on decode.
 
 from __future__ import annotations
 
+from itertools import accumulate, islice
 from typing import Sequence
 
 from repro.errors import CompressionError
@@ -46,19 +47,21 @@ def ids_from_gaps(gaps: Sequence[int]) -> list[int]:
     """Convert a d-gap sequence back to absolute ids.
 
     Raises :class:`CompressionError` if a gap after the first is not positive.
+    The validation scans and the prefix sum both run at C speed
+    (:func:`min` / :func:`itertools.accumulate`), so batch decodes of long
+    lists never pay a per-gap Python iteration.
     """
-    ids: list[int] = []
-    current = 0
-    for position, gap in enumerate(gaps):
-        if position == 0:
-            if gap < 0:
-                raise CompressionError(f"first id must be non-negative, got {gap}")
-            current = gap
-        else:
-            if gap <= 0:
-                raise CompressionError(
-                    f"gaps after the first must be positive, got {gap} at {position}"
-                )
-            current += gap
-        ids.append(current)
-    return ids
+    if not gaps:
+        return []
+    if gaps[0] < 0:
+        raise CompressionError(f"first id must be non-negative, got {gaps[0]}")
+    if len(gaps) > 1:
+        smallest_tail = min(islice(iter(gaps), 1, None))
+        if smallest_tail <= 0:
+            position = next(
+                index for index, gap in enumerate(gaps) if index and gap <= 0
+            )
+            raise CompressionError(
+                f"gaps after the first must be positive, got {gaps[position]} at {position}"
+            )
+    return list(accumulate(gaps))

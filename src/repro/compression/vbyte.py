@@ -55,9 +55,14 @@ def encode_uint(value: int, out: bytearray) -> None:
 def decode_uint(data: bytes, offset: int = 0) -> tuple[int, int]:
     """Decode one integer from ``data`` starting at ``offset``.
 
-    Returns ``(value, next_offset)``.  Raises :class:`CompressionError` when the
-    stream ends in the middle of an integer.
+    Returns ``(value, next_offset)``.  Raises :class:`CompressionError` when
+    the stream ends in the middle of an integer — including the buffer-edge
+    case where the final byte still carries the continuation flag — or when
+    ``offset`` does not point inside the buffer (a negative offset would
+    otherwise wrap around and silently decode from the buffer's tail).
     """
+    if offset < 0:
+        raise CompressionError(f"v-byte decode offset must be non-negative, got {offset}")
     value = 0
     shift = 0
     pos = offset
@@ -83,21 +88,61 @@ def encode_sequence(values: Iterable[int]) -> bytes:
     return bytes(out)
 
 
+def decode_batch(data: bytes, offset: int = 0) -> list[int]:
+    """Decode every integer in ``data[offset:]`` in one batch pass.
+
+    This is the batch counterpart of :func:`decode_uint`: no per-integer
+    function call, no per-integer bounds bookkeeping.  Two regimes:
+
+    * when every byte of the buffer is a terminator (no continuation bits),
+      each byte *is* one integer and the whole buffer converts in C;
+    * otherwise a single tight loop walks the bytes, accumulating 7-bit
+      groups — one loop step per byte instead of one call per integer.
+
+    Raises :class:`CompressionError` on a truncated trailing integer or an
+    out-of-range ``offset``.
+    """
+    if offset:
+        if offset < 0 or offset > len(data):
+            raise CompressionError(
+                f"v-byte decode offset {offset} outside buffer of {len(data)} bytes"
+            )
+        data = data[offset:]
+    if not data:
+        return []
+    if max(data) < _CONTINUATION_BIT:
+        return list(data)
+    values: list[int] = []
+    append = values.append
+    value = 0
+    shift = 0
+    for byte in data:
+        if byte >= _CONTINUATION_BIT:
+            value |= (byte & _PAYLOAD_MASK) << shift
+            shift += 7
+        else:
+            append(value | (byte << shift))
+            value = 0
+            shift = 0
+    if shift:
+        raise CompressionError(
+            "truncated v-byte stream: buffer ends inside an integer "
+            "(final byte carries the continuation flag)"
+        )
+    return values
+
+
 def decode_sequence(data: bytes, count: int | None = None, offset: int = 0) -> list[int]:
     """Decode integers from ``data`` starting at ``offset``.
 
     If ``count`` is given, exactly that many integers are decoded (an error is
-    raised if the stream is too short).  Otherwise the whole remaining buffer is
-    decoded.
+    raised if the stream is too short).  Otherwise the whole remaining buffer
+    is decoded — via the batch decoder, which is the fast path.
     """
+    if count is None:
+        return decode_batch(data, offset)
     values: list[int] = []
     pos = offset
-    if count is None:
-        end = len(data)
-        while pos < end:
-            value, pos = decode_uint(data, pos)
-            values.append(value)
-        return values
     for _ in range(count):
         value, pos = decode_uint(data, pos)
         values.append(value)

@@ -91,6 +91,10 @@ class QueryResult:
     io_time_ms: float
     cpu_time_ms: float
     expr: "Expr | None" = None
+    #: Decoded-block cache lookups of this traversal (CPU-side counters; a
+    #: hit skips the v-byte decode but still pays its page access).
+    decoded_hits: int = 0
+    decoded_misses: int = 0
 
     @property
     def cardinality(self) -> int:
@@ -219,6 +223,8 @@ class SetContainmentIndex(ABC):
             io_time_ms=delta.io_time_ms(self.stats.disk_model),
             cpu_time_ms=cpu_seconds * 1000.0,
             expr=normalized,
+            decoded_hits=delta.decoded_hits,
+            decoded_misses=delta.decoded_misses,
         )
 
     # -- compatibility shims over the expression API ---------------------------------

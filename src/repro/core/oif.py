@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.compression.postings import Posting, PostingBlockCodec
+from repro.compression.postings import Posting, PostingBlockCodec, PostingColumns
 from repro.core import queries as _queries
 from repro.core.blocks import BlockKey, BlockWriter, TagLookup, search_key
 from repro.core.interfaces import SetContainmentIndex
@@ -35,6 +35,7 @@ from repro.core.records import Dataset
 from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
 from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
+from repro.storage.block_cache import DEFAULT_DECODED_CACHE_BYTES, DecodedBlockCache
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
 from repro.storage.stats import ReadContext
@@ -98,9 +99,34 @@ class BlockRef:
         page = self._oif.env.pool.get_page(self._page_id, ctx)
         return bytes(page[self._offset : self._offset + self._length])
 
+    def columns(self, ctx: "ReadContext | None" = None) -> PostingColumns:
+        """The block's postings in columnar form — the query hot path.
+
+        Consults the owning index's decoded-block cache first.  A cache hit
+        skips the v-byte decode *but still charges the data-page access* to
+        ``ctx`` and the pool totals: the cache removes CPU, never simulated
+        I/O, so page counts stay identical with and without it.  The lookup
+        itself is recorded as a ``decoded_hit`` / ``decoded_miss`` on the
+        same context.
+        """
+        if self._inline is not None:
+            # Inline blocks ride in the B-tree leaves and have no stable
+            # (page, offset) identity; decode directly.
+            return self._oif.decode_columns(self._inline)
+        cache = self._oif.decoded_cache
+        if cache is None:
+            return self._oif.decode_columns(self.raw(ctx))
+        columns = cache.get((self._page_id, self._offset), ctx)
+        page = self._oif.env.pool.get_page(self._page_id, ctx)
+        if columns is None:
+            raw = bytes(page[self._offset : self._offset + self._length])
+            columns = self._oif.decode_columns(raw)
+            cache.put((self._page_id, self._offset), columns)
+        return columns
+
     def postings(self, ctx: "ReadContext | None" = None) -> list[Posting]:
         """Decode the block's postings, charging the data-page read to ``ctx``."""
-        return self._oif.decode_postings(self.raw(ctx))
+        return self.columns(ctx).postings()
 
 
 class _BlockPageWriter:
@@ -161,6 +187,13 @@ class OrderedInvertedFile(SetContainmentIndex):
         layout for large data items, which lets query evaluation skip the data
         pages of pruned blocks.  Set to ``True`` to store postings inline next
         to their keys (an ablation of the key/data separation).
+    decoded_cache_bytes:
+        Byte budget of the decoded-block cache kept above the buffer pool
+        (see :class:`~repro.storage.block_cache.DecodedBlockCache`): repeat
+        and concurrent traversals of the same block skip the v-byte decode
+        entirely while still paying the block's simulated page access.  Pass
+        ``0`` (or ``None``) to disable.  Invalidated on every rebuild and on
+        :meth:`drop_cache`.
     item_order:
         Override the ``<_D`` order (e.g. to study non-frequency orderings).
     """
@@ -182,12 +215,18 @@ class OrderedInvertedFile(SetContainmentIndex):
         fill_factor: float = 0.9,
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_bytes: int = PAPER_CACHE_BYTES,
+        decoded_cache_bytes: "int | None" = DEFAULT_DECODED_CACHE_BYTES,
         item_order: ItemOrder | None = None,
         build: bool = True,
     ) -> None:
         if env is None:
             env = Environment(page_size=page_size, cache_bytes=cache_bytes)
         super().__init__(dataset, env)
+        self.decoded_cache: "DecodedBlockCache | None" = (
+            DecodedBlockCache(decoded_cache_bytes, stats=env.stats)
+            if decoded_cache_bytes
+            else None
+        )
         self.block_capacity = block_capacity
         self.inline_blocks = inline_blocks
         if max_block_bytes is not None:
@@ -214,6 +253,10 @@ class OrderedInvertedFile(SetContainmentIndex):
     def build(self) -> OIFBuildReport:
         """(Re)build the index from the current dataset contents."""
         start = time.perf_counter()
+        if self.decoded_cache is not None:
+            # The rebuild lays blocks out on fresh pages; any cached decode
+            # keyed by the old (page, offset) locations is stale.
+            self.decoded_cache.invalidate()
         ordered = order_dataset(self.dataset, self._requested_order)
         posting_lists = self._collect_posting_lists(ordered)
 
@@ -333,7 +376,21 @@ class OrderedInvertedFile(SetContainmentIndex):
 
     def decode_postings(self, raw_value: bytes) -> list[Posting]:
         """Decode one block value into its postings."""
-        return self._codec.decode(raw_value)
+        return self._codec.decode_columns(raw_value).postings()
+
+    def decode_columns(self, raw_value: bytes) -> PostingColumns:
+        """Batch-decode one block value into its columnar form (the hot path)."""
+        return self._codec.decode_columns(raw_value)
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool *and* the decoded-block cache.
+
+        The experiment runner calls this between queries so every query is
+        measured truly cold — pages and decode CPU alike.
+        """
+        super().drop_cache()
+        if self.decoded_cache is not None:
+            self.decoded_cache.invalidate()
 
     def scan_blocks(
         self,
@@ -451,8 +508,8 @@ class OrderedInvertedFile(SetContainmentIndex):
         ordered = self.ordered
         roi = subset_roi((item_rank,), self.domain_size)
         for _block_key, block in self.scan_blocks(item_rank, roi, ctx=ctx):
-            for posting in block.postings(ctx):
-                yield ordered.original_id(posting.record_id)
+            for internal_id in block.columns(ctx).ids:
+                yield ordered.original_id(internal_id)
         if self.use_metadata:
             region = self.metadata.region_for(item_rank)
             if region is not None:

@@ -6,12 +6,19 @@ query's own sequence form — so each involved list contributes only the one or
 two blocks whose tag range covers that point.  Together with the cardinality
 filter (postings carry the record length) and the metadata region of the
 query's smallest item, the cost becomes ``O(|qs| · log |D|)`` page accesses.
+
+Candidates live as sorted id columns: each list's blocks are batch-decoded
+(:class:`~repro.compression.postings.PostingColumns`), filtered by the
+cardinality, and merge-joined against the surviving candidates; the final
+metadata-region filter is a :mod:`bisect` window on the sorted column.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING
 
+from repro.core.intersect import intersect_ids
 from repro.core.roi import equality_roi
 from repro.core.sequence import SequenceForm
 
@@ -44,27 +51,32 @@ def evaluate_equality(
     # metadata table covers), so with metadata enabled that list is skipped.
     ranks_to_scan = query_ranks[1:] if oif.use_metadata else query_ranks
 
-    candidates: dict[int, int] | None = None
+    candidates: "list[int] | None" = None
     for item_rank in reversed(ranks_to_scan):
-        found: dict[int, int] = {}
+        matching: list[int] = []
         for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
-            for posting in block.postings(ctx):
-                if posting.length != cardinality:
-                    continue
-                if candidates is not None and posting.record_id not in candidates:
-                    continue
-                found[posting.record_id] = posting.length
-        candidates = found
+            columns = block.columns(ctx)
+            # Cardinality filter on the length column; block ids ascend, so
+            # the filtered run stays sorted.
+            matching.extend(
+                record_id
+                for record_id, length in zip(columns.ids, columns.lengths)
+                if length == cardinality
+            )
+        if candidates is None:
+            candidates = matching
+        else:
+            candidates = intersect_ids(candidates, matching)
         if not candidates:
             return []
 
     assert candidates is not None
     if oif.use_metadata:
         assert meta_region is not None
-        result = [record_id for record_id in candidates if record_id in meta_region]
-    else:
-        result = list(candidates)
-    return sorted(result)
+        lo = bisect_left(candidates, meta_region.lower)
+        hi = bisect_right(candidates, meta_region.upper)
+        return candidates[lo:hi]
+    return candidates
 
 
 def _single_item_equality(
@@ -79,7 +91,10 @@ def _single_item_equality(
     roi = equality_roi((item_rank,), oif.domain_size)
     result: list[int] = []
     for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
-        for posting in block.postings(ctx):
-            if posting.length == 1:
-                result.append(posting.record_id)
-    return sorted(result)
+        columns = block.columns(ctx)
+        result.extend(
+            record_id
+            for record_id, length in zip(columns.ids, columns.lengths)
+            if length == 1
+        )
+    return result

@@ -14,12 +14,22 @@ evaluation follows the paper:
 4. For the smallest query item, records whose smallest item *is* that item
    carry no posting (the metadata table replaces it), so candidates falling in
    its metadata region are accepted without touching the list (lines 11–14).
+
+The merge itself is array-native: candidates are parallel sorted columns
+(ids + lengths), each scanned block contributes its
+:class:`~repro.compression.postings.PostingColumns`, and survivors come from
+a galloping merge join (:mod:`repro.core.intersect`) over a moving candidate
+window — no per-posting objects, no dict hashing.  Block ids ascend within a
+list and across its blocks (records are numbered in tag order), so survivor
+columns stay sorted for free.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING
 
+from repro.core.intersect import intersect_window
 from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
 
@@ -39,19 +49,19 @@ def evaluate_subset(
         return _single_item_subset(oif, query_ranks[0], ctx)
 
     smallest = query_ranks[0]
-    largest = query_ranks[-1]
     meta_region = oif.metadata.region_for(smallest) if oif.use_metadata else None
 
     # Step 1: candidates from the least frequent item's list, inside the RoI.
-    candidates: dict[int, int] = {}
+    # Blocks arrive in tag order, which is id order, so extending the column
+    # block by block keeps it sorted.  Only ids are tracked: subset
+    # evaluation never consults the stored lengths.
+    cand_ids: list[int] = []
+    largest = query_ranks[-1]
     for _block_key, block in oif.scan_blocks(largest, roi, ctx=ctx):
-        for posting in block.postings(ctx):
-            candidates[posting.record_id] = posting.length
-    if not candidates:
+        cand_ids.extend(block.columns(ctx).ids)
+    if not cand_ids:
         return []
 
-    lowest_candidate = min(candidates)
-    highest_candidate = max(candidates)
     # Tag bounds observed while scanning: every remaining candidate's sequence
     # form lies between these two block tags, so later scans can be restricted
     # to the corresponding sub-range of each list (line 15 of Algorithm 1 —
@@ -62,7 +72,9 @@ def evaluate_subset(
     # Step 2: merge-join with the remaining lists, least frequent first.
     for position in range(len(query_ranks) - 2, -1, -1):
         item_rank = query_ranks[position]
-        survivors: dict[int, int] = {}
+        lowest_candidate = cand_ids[0]
+        highest_candidate = cand_ids[-1]
+        out_ids: list[int] = []
         scan_range = (
             RangeOfInterest(lower=narrowed_lower, upper=narrowed_upper)
             if oif.narrow_candidate_range
@@ -71,18 +83,19 @@ def evaluate_subset(
         previous_tag = scan_range.lower
         first_survivor_lower = None
         last_survivor_upper = None
+        cand_lo = 0  # moving window start: blocks ascend, so it only advances
         for block_key, block in oif.scan_blocks(item_rank, scan_range, ctx=ctx):
             if oif.narrow_candidate_range and block_key.last_id < lowest_candidate:
                 # The block precedes every remaining candidate: its data page
                 # is never touched; only its key was read from the leaf.
                 previous_tag = block_key.tag
                 continue
-            found_here = False
-            for posting in block.postings(ctx):
-                if posting.record_id in candidates:
-                    survivors[posting.record_id] = posting.length
-                    found_here = True
-            if found_here:
+            block_ids = block.columns(ctx).ids
+            # Restrict the candidate column to this block's id span, then
+            # merge-join the smaller side against the larger.
+            cand_lo = bisect_left(cand_ids, block_ids[0], cand_lo)
+            cand_hi = bisect_right(cand_ids, block_ids[-1], cand_lo)
+            if intersect_window(cand_ids, cand_lo, cand_hi, block_ids, out_ids):
                 if first_survivor_lower is None:
                     first_survivor_lower = previous_tag
                 last_survivor_upper = block_key.tag
@@ -95,16 +108,17 @@ def evaluate_subset(
         if position == 0 and meta_region is not None:
             # Candidates whose smallest item is the query's smallest item have
             # no posting in its list; the in-memory metadata region vouches for
-            # them instead.
-            for record_id, length in candidates.items():
-                if record_id in meta_region:
-                    survivors[record_id] = length
+            # them instead.  Every id in the smallest item's list precedes the
+            # region (those records sort under an even smaller item), so the
+            # region's survivors append after the list's in sorted order.
+            region_lo = bisect_left(cand_ids, meta_region.lower)
+            region_hi = bisect_right(cand_ids, meta_region.upper)
+            if region_lo < region_hi:
+                out_ids.extend(cand_ids[region_lo:region_hi])
 
-        candidates = survivors
-        if not candidates:
+        cand_ids = out_ids
+        if not cand_ids:
             return []
-        lowest_candidate = min(candidates)
-        highest_candidate = max(candidates)
         if oif.narrow_candidate_range and first_survivor_lower is not None:
             # Tighten the tag window around the surviving candidates.  The
             # bounds come from block tags already read, so this costs nothing.
@@ -115,19 +129,26 @@ def evaluate_subset(
             if last_survivor_upper is not None and oif.tag_prefix is None:
                 narrowed_upper = min(narrowed_upper, last_survivor_upper)
 
-    return sorted(candidates)
+    return cand_ids
 
 
 def _single_item_subset(
     oif: "OrderedInvertedFile", item_rank: int, ctx: "ReadContext | None" = None
 ) -> list[int]:
-    """Subset query with a single item: the item's full list plus its metadata region."""
+    """Subset query with a single item: the item's full list plus its metadata region.
+
+    Already ascending without any sort: the block scan yields ids in
+    increasing order (block tags order exactly like the ids they cover), and
+    every list id precedes the metadata region's ids — records in the region
+    have ``item_rank`` as their *smallest* item, so they sort after every
+    record the list references (whose smallest item is more frequent).
+    """
     roi = subset_roi((item_rank,), oif.domain_size)
     result: list[int] = []
     for _block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
-        result.extend(posting.record_id for posting in block.postings(ctx))
+        result.extend(block.columns(ctx).ids)
     if oif.use_metadata:
         region = oif.metadata.region_for(item_rank)
         if region is not None:
             result.extend(range(region.lower, region.upper + 1))
-    return sorted(result)
+    return result

@@ -17,11 +17,19 @@ smallest item is ``q_i`` itself; those records carry no posting for ``q_i``,
 so that group is served from the in-memory metadata table: its single-item
 records are immediate answers and its multi-item records get their ``found``
 counter bumped for free (lines 22–24 of Algorithm 2).
+
+The bookkeeping is array-native: candidates are three parallel sorted
+columns (id, length, found).  Each item's ranges are batch-decoded and
+concatenated into one ascending run (the ``last_processed_id`` guard of line
+21 trims range overlaps with a :mod:`bisect` cut instead of per-posting
+checks), then a single two-pointer merge updates the candidate columns,
+emits completed answers and admits new candidates — one pass per item, no
+dicts, no per-posting objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
 from typing import TYPE_CHECKING
 
 from repro.core.roi import RangeOfInterest, superset_rois
@@ -30,14 +38,6 @@ from repro.core.sequence import SequenceForm
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
     from repro.core.oif import OrderedInvertedFile
     from repro.storage.stats import ReadContext
-
-
-@dataclass
-class _Candidate:
-    """Bookkeeping for one potentially matching record."""
-
-    length: int
-    found: int = 0
 
 
 def evaluate_superset(
@@ -50,7 +50,9 @@ def evaluate_superset(
     rois_per_item = superset_rois(query_ranks, oif.domain_size)
     largest = query_ranks[-1]
 
-    candidates: dict[int, _Candidate] = {}
+    cand_ids: list[int] = []
+    cand_lens: list[int] = []
+    cand_found: list[int] = []
     results: list[int] = []
 
     # Items are processed from the least to the most frequent, as in
@@ -66,83 +68,163 @@ def evaluate_superset(
                 RangeOfInterest(lower=(item_rank,), upper=tuple(sorted({item_rank, largest})))
             )
 
-        _scan_item_ranges(
-            oif,
-            item_rank=item_rank,
-            ranges=list_ranges,
-            remaining_items=idx,
-            candidates=candidates,
+        run_ids, run_lens = _collect_item_run(oif, item_rank, list_ranges, ctx)
+        cand_ids, cand_lens, cand_found = _merge_item_run(
+            cand_ids,
+            cand_lens,
+            cand_found,
+            run_ids,
+            run_lens,
+            # A record first encountered here can collect at most one
+            # occurrence now plus one per still-unexamined query item (its
+            # smallest item's occurrence is covered by that item's metadata
+            # region or list, both not yet visited).
+            max_new_length=1 + idx,
             results=results,
-            ctx=ctx,
         )
 
         if oif.use_metadata:
-            _apply_metadata_region(oif, item_rank, candidates, results)
+            _apply_metadata_region(
+                oif, item_rank, cand_ids, cand_lens, cand_found, results
+            )
 
         # Prune candidates that cannot reach their full length any more.
         if idx:
-            doomed = [
-                record_id
-                for record_id, candidate in candidates.items()
-                if candidate.length - candidate.found > idx
+            keep = [
+                position
+                for position in range(len(cand_ids))
+                if cand_lens[position] - cand_found[position] <= idx
             ]
-            for record_id in doomed:
-                del candidates[record_id]
+            if len(keep) != len(cand_ids):
+                cand_ids = [cand_ids[position] for position in keep]
+                cand_lens = [cand_lens[position] for position in keep]
+                cand_found = [cand_found[position] for position in keep]
 
     return sorted(results)
 
 
-def _scan_item_ranges(
+def _collect_item_run(
     oif: "OrderedInvertedFile",
-    *,
     item_rank: int,
-    ranges: list[RangeOfInterest],
-    remaining_items: int,
-    candidates: dict[int, _Candidate],
-    results: list[int],
+    ranges: "list[RangeOfInterest]",
     ctx: "ReadContext | None" = None,
-) -> None:
-    """Scan one item's list over its Ranges of Interest, updating candidates."""
-    # A record first encountered here can collect at most one occurrence now
-    # plus one per still-unexamined query item (its smallest item's occurrence
-    # is covered by that item's metadata region or list, both not yet visited).
-    max_new_length = 1 + remaining_items
-    last_processed_id = 0
+) -> "tuple[list[int], list[int]]":
+    """One item's postings over its Ranges of Interest as ascending columns.
 
+    The ranges are ordered by their position in the id space, and the
+    trailing block of one range may spill into the next (the check of line
+    21 in Algorithm 2): blocks whose last id was already covered are skipped
+    without touching their data page, and a partially covered block is
+    trimmed with one :func:`bisect_right` cut.
+    """
+    run_ids: list[int] = []
+    run_lens: list[int] = []
+    last_processed_id = 0
     for roi in ranges:
         for block_key, block in oif.scan_blocks(item_rank, roi, ctx=ctx):
             if block_key.last_id <= last_processed_id:
-                # The previous range's trailing block already covered this one
-                # (the check of line 21 in Algorithm 2): skip re-processing.
+                # The previous range's trailing block already covered this one:
+                # skip re-processing.
                 continue
-            for posting in block.postings(ctx):
-                if posting.record_id <= last_processed_id:
-                    continue
-                candidate = candidates.get(posting.record_id)
-                if candidate is not None:
-                    candidate.found += 1
-                    if candidate.found == candidate.length:
-                        results.append(posting.record_id)
-                        del candidates[posting.record_id]
-                elif posting.length <= max_new_length:
-                    if posting.length == 1:
-                        # A single-item record found in a list can only be the
-                        # item itself, hence an immediate answer.
-                        results.append(posting.record_id)
-                    else:
-                        candidates[posting.record_id] = _Candidate(
-                            length=posting.length, found=1
-                        )
-            last_processed_id = max(last_processed_id, block_key.last_id)
+            columns = block.columns(ctx)
+            ids = columns.ids
+            if ids[0] <= last_processed_id:
+                start = bisect_right(ids, last_processed_id)
+                run_ids.extend(ids[start:])
+                run_lens.extend(columns.lengths[start:])
+            else:
+                run_ids.extend(ids)
+                run_lens.extend(columns.lengths)
+            last_processed_id = block_key.last_id
+    return run_ids, run_lens
+
+
+def _merge_item_run(
+    cand_ids: "list[int]",
+    cand_lens: "list[int]",
+    cand_found: "list[int]",
+    run_ids: "list[int]",
+    run_lens: "list[int]",
+    *,
+    max_new_length: int,
+    results: "list[int]",
+) -> "tuple[list[int], list[int], list[int]]":
+    """Merge one item's run into the candidate columns (one two-pointer pass).
+
+    Known candidates get their ``found`` bumped — and move to ``results``
+    when it reaches their length; unseen records join as new candidates when
+    their length is still reachable (single-item records are immediate
+    answers).  Returns the new candidate columns, still sorted.
+    """
+    if not cand_ids:
+        out_ids: list[int] = []
+        out_lens: list[int] = []
+        out_found: list[int] = []
+        for position in range(len(run_ids)):
+            length = run_lens[position]
+            if length > max_new_length:
+                continue
+            if length == 1:
+                results.append(run_ids[position])
+            else:
+                out_ids.append(run_ids[position])
+                out_lens.append(length)
+                out_found.append(1)
+        return out_ids, out_lens, out_found
+
+    out_ids = []
+    out_lens = []
+    out_found = []
+    i = 0
+    num_candidates = len(cand_ids)
+    for position in range(len(run_ids)):
+        record_id = run_ids[position]
+        while i < num_candidates and cand_ids[i] < record_id:
+            out_ids.append(cand_ids[i])
+            out_lens.append(cand_lens[i])
+            out_found.append(cand_found[i])
+            i += 1
+        if i < num_candidates and cand_ids[i] == record_id:
+            found = cand_found[i] + 1
+            if found == cand_lens[i]:
+                results.append(record_id)
+            else:
+                out_ids.append(record_id)
+                out_lens.append(cand_lens[i])
+                out_found.append(found)
+            i += 1
+        else:
+            length = run_lens[position]
+            if length <= max_new_length:
+                if length == 1:
+                    # A single-item record found in a list can only be the
+                    # item itself, hence an immediate answer.
+                    results.append(record_id)
+                else:
+                    out_ids.append(record_id)
+                    out_lens.append(length)
+                    out_found.append(1)
+    while i < num_candidates:
+        out_ids.append(cand_ids[i])
+        out_lens.append(cand_lens[i])
+        out_found.append(cand_found[i])
+        i += 1
+    return out_ids, out_lens, out_found
 
 
 def _apply_metadata_region(
     oif: "OrderedInvertedFile",
     item_rank: int,
-    candidates: dict[int, _Candidate],
-    results: list[int],
+    cand_ids: "list[int]",
+    cand_lens: "list[int]",
+    cand_found: "list[int]",
+    results: "list[int]",
 ) -> None:
-    """Credit the metadata region of ``item_rank`` (lines 22–24 of Algorithm 2)."""
+    """Credit the metadata region of ``item_rank`` (lines 22–24 of Algorithm 2).
+
+    Mutates the candidate columns in place: the affected candidates form one
+    contiguous :mod:`bisect` window of the sorted id column.
+    """
     region = oif.metadata.region_for(item_rank)
     if region is None:
         return
@@ -151,12 +233,17 @@ def _apply_metadata_region(
     # Multi-item records whose smallest item is this one get one more
     # occurrence without any page access.
     if region.multi_item_ids:
+        lo = bisect_right(cand_ids, region.singleton_upper)
+        hi = bisect_right(cand_ids, region.upper)
         completed: list[int] = []
-        for record_id, candidate in candidates.items():
-            if region.singleton_upper < record_id <= region.upper:
-                candidate.found += 1
-                if candidate.found == candidate.length:
-                    completed.append(record_id)
-        for record_id in completed:
-            results.append(record_id)
-            del candidates[record_id]
+        for position in range(lo, hi):
+            found = cand_found[position] + 1
+            if found == cand_lens[position]:
+                results.append(cand_ids[position])
+                completed.append(position)
+            else:
+                cand_found[position] = found
+        for position in reversed(completed):
+            del cand_ids[position]
+            del cand_lens[position]
+            del cand_found[position]

@@ -136,6 +136,8 @@ class ShardQueryStat:
     elapsed_ms: float
     random_reads: int = 0
     sequential_reads: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -145,6 +147,8 @@ class ShardQueryStat:
             "elapsed_ms": round(self.elapsed_ms, 4),
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
+            "decoded_hits": self.decoded_hits,
+            "decoded_misses": self.decoded_misses,
         }
 
 
@@ -385,6 +389,8 @@ class ShardedIndex(SetContainmentIndex):
                 elapsed_ms=elapsed_ms,
                 random_reads=delta.random_reads,
                 sequential_reads=delta.sequential_reads,
+                decoded_hits=delta.decoded_hits,
+                decoded_misses=delta.decoded_misses,
             )
             return ids, stat
 

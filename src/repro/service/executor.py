@@ -93,6 +93,10 @@ class QueryOutcome:
     page_accesses: int
     random_reads: int = 0
     sequential_reads: int = 0
+    #: Decoded-block cache lookups of this query's traversal: hits skipped
+    #: the v-byte decode (pure CPU savings; page counts are unaffected).
+    decoded_hits: int = 0
+    decoded_misses: int = 0
     #: Per-shard cost breakdown when the target index is sharded (the fan-out
     #: path measured each shard separately); ``None`` for monolithic indexes
     #: and for answers that never touched an index (cache/dedup hits).
@@ -131,6 +135,8 @@ class QueryOutcome:
             "page_accesses": self.page_accesses,
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
+            "decoded_hits": self.decoded_hits,
+            "decoded_misses": self.decoded_misses,
         }
         if self.shard_stats is not None:
             out["shards"] = [stat.as_dict() for stat in self.shard_stats]
@@ -317,6 +323,8 @@ class QueryExecutor:
                 page_accesses=io_delta.page_reads,
                 random_reads=io_delta.random_reads,
                 sequential_reads=io_delta.sequential_reads,
+                decoded_hits=io_delta.decoded_hits,
+                decoded_misses=io_delta.decoded_misses,
                 shard_stats=shard_stats,
             )
             self.stats.record_query(
@@ -324,6 +332,8 @@ class QueryExecutor:
                 deduplicated=False, page_accesses=io_delta.page_reads,
                 random_reads=io_delta.random_reads,
                 sequential_reads=io_delta.sequential_reads,
+                decoded_hits=io_delta.decoded_hits,
+                decoded_misses=io_delta.decoded_misses,
                 shard_stats=shard_stats,
             )
             return outcome

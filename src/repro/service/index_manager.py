@@ -222,6 +222,8 @@ class ManagedIndex:
                     page_reads=sum(stat.page_accesses for stat in shard_stats),
                     random_reads=sum(stat.random_reads for stat in shard_stats),
                     sequential_reads=sum(stat.sequential_reads for stat in shard_stats),
+                    decoded_hits=sum(stat.decoded_hits for stat in shard_stats),
+                    decoded_misses=sum(stat.decoded_misses for stat in shard_stats),
                 )
                 return tuple(record_ids), delta, tuple(shard_stats)
             if self.supports_updates:
@@ -232,6 +234,8 @@ class ManagedIndex:
                 page_reads=result.page_accesses,
                 random_reads=result.random_reads,
                 sequential_reads=result.sequential_reads,
+                decoded_hits=result.decoded_hits,
+                decoded_misses=result.decoded_misses,
             )
             return result.record_ids, delta, None
 

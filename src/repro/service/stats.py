@@ -86,6 +86,8 @@ class ServingStats:
     page_accesses: int = 0
     random_reads: int = 0
     sequential_reads: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     per_index: dict = field(default_factory=dict)
     per_index_shards: dict = field(default_factory=dict)
@@ -101,6 +103,8 @@ class ServingStats:
         page_accesses: int,
         random_reads: int = 0,
         sequential_reads: int = 0,
+        decoded_hits: int = 0,
+        decoded_misses: int = 0,
         shard_stats=None,
     ) -> None:
         """Account one answered query (thread-safe).
@@ -120,6 +124,8 @@ class ServingStats:
             self.page_accesses += page_accesses
             self.random_reads += random_reads
             self.sequential_reads += sequential_reads
+            self.decoded_hits += decoded_hits
+            self.decoded_misses += decoded_misses
             self.latency.record(latency_ms)
             recorder = self.per_index.get(index_name)
             if recorder is None:
@@ -148,6 +154,8 @@ class ServingStats:
                 "page_accesses": self.page_accesses,
                 "random_reads": self.random_reads,
                 "sequential_reads": self.sequential_reads,
+                "decoded_hits": self.decoded_hits,
+                "decoded_misses": self.decoded_misses,
                 "latency": self.latency.as_dict(),
                 "per_index": {
                     name: recorder.as_dict() for name, recorder in self.per_index.items()

@@ -53,7 +53,13 @@ class DiskModel:
 
 @dataclass
 class IOSnapshot:
-    """Immutable view of the counters at a point in time."""
+    """Immutable view of the counters at a point in time.
+
+    ``decoded_hits`` / ``decoded_misses`` count lookups in the decoded-block
+    cache (:class:`~repro.storage.block_cache.DecodedBlockCache`).  They are
+    CPU-side counters: a decoded hit still pays its simulated page access, so
+    the page/read columns stay comparable with and without the cache.
+    """
 
     page_reads: int = 0
     page_writes: int = 0
@@ -61,6 +67,8 @@ class IOSnapshot:
     random_reads: int = 0
     logical_reads: int = 0
     cache_hits: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -70,6 +78,8 @@ class IOSnapshot:
             random_reads=self.random_reads - other.random_reads,
             logical_reads=self.logical_reads - other.logical_reads,
             cache_hits=self.cache_hits - other.cache_hits,
+            decoded_hits=self.decoded_hits - other.decoded_hits,
+            decoded_misses=self.decoded_misses - other.decoded_misses,
         )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
@@ -83,6 +93,8 @@ class IOSnapshot:
             random_reads=self.random_reads + other.random_reads,
             logical_reads=self.logical_reads + other.logical_reads,
             cache_hits=self.cache_hits + other.cache_hits,
+            decoded_hits=self.decoded_hits + other.decoded_hits,
+            decoded_misses=self.decoded_misses + other.decoded_misses,
         )
 
     def io_time_ms(self, model: DiskModel | None = None) -> float:
@@ -109,6 +121,8 @@ class ReadContext:
         "random_reads",
         "logical_reads",
         "cache_hits",
+        "decoded_hits",
+        "decoded_misses",
         "_last_read_page",
     )
 
@@ -118,6 +132,8 @@ class ReadContext:
         self.random_reads = 0
         self.logical_reads = 0
         self.cache_hits = 0
+        self.decoded_hits = 0
+        self.decoded_misses = 0
         self._last_read_page: int | None = None
 
     def record_logical_read(self, hit: bool) -> None:
@@ -139,6 +155,13 @@ class ReadContext:
         self._last_read_page = page_id
         return sequential
 
+    def record_decoded(self, hit: bool) -> None:
+        """Count one decoded-block cache lookup; ``hit`` means decode was skipped."""
+        if hit:
+            self.decoded_hits += 1
+        else:
+            self.decoded_misses += 1
+
     def absorb(self, other: "ReadContext") -> None:
         """Add another context's counts into this one (locality untouched).
 
@@ -152,6 +175,8 @@ class ReadContext:
         self.random_reads += other.random_reads
         self.logical_reads += other.logical_reads
         self.cache_hits += other.cache_hits
+        self.decoded_hits += other.decoded_hits
+        self.decoded_misses += other.decoded_misses
 
     def reset(self) -> None:
         """Zero the counters and forget locality."""
@@ -160,6 +185,8 @@ class ReadContext:
         self.random_reads = 0
         self.logical_reads = 0
         self.cache_hits = 0
+        self.decoded_hits = 0
+        self.decoded_misses = 0
         self._last_read_page = None
 
     def snapshot(self) -> IOSnapshot:
@@ -170,6 +197,8 @@ class ReadContext:
             random_reads=self.random_reads,
             logical_reads=self.logical_reads,
             cache_hits=self.cache_hits,
+            decoded_hits=self.decoded_hits,
+            decoded_misses=self.decoded_misses,
         )
 
 
@@ -192,6 +221,8 @@ class IOStatistics:
     random_reads: int = 0
     logical_reads: int = 0
     cache_hits: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
     _default_context: ReadContext = field(
         default_factory=ReadContext, repr=False, compare=False
     )
@@ -234,6 +265,21 @@ class IOStatistics:
         """Count a dirty page flushed to disk."""
         self.page_writes += 1
 
+    def record_decoded(self, hit: bool, ctx: "ReadContext | None" = None) -> None:
+        """Charge one decoded-block cache lookup to ``ctx`` *and* the totals.
+
+        Called by :class:`~repro.storage.block_cache.DecodedBlockCache` under
+        its own lock, which serializes the decoded counters the same way the
+        buffer pool's lock serializes the read counters — so per-context
+        decoded counts always sum exactly to these totals.
+        """
+        ctx = ctx if ctx is not None else self._default_context
+        ctx.record_decoded(hit)
+        if hit:
+            self.decoded_hits += 1
+        else:
+            self.decoded_misses += 1
+
     def reset(self) -> None:
         """Zero every counter and forget read locality."""
         self.page_reads = 0
@@ -242,6 +288,8 @@ class IOStatistics:
         self.random_reads = 0
         self.logical_reads = 0
         self.cache_hits = 0
+        self.decoded_hits = 0
+        self.decoded_misses = 0
         self._default_context.reset()
 
     def snapshot(self) -> IOSnapshot:
@@ -253,6 +301,8 @@ class IOStatistics:
             random_reads=self.random_reads,
             logical_reads=self.logical_reads,
             cache_hits=self.cache_hits,
+            decoded_hits=self.decoded_hits,
+            decoded_misses=self.decoded_misses,
         )
 
     def since(self, snapshot: IOSnapshot) -> IOSnapshot:

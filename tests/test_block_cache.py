@@ -1,0 +1,171 @@
+"""Decoded-block cache: budget/LRU semantics, accounting, invalidation.
+
+The cache's contract has two halves:
+
+* **semantics** — byte-budgeted LRU keyed by ``(page_id, offset)``, cleared
+  on rebuild/flush/``drop_cache``, exact hit/miss counters under N threads;
+* **accounting neutrality** — a decode hit skips CPU, never simulated I/O:
+  page counts and result sets are bit-identical with the cache on, off, hot
+  or cold, which is what keeps the paper's page-access figures comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compression.postings import PostingColumns, decode_columns, encode_columns
+from repro.core import Dataset, OrderedInvertedFile
+from repro.core.query import Subset
+from repro.errors import BufferPoolError
+from repro.storage.block_cache import DecodedBlockCache
+from repro.storage.stats import IOStatistics, ReadContext
+from tests.conftest import PAPER_TRANSACTIONS
+
+
+def _columns(count: int, start: int = 1) -> PostingColumns:
+    ids = list(range(start, start + count))
+    return decode_columns(encode_columns(ids, [2] * count))
+
+
+class TestCacheSemantics:
+    def test_get_put_and_counters(self):
+        cache = DecodedBlockCache(1 << 16)
+        assert cache.get((1, 0)) is None
+        cache.put((1, 0), _columns(4))
+        hit = cache.get((1, 0))
+        assert list(hit.ids) == [1, 2, 3, 4]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.resident_blocks == 1
+
+    def test_byte_budget_evicts_lru(self):
+        entry = _columns(8)
+        budget = entry.nbytes * 2  # room for exactly two entries
+        cache = DecodedBlockCache(budget)
+        cache.put((1, 0), _columns(8))
+        cache.put((2, 0), _columns(8))
+        cache.get((1, 0))  # freshen (1, 0): (2, 0) becomes the LRU victim
+        cache.put((3, 0), _columns(8))
+        assert cache.get((1, 0)) is not None
+        assert cache.get((2, 0)) is None
+        assert cache.get((3, 0)) is not None
+        assert cache.evictions == 1
+        assert cache.resident_bytes <= budget
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = DecodedBlockCache(8)
+        cache.put((1, 0), _columns(100))
+        assert cache.resident_blocks == 0
+
+    def test_invalidate_clears_everything(self):
+        cache = DecodedBlockCache(1 << 16)
+        cache.put((1, 0), _columns(4))
+        cache.invalidate()
+        assert cache.resident_blocks == 0
+        assert cache.resident_bytes == 0
+        assert cache.invalidations == 1
+        assert cache.get((1, 0)) is None
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(BufferPoolError):
+            DecodedBlockCache(0)
+
+    def test_lookups_charge_context_and_stats(self):
+        stats = IOStatistics()
+        cache = DecodedBlockCache(1 << 16, stats=stats)
+        ctx = ReadContext()
+        cache.get((1, 0), ctx)
+        cache.put((1, 0), _columns(4))
+        cache.get((1, 0), ctx)
+        assert (ctx.decoded_hits, ctx.decoded_misses) == (1, 1)
+        assert (stats.decoded_hits, stats.decoded_misses) == (1, 1)
+        snapshot = ctx.snapshot()
+        assert snapshot.decoded_hits == 1 and snapshot.decoded_misses == 1
+
+    def test_hit_miss_counters_exact_under_threads(self):
+        stats = IOStatistics()
+        cache = DecodedBlockCache(1 << 20, stats=stats)
+        keys = [(page, 0) for page in range(8)]
+        lookups_per_thread = 400
+        threads = 6
+        contexts = [ReadContext() for _ in range(threads)]
+        barrier = threading.Barrier(threads)
+
+        def worker(ctx: ReadContext) -> None:
+            barrier.wait(timeout=10.0)
+            for step in range(lookups_per_thread):
+                key = keys[step % len(keys)]
+                if cache.get(key, ctx) is None:
+                    cache.put(key, _columns(4))
+
+        pool = [threading.Thread(target=worker, args=(ctx,)) for ctx in contexts]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in pool)
+
+        total_lookups = threads * lookups_per_thread
+        assert cache.hits + cache.misses == total_lookups
+        assert sum(c.decoded_hits + c.decoded_misses for c in contexts) == total_lookups
+        assert sum(c.decoded_hits for c in contexts) == cache.hits == stats.decoded_hits
+        assert sum(c.decoded_misses for c in contexts) == cache.misses == stats.decoded_misses
+
+
+class TestOIFIntegration:
+    @pytest.fixture()
+    def dataset(self) -> Dataset:
+        return Dataset.from_transactions(PAPER_TRANSACTIONS)
+
+    def test_repeat_query_hits_the_cache_with_identical_io(self, dataset):
+        oif = OrderedInvertedFile(dataset, block_capacity=2)
+        expr = Subset(frozenset(["a", "b"]))
+
+        oif.env.drop_cache()  # cold buffer pool, decoded cache intact
+        first = oif.measured_execute(expr)
+        oif.env.drop_cache()
+        second = oif.measured_execute(expr)
+
+        assert second.record_ids == first.record_ids
+        # The decoded cache removes decode CPU only: the repeat traversal
+        # still pays exactly the same page accesses.
+        assert second.page_accesses == first.page_accesses
+        assert second.random_reads == first.random_reads
+        assert second.sequential_reads == first.sequential_reads
+        assert first.decoded_misses > 0
+        assert second.decoded_hits == first.decoded_hits + first.decoded_misses
+        assert second.decoded_misses == 0
+
+    def test_results_and_pages_identical_with_cache_disabled(self, dataset):
+        cached = OrderedInvertedFile(dataset, block_capacity=2)
+        uncached = OrderedInvertedFile(dataset, block_capacity=2, decoded_cache_bytes=0)
+        assert uncached.decoded_cache is None
+        for items in ({"a"}, {"a", "b"}, {"c", "d"}, {"a", "b", "c"}):
+            expr = Subset(frozenset(items))
+            for _ in range(2):  # second round hits the warm decoded cache
+                with_cache = cached.measured_execute(expr)
+                without = uncached.measured_execute(expr)
+                assert with_cache.record_ids == without.record_ids
+                assert with_cache.page_accesses == without.page_accesses
+
+    def test_rebuild_and_drop_cache_invalidate(self, dataset):
+        oif = OrderedInvertedFile(dataset, block_capacity=2)
+        # "b" has a real inverted list ("a", the most frequent item, is fully
+        # covered by its metadata region, so querying it decodes no blocks).
+        oif.evaluate(Subset(frozenset(["b"])))
+        assert oif.decoded_cache.resident_blocks > 0
+        invalidations = oif.decoded_cache.invalidations
+        oif.drop_cache()
+        assert oif.decoded_cache.resident_blocks == 0
+        assert oif.decoded_cache.invalidations == invalidations + 1
+        oif.evaluate(Subset(frozenset(["b"])))
+        assert oif.decoded_cache.resident_blocks > 0
+        oif.build()
+        assert oif.decoded_cache.resident_blocks == 0
+
+    def test_counters_surface_in_query_result(self, dataset):
+        oif = OrderedInvertedFile(dataset, block_capacity=2)
+        oif.drop_cache()
+        result = oif.measured_execute(Subset(frozenset(["a", "b"])))
+        assert result.decoded_hits + result.decoded_misses > 0

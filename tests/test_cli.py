@@ -75,6 +75,19 @@ class TestQuery:
         assert code == 1
         assert "--expr" in capsys.readouterr().err
 
+    def test_query_cpu_profile_prints_top_functions(self, transaction_file, capsys):
+        code = main(["query", transaction_file, "subset", "a", "b", "--cpu-profile", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matching records" in output
+        assert "cProfile: top 5 by cumulative time" in output
+        assert "cumtime" in output
+
+    def test_query_cpu_profile_default_depth(self, transaction_file, capsys):
+        code = main(["query", transaction_file, "subset", "a", "--cpu-profile"])
+        assert code == 0
+        assert "cProfile: top 15 by cumulative time" in capsys.readouterr().out
+
     def test_query_rejects_malformed_expr_json(self, transaction_file, capsys):
         code = main(["query", transaction_file, "--expr", "{not json"])
         assert code == 1

@@ -210,6 +210,8 @@ class TestConcurrentQueryStress:
         serial_ids = [sorted(oif.execute(expr).fetch_all()) for expr in queries]
 
         before = oif.stats.snapshot()
+        cache_hits_before = oif.decoded_cache.hits
+        cache_misses_before = oif.decoded_cache.misses
         contexts: list[ReadContext] = []
         contexts_lock = threading.Lock()
         failures: list[str] = []
@@ -244,6 +246,63 @@ class TestConcurrentQueryStress:
         assert sum(ctx.sequential_reads for ctx in contexts) == total.sequential_reads
         for ctx in contexts:
             assert ctx.random_reads + ctx.sequential_reads == ctx.page_reads
+
+        # Decoded-block cache counters are exact under the same interleaving:
+        # per-context lookups sum to the pool totals and to the cache's own
+        # counters (every lookup is recorded under the cache's lock).
+        assert (
+            sum(ctx.decoded_hits for ctx in contexts)
+            == total.decoded_hits
+            == oif.decoded_cache.hits - cache_hits_before
+        )
+        assert (
+            sum(ctx.decoded_misses for ctx in contexts)
+            == total.decoded_misses
+            == oif.decoded_cache.misses - cache_misses_before
+        )
+
+    def test_decoded_cache_hits_never_change_page_accounting(self):
+        """Concurrent repeats of one query: decode skipped, I/O identical."""
+        dataset = _dataset(seed=23)
+        oif = OrderedInvertedFile(dataset, cache_bytes=1 << 22)
+        queries = _mixed_queries(dataset, count=12, seed=37)
+        self_serial = []
+        for expr in queries:  # cold pass: populates pool and decoded cache
+            oif.execute(expr).fetch_all()
+        for expr in queries:  # warmed serial baseline
+            cursor = oif.execute(expr)
+            ids = sorted(cursor.fetch_all())
+            self_serial.append((ids, cursor.io_delta()))
+        # Warmed + eviction-free: every traversal's decode lookups all hit.
+        assert all(delta.decoded_misses == 0 for _, delta in self_serial)
+        assert any(delta.decoded_hits > 0 for _, delta in self_serial)
+
+        failures: list[str] = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(3000 + thread_index)
+            order = list(range(len(queries)))
+            rng.shuffle(order)
+            barrier.wait(timeout=30.0)
+            for query_index in order:
+                cursor = oif.execute(queries[query_index])
+                ids = sorted(cursor.fetch_all())
+                expected_ids, expected_delta = self_serial[query_index]
+                if ids != expected_ids:
+                    failures.append(f"query {query_index}: ids diverge")
+                if cursor.io_delta() != expected_delta:
+                    failures.append(
+                        f"query {query_index}: {cursor.io_delta()} != {expected_delta}"
+                    )
+
+        pool = [threading.Thread(target=worker, args=(n,)) for n in range(THREADS)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in pool), "stress run hung"
+        assert failures == []
 
 
 class TestConcurrentUpdatableHandle:

@@ -128,3 +128,48 @@ class TestEdgeCases:
         assert oif.subset_query({"p"}) == [1]
         assert oif.subset_query({"p", "r"}) == [1]
         assert oif.subset_query({"p", "z"}) == []
+
+
+class TestSingleItemStreamOrder:
+    """Regression: the single-item evaluation relies on the scan being sorted.
+
+    ``_single_item_subset`` deliberately applies **no sort**: the block scan
+    must yield strictly increasing internal ids (block tags order exactly
+    like the ids they cover), and the metadata region — records whose
+    *smallest* item is the queried one — must start after every id the list
+    itself references.  These tests pin both invariants, item by item.
+    """
+
+    def test_internal_ids_ascend_without_sorting(self, skewed_oif):
+        from repro.core.queries.subset import _single_item_subset
+
+        checked = 0
+        for rank in range(skewed_oif.domain_size):
+            internal_ids = _single_item_subset(skewed_oif, rank)
+            assert internal_ids == sorted(internal_ids), (
+                f"single-item scan of rank {rank} yielded unsorted ids"
+            )
+            assert len(set(internal_ids)) == len(internal_ids)
+            checked += len(internal_ids)
+        assert checked  # the sweep exercised non-empty lists
+
+    def test_list_ids_all_precede_the_metadata_region(self, skewed_oif):
+        from repro.core.roi import subset_roi
+
+        for rank in range(skewed_oif.domain_size):
+            region = skewed_oif.metadata.region_for(rank)
+            if region is None:
+                continue
+            roi = subset_roi((rank,), skewed_oif.domain_size)
+            list_ids = [
+                internal_id
+                for _key, block in skewed_oif.scan_blocks(rank, roi)
+                for internal_id in block.columns().ids
+            ]
+            if list_ids:
+                assert max(list_ids) < region.lower
+
+    def test_answers_match_oracle(self, skewed_oif, skewed_oracle):
+        for rank in range(0, skewed_oif.domain_size, 7):
+            item = skewed_oif.order.item_at(rank)
+            assert skewed_oif.subset_query({item}) == skewed_oracle.subset_query({item})

@@ -55,6 +55,54 @@ class TestEncodeDecode:
         with pytest.raises(CompressionError):
             vbyte.decode_uint(b"")
 
+    def test_truncated_final_byte_at_buffer_edge_raises_compression_error(self):
+        # A lone continuation byte at the very end of the buffer must raise
+        # CompressionError (never IndexError): the integer's terminator is
+        # missing, which is a corruption signal, not a programming error.
+        for buffer in (b"\x80", b"\x05\xff", b"\x05\x81\x80"):
+            with pytest.raises(CompressionError):
+                vbyte.decode_uint(buffer, len(buffer) - 1)
+            with pytest.raises(CompressionError):
+                vbyte.decode_batch(buffer)
+
+    def test_negative_offset_raises_compression_error(self):
+        # A negative offset would silently wrap to the buffer's tail under
+        # Python indexing (or raise IndexError past it); both are rejected.
+        with pytest.raises(CompressionError):
+            vbyte.decode_uint(b"\x05\x06", -1)
+        with pytest.raises(CompressionError):
+            vbyte.decode_batch(b"\x05\x06", -1)
+
+    def test_offset_past_buffer_raises_compression_error(self):
+        with pytest.raises(CompressionError):
+            vbyte.decode_uint(b"\x05", 2)
+        with pytest.raises(CompressionError):
+            vbyte.decode_batch(b"\x05", 2)
+
+
+class TestDecodeBatch:
+    def test_matches_scalar_decoding(self):
+        values = [0, 1, 127, 128, 300, 2**20, 7, 2**40 + 3]
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_batch(encoded) == values
+
+    def test_single_byte_fast_path(self):
+        values = list(range(128))
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_batch(encoded) == values
+
+    def test_offset_is_respected(self):
+        encoded = vbyte.encode_sequence([5, 300, 7])
+        assert vbyte.decode_batch(encoded, 1) == [300, 7]
+
+    def test_empty(self):
+        assert vbyte.decode_batch(b"") == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=80))
+    def test_equivalent_to_decode_sequence(self, values):
+        encoded = vbyte.encode_sequence(values)
+        assert vbyte.decode_batch(encoded) == vbyte.decode_sequence(encoded)
+
 
 class TestSequences:
     def test_sequence_round_trip(self):
