@@ -31,6 +31,7 @@ from repro.datasets.synthetic import SyntheticConfig
 from repro.experiments import cache
 from repro.experiments.report import ResultTable, render_tables
 from repro.experiments.runner import ExperimentRunner
+from repro.obs.runmeta import RunRecorder
 from repro.workloads.queries import WorkloadGenerator
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -65,18 +66,49 @@ BENCH_DATASET_CONFIG = SyntheticConfig(
     num_records=scaled(40_000), domain_size=2000, zipf_order=0.8, seed=7
 )
 
+#: Lazy per-process run recorder: the first benchmark that produces output
+#: creates ``benchmarks/results/<run>/`` with a ``manifest.json`` (scale,
+#: seed, git revision, config) and all subsequent tables and per-query
+#: measurements append to that run's ``metrics.jsonl``.
+_RUN_RECORDER: "RunRecorder | None" = None
+
+
+def bench_run_recorder() -> RunRecorder:
+    """The process-wide :class:`RunRecorder` for this benchmark session."""
+    global _RUN_RECORDER
+    if _RUN_RECORDER is None:
+        _RUN_RECORDER = RunRecorder(
+            RESULTS_DIR,
+            scale="full" if BENCH_SCALE == 1 else f"smoke-{BENCH_SCALE:g}",
+            seed=BENCH_DATASET_CONFIG.seed,
+            config={
+                "bench_scale": BENCH_SCALE,
+                "num_records": BENCH_DATASET_CONFIG.num_records,
+                "domain_size": BENCH_DATASET_CONFIG.domain_size,
+                "zipf_order": BENCH_DATASET_CONFIG.zipf_order,
+            },
+        )
+    return _RUN_RECORDER
+
 
 def save_tables(name: str, tables: Iterable[ResultTable]) -> str:
     """Write the rendered tables to ``benchmarks/results/<name>.txt`` and return the text.
 
     Scaled-down runs (``REPRO_BENCH_SCALE != 1``) write to ``<name>.smoke.txt``
     (git-ignored) so a smoke pass can never overwrite the tracked full-size
-    reference tables with meaningless tiny numbers.
+    reference tables with meaningless tiny numbers.  Every table row is also
+    appended to the session run's ``metrics.jsonl`` (kind ``table_row``) so
+    the series survive as machine-readable records alongside the text.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    text = render_tables(list(tables))
+    tables = list(tables)
+    text = render_tables(tables)
     filename = f"{name}.txt" if BENCH_SCALE == 1 else f"{name}.smoke.txt"
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    recorder = bench_run_recorder()
+    for table in tables:
+        for row in table.rows:
+            recorder.append("table_row", {"table": name, "title": table.title, "row": row})
     print(f"\n{text}\n[saved to benchmarks/results/{filename}]")
     return text
 
@@ -102,7 +134,11 @@ def run_workload_once(
     """
     generator = WorkloadGenerator(dataset, seed=seed)
     workload = generator.workload(query_type, sizes, queries_per_size)
-    runner = ExperimentRunner(drop_cache_per_query=True)
+    recorder = bench_run_recorder()
+    runner = ExperimentRunner(
+        drop_cache_per_query=True,
+        metrics_sink=lambda payload: recorder.append("query", payload),
+    )
     return runner.run_workload(index, workload).overall().mean_page_accesses
 
 

@@ -38,6 +38,7 @@ from repro.datasets import (
     write_transactions,
 )
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
 from repro.experiments import (
     ExperimentRunner,
     figure7,
@@ -117,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=20, help="max record ids to print")
     query.add_argument("--explain", action="store_true", help="print the physical plan")
     query.add_argument(
+        "--trace", action="store_true",
+        help="record per-stage spans (plan, block scan, decode, intersect, "
+        "buffer pool) and print the nested span tree",
+    )
+    query.add_argument(
         "--cpu-profile", type=int, nargs="?", const=15, default=None, metavar="N",
         help="run the query under cProfile and print the top N functions by "
         "cumulative time (default 15) — for diagnosing hot-path regressions",
@@ -163,6 +169,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=4, help="query worker threads")
     serve.add_argument("--cache-capacity", type=int, default=4096, help="result cache entries")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="log queries slower than MS milliseconds to the slow-query ring "
+        "(inspect via GET /slowlog)",
+    )
+    serve.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="also append slow-query records to this JSONL file",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="record per-stage spans for served queries (span trees appear in "
+        "query responses and slow-query records)",
+    )
+    serve.add_argument(
+        "--trace-sample", type=_positive_int, default=1, metavar="N",
+        help="with --trace, trace only every N-th query (default: every query)",
+    )
 
     client = sub.add_parser("client", help="talk to a running repro-oif server")
     client.add_argument("--host", default="127.0.0.1")
@@ -170,6 +194,8 @@ def _build_parser() -> argparse.ArgumentParser:
     client_sub = client.add_subparsers(dest="action", required=True)
     client_sub.add_parser("health", help="liveness check")
     client_sub.add_parser("stats", help="serving / cache / index statistics")
+    client_sub.add_parser("metrics", help="print the Prometheus text metrics")
+    client_sub.add_parser("slowlog", help="print the retained slow-query records")
     client_sub.add_parser("indexes", help="list the resident indexes")
     client_create = client_sub.add_parser("create", help="create an index from a transaction file")
     client_create.add_argument("name")
@@ -247,6 +273,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # Plan without opening a cursor: executing here would warm the buffer
         # pool and distort the measured page accesses below.
         print(index.explain(expr))
+    root = None
+    if args.trace:
+        obs_trace.configure(enabled=True)
+        root = obs_trace.begin("query", index=index.name)
     if args.cpu_profile is not None:
         import cProfile
         import pstats
@@ -257,6 +287,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         profiler.disable()
     else:
         result = index.measured_execute(expr)
+    span_tree = None
+    if args.trace:
+        span_tree = obs_trace.finish(root)
+        obs_trace.disable()
     shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
     suffix = " ..." if result.cardinality > args.limit else ""
     print(f"{result.cardinality} matching records: {shown}{suffix}")
@@ -265,6 +299,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"({result.random_reads} random, {result.sequential_reads} sequential), "
         f"{result.io_time_ms:.2f} ms simulated I/O, {result.cpu_time_ms:.2f} ms CPU"
     )
+    if span_tree is not None:
+        print("\ntrace:")
+        print(obs_trace.format_tree(span_tree))
     if args.cpu_profile is not None:
         print(f"\ncProfile: top {args.cpu_profile} by cumulative time")
         stats = pstats.Stats(profiler, stream=sys.stdout)
@@ -329,6 +366,10 @@ def build_server(args: argparse.Namespace):
         max_workers=args.workers,
         cache_capacity=args.cache_capacity,
         quiet=not args.verbose,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
     )
     if args.shards > 1 and not args.data:
         server.shutdown()
@@ -379,6 +420,12 @@ def _run_client_action(client, args: argparse.Namespace) -> int:
         payload = client.healthz()
     elif args.action == "stats":
         payload = client.stats()
+    elif args.action == "metrics":
+        # Prometheus text, not JSON — print verbatim.
+        print(client.metrics(), end="")
+        return 0
+    elif args.action == "slowlog":
+        payload = client.slowlog()
     elif args.action == "indexes":
         payload = {"indexes": client.indexes()}
     elif args.action == "create":

@@ -39,6 +39,7 @@ from repro.core.query.expr import (
 from repro.core.query.planner import Planner
 from repro.core.records import Dataset
 from repro.errors import QueryError
+from repro.obs import trace
 from repro.storage.kvstore import Environment
 from repro.storage.stats import IOSnapshot, IOStatistics, ReadContext
 
@@ -179,7 +180,8 @@ class SetContainmentIndex(ABC):
         if not isinstance(expr, Expr):
             raise QueryError(f"execute() needs a query expression, got {expr!r}")
         normalized = expr.normalize()
-        plan = (planner or self.planner).plan(normalized)
+        with trace.span("plan"):
+            plan = (planner or self.planner).plan(normalized)
         return Cursor(self, plan, normalized, ctx=ctx)
 
     def evaluate(self, expr: Expr) -> list[int]:
@@ -208,7 +210,8 @@ class SetContainmentIndex(ABC):
         """
         cursor = self.execute(expr, planner=planner)
         start = time.perf_counter()
-        record_ids = tuple(sorted(cursor.fetch_all()))
+        with trace.span("fetch", index=self.name):
+            record_ids = tuple(sorted(cursor.fetch_all()))
         cpu_seconds = time.perf_counter() - start
         delta = cursor.io_delta()
         normalized = cursor.expr

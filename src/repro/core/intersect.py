@@ -20,6 +20,8 @@ from array import array
 from bisect import bisect_left
 from typing import Sequence
 
+from repro.obs import trace
+
 try:  # vectorized occurrence counting for large unions; pure paths stand alone
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy ships with the dataset layer
@@ -32,24 +34,28 @@ _VECTOR_UNION_VALUES = 2048
 
 def intersect_ids(a_ids: Sequence[int], b_ids: Sequence[int]) -> list[int]:
     """Ids present in both sorted runs, ascending."""
-    out: list[int] = []
-    la, lb = len(a_ids), len(b_ids)
-    if not la or not lb:
+    token = trace.stage_begin()
+    try:
+        out: list[int] = []
+        la, lb = len(a_ids), len(b_ids)
+        if not la or not lb:
+            return out
+        append = out.append
+        if la <= lb:
+            small, large, llarge = a_ids, b_ids, lb
+        else:
+            small, large, llarge = b_ids, a_ids, la
+        lo = 0
+        for record_id in small:
+            lo = bisect_left(large, record_id, lo)
+            if lo == llarge:
+                break
+            if large[lo] == record_id:
+                append(record_id)
+                lo += 1
         return out
-    append = out.append
-    if la <= lb:
-        small, large, llarge = a_ids, b_ids, lb
-    else:
-        small, large, llarge = b_ids, a_ids, la
-    lo = 0
-    for record_id in small:
-        lo = bisect_left(large, record_id, lo)
-        if lo == llarge:
-            break
-        if large[lo] == record_id:
-            append(record_id)
-            lo += 1
-    return out
+    finally:
+        trace.stage_end("intersect", token)
 
 
 def intersect_window(
@@ -65,33 +71,37 @@ def intersect_window(
     window over a long candidate column while streaming blocks in physical
     order, without slicing.  Returns whether anything matched.
     """
-    matched = False
-    window = cand_hi - cand_lo
-    lrun = len(run_ids)
-    if window <= 0 or not lrun:
-        return False
-    if window <= lrun:
-        lo = 0
-        for index in range(cand_lo, cand_hi):
-            record_id = cand_ids[index]
-            lo = bisect_left(run_ids, record_id, lo)
-            if lo == lrun:
-                break
-            if run_ids[lo] == record_id:
-                out_ids.append(record_id)
-                matched = True
-                lo += 1
-    else:
-        lo = cand_lo
-        for record_id in run_ids:
-            lo = bisect_left(cand_ids, record_id, lo, cand_hi)
-            if lo == cand_hi:
-                break
-            if cand_ids[lo] == record_id:
-                out_ids.append(record_id)
-                matched = True
-                lo += 1
-    return matched
+    token = trace.stage_begin()
+    try:
+        matched = False
+        window = cand_hi - cand_lo
+        lrun = len(run_ids)
+        if window <= 0 or not lrun:
+            return False
+        if window <= lrun:
+            lo = 0
+            for index in range(cand_lo, cand_hi):
+                record_id = cand_ids[index]
+                lo = bisect_left(run_ids, record_id, lo)
+                if lo == lrun:
+                    break
+                if run_ids[lo] == record_id:
+                    out_ids.append(record_id)
+                    matched = True
+                    lo += 1
+        else:
+            lo = cand_lo
+            for record_id in run_ids:
+                lo = bisect_left(cand_ids, record_id, lo, cand_hi)
+                if lo == cand_hi:
+                    break
+                if cand_ids[lo] == record_id:
+                    out_ids.append(record_id)
+                    matched = True
+                    lo += 1
+        return matched
+    finally:
+        trace.stage_end("intersect", token)
 
 
 def union_count(
@@ -155,27 +165,33 @@ def superset_matches(runs: "Sequence[tuple[Sequence[int], Sequence[int]]]") -> l
     vectorized path — one concatenate + ``numpy.unique`` with counts — and
     small ones fold through :func:`union_count`.  Returns ascending ids.
     """
-    live = [(ids, lens) for ids, lens in runs if len(ids)]
-    if not live:
-        return []
-    if _np is not None and sum(len(ids) for ids, _ in live) >= _VECTOR_UNION_VALUES:
-        try:
-            all_ids = _np.concatenate([_as_uint64(ids) for ids, _ in live])
-            all_lens = _np.concatenate([_as_uint64(lens) for _, lens in live])
-        except (TypeError, OverflowError):
-            pass  # values beyond uint64: fall through to the exact merge
-        else:
-            unique_ids, first_index, counts = _np.unique(
-                all_ids, return_index=True, return_counts=True
+    token = trace.stage_begin()
+    try:
+        live = [(ids, lens) for ids, lens in runs if len(ids)]
+        if not live:
+            return []
+        if _np is not None and sum(len(ids) for ids, _ in live) >= _VECTOR_UNION_VALUES:
+            try:
+                all_ids = _np.concatenate([_as_uint64(ids) for ids, _ in live])
+                all_lens = _np.concatenate([_as_uint64(lens) for _, lens in live])
+            except (TypeError, OverflowError):
+                pass  # values beyond uint64: fall through to the exact merge
+            else:
+                unique_ids, first_index, counts = _np.unique(
+                    all_ids, return_index=True, return_counts=True
+                )
+                return unique_ids[counts == all_lens[first_index]].tolist()
+        ids: list[int] = []
+        lengths: list[int] = []
+        counts_list: list[int] = []
+        for run_ids, run_lens in live:
+            ids, lengths, counts_list = union_count(
+                ids, lengths, counts_list, run_ids, run_lens
             )
-            return unique_ids[counts == all_lens[first_index]].tolist()
-    ids: list[int] = []
-    lengths: list[int] = []
-    counts_list: list[int] = []
-    for run_ids, run_lens in live:
-        ids, lengths, counts_list = union_count(ids, lengths, counts_list, run_ids, run_lens)
-    return [
-        record_id
-        for record_id, length, count in zip(ids, lengths, counts_list)
-        if count == length
-    ]
+        return [
+            record_id
+            for record_id, length, count in zip(ids, lengths, counts_list)
+            if count == length
+        ]
+    finally:
+        trace.stage_end("intersect", token)

@@ -35,6 +35,7 @@ from repro.core.records import Dataset
 from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
 from repro.errors import IndexBuildError, IndexNotBuiltError, QueryError
+from repro.obs import trace
 from repro.storage.block_cache import DEFAULT_DECODED_CACHE_BYTES, DecodedBlockCache
 from repro.storage.kvstore import PAPER_CACHE_BYTES, Environment
 from repro.storage.pager import DEFAULT_PAGE_SIZE
@@ -109,20 +110,24 @@ class BlockRef:
         itself is recorded as a ``decoded_hit`` / ``decoded_miss`` on the
         same context.
         """
-        if self._inline is not None:
-            # Inline blocks ride in the B-tree leaves and have no stable
-            # (page, offset) identity; decode directly.
-            return self._oif.decode_columns(self._inline)
-        cache = self._oif.decoded_cache
-        if cache is None:
-            return self._oif.decode_columns(self.raw(ctx))
-        columns = cache.get((self._page_id, self._offset), ctx)
-        page = self._oif.env.pool.get_page(self._page_id, ctx)
-        if columns is None:
-            raw = bytes(page[self._offset : self._offset + self._length])
-            columns = self._oif.decode_columns(raw)
-            cache.put((self._page_id, self._offset), columns)
-        return columns
+        token = trace.stage_begin()
+        try:
+            if self._inline is not None:
+                # Inline blocks ride in the B-tree leaves and have no stable
+                # (page, offset) identity; decode directly.
+                return self._oif.decode_columns(self._inline)
+            cache = self._oif.decoded_cache
+            if cache is None:
+                return self._oif.decode_columns(self.raw(ctx))
+            columns = cache.get((self._page_id, self._offset), ctx)
+            page = self._oif.env.pool.get_page(self._page_id, ctx)
+            if columns is None:
+                raw = bytes(page[self._offset : self._offset + self._length])
+                columns = self._oif.decode_columns(raw)
+                cache.put((self._page_id, self._offset), columns)
+            return columns
+        finally:
+            trace.stage_end("decode", token)
 
     def postings(self, ctx: "ReadContext | None" = None) -> list[Posting]:
         """Decode the block's postings, charging the data-page read to ``ctx``."""
@@ -421,7 +426,19 @@ class OrderedInvertedFile(SetContainmentIndex):
             raise IndexNotBuiltError("the OIF has not been built yet")
         seek_lower = roi.lower if self.tag_prefix is None else roi.lower[: self.tag_prefix]
         seek = search_key(item_rank, seek_lower, start_after_id)
-        for key_bytes, value in self._table.cursor(seek, ctx):
+        # Stage marks bracket each cursor step (never a yield): the consumer
+        # may suspend this generator indefinitely between blocks, and a stage
+        # left open across the yield would swallow the consumer's own time.
+        steps = iter(self._table.cursor(seek, ctx))
+        while True:
+            token = trace.stage_begin()
+            try:
+                step = next(steps, None)
+            finally:
+                trace.stage_end("block_scan", token)
+            if step is None:
+                return
+            key_bytes, value = step
             block_key = BlockKey.decode(key_bytes)
             if block_key.item_rank != item_rank:
                 return

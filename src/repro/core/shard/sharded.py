@@ -43,6 +43,7 @@ from repro.core.records import Dataset, Record
 from repro.core.shard.merge import FanoutPlan, MergedShardCursor
 from repro.core.shard.partitioner import Partitioner, make_partitioner
 from repro.errors import QueryError
+from repro.obs import trace
 from repro.storage.stats import DiskModel, IOSnapshot, ReadContext
 
 #: Builds one shard's index over that shard's records.
@@ -68,7 +69,10 @@ def run_sharing_pool(pool: "ThreadPoolExecutor | None", run, items: Sequence) ->
     futures = []
     for item in items:
         try:
-            futures.append((item, pool.submit(run, item)))
+            # Each submission carries its own copy of the caller's trace
+            # context, so spans opened in pool workers nest under the
+            # submitting query (identity function when not tracing).
+            futures.append((item, pool.submit(trace.wrap(run), item)))
         except RuntimeError:
             # The pool is shutting down; the remaining items run inline so a
             # query already in flight still completes.
@@ -378,8 +382,9 @@ class ShardedIndex(SetContainmentIndex):
         def run(pair: "tuple[int, SetContainmentIndex]") -> tuple[list[int], ShardQueryStat]:
             position, shard = pair
             started = time.perf_counter()
-            cursor = shard.execute(inner)
-            ids = sorted(cursor.fetch_all())
+            with trace.span("shard", shard=position):
+                cursor = shard.execute(inner)
+                ids = sorted(cursor.fetch_all())
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             delta = cursor.io_delta()
             stat = ShardQueryStat(

@@ -32,6 +32,7 @@ from repro.core.oif import OrderedInvertedFile
 from repro.core.records import Dataset, Record
 from repro.core.shard import Partitioner, ShardedIndex
 from repro.errors import QueryError
+from repro.obs import trace
 from repro.storage.kvstore import Environment
 from repro.storage.stats import IOSnapshot
 
@@ -308,7 +309,8 @@ class _UpdatableBase:
         with self.rwlock.read_locked():
             normalized, count, offset = split_limit(expr)
             cursor = self.index.execute(normalized)
-            base = sorted(cursor.fetch_all())
+            with trace.span("fetch", index=self.index.name):
+                base = sorted(cursor.fetch_all())
             ids = self._merge_delta_and_slice(base, normalized, count, offset)
             return ids, cursor.io_delta()
 

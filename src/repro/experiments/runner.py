@@ -149,11 +149,26 @@ class RunResult:
         return groups[0]
 
 
-class ExperimentRunner:
-    """Replays workloads against indexes under the paper's caching regime."""
+#: Per-query measurement callback: receives one JSON-friendly dict per query.
+MetricsSink = Callable[[dict], None]
 
-    def __init__(self, drop_cache_per_query: bool = True) -> None:
+
+class ExperimentRunner:
+    """Replays workloads against indexes under the paper's caching regime.
+
+    ``metrics_sink``, when given, receives one JSON-friendly dict per
+    executed query (index name, query type and size, page/read counts,
+    simulated I/O and measured CPU time) — the benchmark harness points it
+    at the run's ``metrics.jsonl`` so every replayed query leaves a record.
+    """
+
+    def __init__(
+        self,
+        drop_cache_per_query: bool = True,
+        metrics_sink: "MetricsSink | None" = None,
+    ) -> None:
         self.drop_cache_per_query = drop_cache_per_query
+        self.metrics_sink = metrics_sink
 
     def run_queries(
         self,
@@ -170,7 +185,22 @@ class ExperimentRunner:
         for query in queries:
             if self.drop_cache_per_query:
                 index.drop_cache()
-            run.results.append(index.measured_execute(query.expr))
+            result = index.measured_execute(query.expr)
+            run.results.append(result)
+            if self.metrics_sink is not None:
+                self.metrics_sink(
+                    {
+                        "index": index.name,
+                        "query_type": resolved_type.value if resolved_type else None,
+                        "query_size": len(result.query_items),
+                        "page_accesses": result.page_accesses,
+                        "random_reads": result.random_reads,
+                        "sequential_reads": result.sequential_reads,
+                        "io_ms": result.io_time_ms,
+                        "cpu_ms": result.cpu_time_ms,
+                        "answers": result.cardinality,
+                    }
+                )
         return run
 
     def run_workload(self, index: SetContainmentIndex, workload: Workload) -> RunResult:

@@ -1,0 +1,190 @@
+"""Per-run benchmark artifacts: a validated manifest plus a metrics stream.
+
+Every benchmark invocation gets its own ``benchmarks/results/<run>/``
+directory holding:
+
+* ``manifest.json`` — what produced the numbers: run name, creation time,
+  git revision, benchmark scale, seed, python version, and the free-form
+  config of the run.  The schema is asserted in CI (see :func:`main`), so a
+  results directory always stays machine-readable across PRs;
+* ``metrics.jsonl`` — one JSON object per line, appended as results arrive:
+  experiment tables, serving histogram summaries, anything a benchmark
+  wants persisted alongside its human-readable output.
+
+The module doubles as a CLI — ``python -m repro.obs.runmeta <dir>`` walks
+``<dir>`` for ``manifest.json`` files and exits non-zero if any is missing
+required fields or malformed, which is the CI validation step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+MANIFEST_NAME = "manifest.json"
+METRICS_NAME = "metrics.jsonl"
+
+#: Required manifest fields and the JSON types each may hold.
+MANIFEST_SCHEMA: dict[str, tuple[type, ...]] = {
+    "run": (str,),
+    "created_unix": (int, float),
+    "git_revision": (str, type(None)),
+    "scale": (str,),
+    "seed": (int, type(None)),
+    "python": (str,),
+    "config": (dict,),
+}
+
+
+def git_revision(cwd: "str | Path | None" = None) -> "str | None":
+    """The current git commit hash, or ``None`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
+
+
+def validate_manifest(manifest: object) -> list[str]:
+    """Schema problems with ``manifest``, empty when it is valid."""
+    if not isinstance(manifest, dict):
+        return [f"manifest must be a JSON object, got {type(manifest).__name__}"]
+    problems = []
+    for field, types in MANIFEST_SCHEMA.items():
+        if field not in manifest:
+            problems.append(f"missing required field {field!r}")
+        elif not isinstance(manifest[field], types):
+            expected = "/".join(t.__name__ for t in types)
+            problems.append(
+                f"field {field!r} must be {expected},"
+                f" got {type(manifest[field]).__name__}"
+            )
+    return problems
+
+
+class RunRecorder:
+    """Owns one ``results/<run>/`` directory: manifest plus metrics stream."""
+
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        run: "str | None" = None,
+        scale: str = "smoke",
+        seed: "int | None" = None,
+        config: "dict | None" = None,
+    ) -> None:
+        if run is None:
+            run = time.strftime("%Y%m%dT%H%M%S") + f"-{os.getpid()}"
+        self.run = run
+        self.directory = Path(root) / run
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest: dict = {
+            "run": run,
+            "created_unix": round(time.time(), 3),
+            "git_revision": git_revision(),
+            "scale": scale,
+            "seed": seed,
+            "python": platform.python_version(),
+            "config": dict(config or {}),
+        }
+        problems = validate_manifest(self.manifest)
+        if problems:  # pragma: no cover - guards future schema drift
+            raise ValueError(f"invalid manifest: {problems}")
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        path = self.directory / MANIFEST_NAME
+        path.write_text(
+            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def update_config(self, **config) -> None:
+        """Merge keys into the manifest's config and rewrite it."""
+        self.manifest["config"].update(config)
+        self._write_manifest()
+
+    def append(self, kind: str, payload: dict) -> None:
+        """Append one ``{"kind": ..., **payload}`` record to ``metrics.jsonl``."""
+        record = {"kind": kind, **payload}
+        line = json.dumps(record, sort_keys=True, default=str)
+        with (self.directory / METRICS_NAME).open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def metrics_path(self) -> Path:
+        return self.directory / METRICS_NAME
+
+
+def _validate_tree(root: Path) -> int:
+    """Validate every manifest under ``root``; print findings, return rc."""
+    manifests = sorted(root.rglob(MANIFEST_NAME))
+    if not manifests:
+        print(f"no {MANIFEST_NAME} found under {root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in manifests:
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: unreadable ({exc})")
+            failures += 1
+            continue
+        problems = validate_manifest(manifest)
+        if problems:
+            print(f"FAIL {path}: " + "; ".join(problems))
+            failures += 1
+        else:
+            run = manifest["run"]
+            metrics = path.parent / METRICS_NAME
+            records = 0
+            bad_line = None
+            if metrics.exists():
+                with metrics.open(encoding="utf-8") as fh:
+                    for number, line in enumerate(fh, start=1):
+                        if not line.strip():
+                            continue
+                        try:
+                            json.loads(line)
+                        except json.JSONDecodeError:
+                            bad_line = number
+                            break
+                        records += 1
+            if bad_line is not None:
+                print(f"FAIL {metrics}: malformed JSON on line {bad_line}")
+                failures += 1
+            else:
+                print(f"ok   {path} (run={run}, {records} metric records)")
+    if failures:
+        print(f"{failures}/{len(manifests)} manifest(s) invalid", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.runmeta <results-dir>", file=sys.stderr)
+        return 2
+    root = Path(args[0])
+    if not root.exists():
+        print(f"results directory {root} does not exist", file=sys.stderr)
+        return 1
+    return _validate_tree(root)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

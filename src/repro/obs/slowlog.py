@@ -1,0 +1,102 @@
+"""Ring-buffered slow-query log with an optional JSONL sink.
+
+The serving layer feeds every finished query's latency here; queries at or
+above the configured threshold are captured as structured JSON records —
+canonical expression, latency, page/decode counters and the span breakdown
+when tracing is on — so a tail-latency incident can be diagnosed from the
+last N offenders without replaying traffic.
+
+The in-memory buffer is a bounded deque (oldest entries evicted); when a
+``sink`` path is configured each slow record is additionally appended to a
+JSONL file as it happens, surviving process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+
+class SlowQueryLog:
+    """Capture queries slower than ``threshold_ms`` into a bounded ring.
+
+    ``threshold_ms=None`` disables capture entirely (``record`` becomes a
+    single comparison), which is the default for embedded use.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: "float | None" = None,
+        capacity: int = 128,
+        sink: "str | Path | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self.sink = Path(sink) if sink is not None else None
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def record(
+        self,
+        *,
+        expr: str,
+        latency_ms: float,
+        index: "str | None" = None,
+        counters: "dict | None" = None,
+        trace: "dict | None" = None,
+    ) -> bool:
+        """Log the query if it breaches the threshold; returns whether it did."""
+        if self.threshold_ms is None or latency_ms < self.threshold_ms:
+            return False
+        entry: dict = {
+            "time_unix": round(time.time(), 3),
+            "expr": expr,
+            "latency_ms": round(latency_ms, 4),
+            "threshold_ms": self.threshold_ms,
+        }
+        if index is not None:
+            entry["index"] = index
+        if counters:
+            entry["counters"] = counters
+        if trace is not None:
+            entry["trace"] = trace
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self._dropped += 1
+            self._entries.append(entry)
+        if self.sink is not None:
+            line = json.dumps(entry, sort_keys=True)
+            with self._lock:
+                with self.sink.open("a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        return True
+
+    def entries(self) -> list[dict]:
+        """The retained slow queries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dropped = 0
+
+    def as_dict(self) -> dict:
+        """JSON payload for ``GET /slowlog``."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "dropped": self._dropped,
+                "entries": list(self._entries),
+            }

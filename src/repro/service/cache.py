@@ -29,6 +29,7 @@ from typing import Iterable
 from repro.core.interfaces import QueryType
 from repro.core.query.expr import Expr
 from repro.errors import ServiceError
+from repro.obs import trace
 
 #: Cache key: ``(index_name, normalized_expression)``.
 CacheKey = tuple[str, Expr]
@@ -82,30 +83,38 @@ class ResultCache:
         authoritative (counted) lookup — a hit is always counted, but the
         miss is only charged once, by the authoritative lookup.
         """
-        with self._lock:
-            value = self._entries.get(key)
-            if value is None:
-                if count_miss:
-                    self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+        token = trace.stage_begin()
+        try:
+            with self._lock:
+                value = self._entries.get(key)
+                if value is None:
+                    if count_miss:
+                        self.misses += 1
+                    return None
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+        finally:
+            trace.stage_end("result_cache", token)
 
     def put(self, key: CacheKey, record_ids: Iterable[int]) -> None:
         """Store one result, evicting the least recently used entry if full."""
         value = tuple(record_ids)
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
+        token = trace.stage_begin()
+        try:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self._entries[key] = value
+                    return
+                if len(self._entries) >= self.capacity:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._forget(evicted_key)
+                    self.evictions += 1
                 self._entries[key] = value
-                return
-            if len(self._entries) >= self.capacity:
-                evicted_key, _ = self._entries.popitem(last=False)
-                self._forget(evicted_key)
-                self.evictions += 1
-            self._entries[key] = value
-            self._keys_by_index.setdefault(key[0], set()).add(key)
+                self._keys_by_index.setdefault(key[0], set()).add(key)
+        finally:
+            trace.stage_end("result_cache", token)
 
     def _forget(self, key: CacheKey) -> None:
         """Drop ``key`` from the per-index registry (caller holds the lock)."""

@@ -102,6 +102,35 @@ class ServiceClient:
             raise ServiceError(f"{method} {path}: {message}")
         return decoded
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) as raw text."""
+        connection, fresh = self._connection()
+        try:
+            connection.request("GET", path)
+        except (OSError, HTTPException) as error:
+            self._discard_connection()
+            if not fresh:
+                return self._request_text(path)
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        try:
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, HTTPException) as error:
+            self._discard_connection()
+            if not fresh:
+                return self._request_text(path)
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        if response.will_close:
+            self._discard_connection()
+        text = raw.decode("utf-8", "replace")
+        if response.status >= 400:
+            raise ServiceError(f"GET {path}: {text.strip()}")
+        return text
+
     # -- endpoints -------------------------------------------------------------------
 
     def healthz(self) -> dict:
@@ -109,6 +138,13 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition payload."""
+        return self._request_text("/metrics")
+
+    def slowlog(self) -> dict:
+        return self._request("GET", "/slowlog")
 
     def indexes(self) -> list[dict]:
         return self._request("GET", "/indexes")["indexes"]

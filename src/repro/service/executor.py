@@ -26,6 +26,7 @@ never wait behind slow misses.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,6 +37,8 @@ from repro.core.interfaces import QueryType
 from repro.core.query.expr import Expr, Leaf
 from repro.core.shard import ShardQueryStat
 from repro.errors import ServiceError, UnknownIndexError
+from repro.obs import trace as obs_trace
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.index_manager import IndexManager
 from repro.service.stats import ServingStats
@@ -101,6 +104,9 @@ class QueryOutcome:
     #: path measured each shard separately); ``None`` for monolithic indexes
     #: and for answers that never touched an index (cache/dedup hits).
     shard_stats: "tuple[ShardQueryStat, ...] | None" = None
+    #: Rendered span tree of this query's evaluation (see :mod:`repro.obs.trace`);
+    #: ``None`` unless tracing was enabled and this query was sampled.
+    trace: "dict | None" = None
 
     @property
     def query_type(self) -> "QueryType | None":
@@ -140,6 +146,8 @@ class QueryOutcome:
         }
         if self.shard_stats is not None:
             out["shards"] = [stat.as_dict() for stat in self.shard_stats]
+        if self.trace is not None:
+            out["trace"] = self.trace
         query_type = self.query_type
         if query_type is not None:
             out["type"] = query_type.value
@@ -155,6 +163,7 @@ class QueryExecutor:
         manager: IndexManager,
         cache: "ResultCache | None" = None,
         max_workers: int = DEFAULT_WORKERS,
+        slow_log: "SlowQueryLog | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"need at least one worker thread, got {max_workers}")
@@ -176,6 +185,7 @@ class QueryExecutor:
         self.cache = cache
         self.max_workers = max_workers
         self.stats = ServingStats()
+        self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
@@ -282,22 +292,48 @@ class QueryExecutor:
             request.index, outcome.latency_ms, cached=True,
             deduplicated=False, page_accesses=0,
         )
+        self._maybe_log_slow(outcome)
         done: Future = Future()
         done.set_result(outcome)
         return done
 
+    def _maybe_log_slow(self, outcome: QueryOutcome) -> None:
+        """Feed one finished query to the slow-query log (cheap when disabled)."""
+        log = self.slow_log
+        if log is None or not log.enabled:
+            return
+        log.record(
+            expr=json.dumps(outcome.expr.to_dict(), sort_keys=True),
+            latency_ms=outcome.latency_ms,
+            index=outcome.index,
+            counters={
+                "page_accesses": outcome.page_accesses,
+                "random_reads": outcome.random_reads,
+                "sequential_reads": outcome.sequential_reads,
+                "decoded_hits": outcome.decoded_hits,
+                "decoded_misses": outcome.decoded_misses,
+                "cached": outcome.cached,
+                "deduplicated": outcome.deduplicated,
+            },
+            trace=outcome.trace,
+        )
+
     def _evaluate(self, request: QueryRequest, start: float) -> QueryOutcome:
         """Worker body: run the query on its index and populate the cache."""
         deregistered = False
+        root = obs_trace.begin("query", index=request.index)
         try:
-            entry = self.manager.get(request.index)
+            # The two spans partition the root's whole window (lookup, then
+            # execute), so their durations sum to the end-to-end latency.
+            with obs_trace.span("lookup"):
+                entry = self.manager.get(request.index)
             # Shared (read-side) hold: any number of workers evaluate this
             # index at once.  The cache is still populated while the hold is
             # open, and inserts take the exclusive write side, so an insert
             # can never slip between evaluating the query and caching its
             # (then stale) result — it serializes wholly after the put, and
             # its invalidation listeners then drop the entry.
-            with entry.lock.read_locked():
+            with obs_trace.span("execute"), entry.lock.read_locked():
                 if entry.dropped:
                     raise UnknownIndexError(f"no index named {request.index!r}")
                 record_ids, io_delta, shard_stats = entry.measured_expr(
@@ -313,6 +349,8 @@ class QueryExecutor:
                 with self._inflight_lock:
                     self._inflight.pop(request.key, None)
                     deregistered = True
+            span_tree = obs_trace.finish(root)
+            root = None
             outcome = QueryOutcome(
                 index=request.index,
                 expr=request.expr,
@@ -326,6 +364,7 @@ class QueryExecutor:
                 decoded_hits=io_delta.decoded_hits,
                 decoded_misses=io_delta.decoded_misses,
                 shard_stats=shard_stats,
+                trace=span_tree,
             )
             self.stats.record_query(
                 request.index, outcome.latency_ms, cached=False,
@@ -336,11 +375,14 @@ class QueryExecutor:
                 decoded_misses=io_delta.decoded_misses,
                 shard_stats=shard_stats,
             )
+            self._maybe_log_slow(outcome)
             return outcome
         except BaseException:
-            self.stats.record_error()
+            self.stats.record_error(request.index)
             raise
         finally:
+            # Abandon the root span on error paths (no-op after a clean finish).
+            obs_trace.discard(root)
             # Error-path cleanup only: after the in-lock deregistration above,
             # the map slot may already belong to a *newer* request for the
             # same key, which must not be evicted.
@@ -374,6 +416,7 @@ class QueryExecutor:
                 request.index, outcome.latency_ms, cached=False,
                 deduplicated=True, page_accesses=0,
             )
+            self._maybe_log_slow(outcome)
             mirror.set_result(outcome)
 
         primary.add_done_callback(_propagate)

@@ -11,6 +11,10 @@ Endpoints (all payloads JSON):
 
 * ``GET  /healthz``              — liveness: status, resident indexes, uptime;
 * ``GET  /stats``                — serving counters, cache counters, index list;
+* ``GET  /metrics``              — latency histograms and serving counters in
+  Prometheus text exposition format (the one non-JSON endpoint);
+* ``GET  /slowlog``              — the retained slow-query records (ring
+  buffer; enabled with ``slow_query_ms``);
 * ``GET  /indexes``              — describe the resident indexes;
 * ``POST /indexes``              — create an index from inline transactions or
   a transaction file (``{"name", "kind", "transactions" | "path", ...}``; an
@@ -31,6 +35,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from urllib.parse import unquote
 
 from repro.core.query.expr import (
@@ -46,6 +51,8 @@ from repro.core.query.expr import (
 from repro.core.records import Dataset
 from repro.datasets.io import read_transactions
 from repro.errors import ReproError, ServiceError, UnknownIndexError
+from repro.obs import trace as obs_trace
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.cache import ResultCache
 from repro.service.executor import DEFAULT_WORKERS, QueryExecutor
 from repro.service.index_manager import IndexManager
@@ -85,6 +92,10 @@ class ServiceServer:
         max_workers: int = DEFAULT_WORKERS,
         cache_capacity: int = 4096,
         quiet: bool = True,
+        slow_query_ms: "float | None" = None,
+        slow_query_log: "str | None" = None,
+        trace: bool = False,
+        trace_sample: int = 1,
     ) -> None:
         # One cache must serve both roles — executor lookups and manager
         # invalidation; a split pair would never see its entries invalidated.
@@ -112,9 +123,20 @@ class ServiceServer:
             self.cache = cache if cache is not None else ResultCache(capacity=cache_capacity)
             self.manager = manager if manager is not None else IndexManager(result_cache=self.cache)
             self.executor = QueryExecutor(
-                self.manager, cache=self.cache, max_workers=max_workers
+                self.manager,
+                cache=self.cache,
+                max_workers=max_workers,
+                slow_log=SlowQueryLog(threshold_ms=slow_query_ms, sink=slow_query_log),
             )
         self.manager.result_cache = self.cache
+        self.slow_log = self.executor.slow_log
+        if executor is not None and slow_query_ms is not None:
+            # A supplied executor keeps its slow log; arm its threshold/sink.
+            self.slow_log.threshold_ms = slow_query_ms
+            if slow_query_log is not None:
+                self.slow_log.sink = Path(slow_query_log)
+        if trace:
+            obs_trace.configure(enabled=True, sample_every=trace_sample)
         self.started_at = time.time()
         handler = _make_handler(self, quiet=quiet)
         self._http = ThreadingHTTPServer((host, port), handler)
@@ -183,6 +205,26 @@ class ServiceServer:
             "cache": self.cache.stats() if self.cache is not None else {"enabled": False},
             "indexes": self.manager.describe(),
         }
+
+    def metrics(self) -> str:
+        """The Prometheus text payload: serving instruments plus liveness gauges."""
+        registry = self.executor.stats.registry
+        registry.gauge(
+            "repro_uptime_seconds", "Seconds since the server started"
+        ).set(time.time() - self.started_at)
+        registry.gauge(
+            "repro_resident_indexes", "Number of resident indexes"
+        ).set(len(self.manager.names()))
+        if self.cache is not None:
+            for key, value in self.cache.stats().items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    registry.gauge(
+                        f"repro_result_cache_{key}", "Result cache statistic"
+                    ).set(value)
+        return self.executor.stats.render_prometheus()
+
+    def slowlog(self) -> dict:
+        return self.slow_log.as_dict()
 
     def create_index(self, payload: dict) -> dict:
         name = payload.get("name")
@@ -326,6 +368,14 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _error(self, status: int, message: str) -> None:
             self._send(status, {"error": message})
 
@@ -373,6 +423,17 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
                 self._dispatch(service.healthz)
             elif self.path == "/stats":
                 self._dispatch(service.stats)
+            elif self.path == "/metrics":
+                try:
+                    text = service.metrics()
+                except Exception as error:  # pragma: no cover - defensive
+                    self._error(500, f"internal error: {error}")
+                else:
+                    # Prometheus scrapers expect the text exposition format,
+                    # not JSON (version suffix per the 0.0.4 spec).
+                    self._send_text(200, text, "text/plain; version=0.0.4")
+            elif self.path == "/slowlog":
+                self._dispatch(service.slowlog)
             elif self.path == "/indexes":
                 self._dispatch(lambda: {"indexes": service.manager.describe()})
             else:

@@ -1,62 +1,106 @@
-"""Service-side metrics: latency tracking and serving counters.
+"""Service-side metrics: latency histograms and serving counters.
 
-The serving subsystem keeps its own counters on top of the storage engine's
-:class:`~repro.storage.stats.IOStatistics`: per-query latency aggregates, the
-cache hit/miss/dedup split and the page accesses charged to served queries.
-Everything here is plain counting — cheap enough for the hot path — and every
-aggregate can be exported as a JSON-friendly dict for the ``/stats`` endpoint.
+The serving subsystem keeps its own accounting on top of the storage engine's
+:class:`~repro.storage.stats.IOStatistics`: log-bucketed latency histograms
+(global, per-index and per-shard) with p50/p95/p99/p999 readout, the cache
+hit/miss/dedup split, per-index error counts and the page accesses charged to
+served queries.  Every instrument lives in a
+:class:`~repro.obs.metrics.MetricsRegistry`, so the same numbers back both the
+JSON ``/stats`` endpoint and the Prometheus text ``/metrics`` endpoint.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Metric family names exported through ``/metrics``.
+QUERY_LATENCY = "repro_query_latency_ms"
+SHARD_LATENCY = "repro_shard_latency_ms"
+QUERIES_TOTAL = "repro_queries_total"
+ERRORS_TOTAL = "repro_errors_total"
+PAGE_ACCESSES_TOTAL = "repro_page_accesses_total"
+READS_TOTAL = "repro_reads_total"
+DECODED_TOTAL = "repro_decoded_lookups_total"
 
 
-@dataclass
 class LatencyRecorder:
-    """Streaming latency aggregate (count / total / min / max) in milliseconds."""
+    """Latency aggregate in milliseconds, backed by a log-bucketed histogram.
 
-    count: int = 0
-    total_ms: float = 0.0
-    min_ms: float = float("inf")
-    max_ms: float = 0.0
+    Keeps the historical count/mean/min/max surface, and adds percentiles
+    (p50/p95/p99/p999, exact to one histogram bucket width).  The backing
+    :class:`~repro.obs.metrics.Histogram` may be shared with a
+    :class:`~repro.obs.metrics.MetricsRegistry`, in which case recording here
+    updates ``/metrics`` for free.
+    """
+
+    __slots__ = ("histogram",)
+
+    def __init__(self, histogram: "Histogram | None" = None) -> None:
+        self.histogram = histogram if histogram is not None else Histogram()
 
     def record(self, latency_ms: float) -> None:
-        self.count += 1
-        self.total_ms += latency_ms
-        if latency_ms < self.min_ms:
-            self.min_ms = latency_ms
-        if latency_ms > self.max_ms:
-            self.max_ms = latency_ms
+        self.histogram.record(latency_ms)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_ms(self) -> float:
+        return self.histogram.total
 
     @property
     def mean_ms(self) -> float:
-        return self.total_ms / self.count if self.count else 0.0
+        return self.histogram.mean
+
+    @property
+    def min_ms(self) -> float:
+        value = self.histogram.min
+        return value if value is not None else float("inf")
+
+    @property
+    def max_ms(self) -> float:
+        value = self.histogram.max
+        return value if value is not None else 0.0
 
     def as_dict(self) -> dict:
+        # min/max serialize as explicit nulls when empty: the old rendering
+        # collapsed min=inf to 0.0, indistinguishable from a real 0ms minimum.
+        summary = self.histogram.as_dict()
         return {
-            "count": self.count,
-            "mean_ms": round(self.mean_ms, 4),
-            "min_ms": round(self.min_ms, 4) if self.count else 0.0,
-            "max_ms": round(self.max_ms, 4),
+            "count": summary["count"],
+            "mean_ms": summary["mean"],
+            "min_ms": summary["min"],
+            "max_ms": summary["max"],
+            "p50_ms": summary["p50"],
+            "p95_ms": summary["p95"],
+            "p99_ms": summary["p99"],
+            "p999_ms": summary["p999"],
         }
 
 
-@dataclass
 class ShardRecorder:
     """Aggregate cost of one shard position of one sharded resident index."""
 
-    queries: int = 0
-    matches: int = 0
-    page_accesses: int = 0
-    total_ms: float = 0.0
+    __slots__ = ("queries", "matches", "page_accesses", "latency")
+
+    def __init__(self, histogram: "Histogram | None" = None) -> None:
+        self.queries = 0
+        self.matches = 0
+        self.page_accesses = 0
+        self.latency = LatencyRecorder(histogram)
+
+    @property
+    def total_ms(self) -> float:
+        return self.latency.total_ms
 
     def record(self, matches: int, page_accesses: int, elapsed_ms: float) -> None:
         self.queries += 1
         self.matches += matches
         self.page_accesses += page_accesses
-        self.total_ms += elapsed_ms
+        self.latency.record(max(0.0, elapsed_ms))
 
     def as_dict(self) -> dict:
         return {
@@ -64,10 +108,10 @@ class ShardRecorder:
             "matches": self.matches,
             "page_accesses": self.page_accesses,
             "mean_ms": round(self.total_ms / self.queries, 4) if self.queries else 0.0,
+            "p95_ms": self.latency.as_dict()["p95_ms"],
         }
 
 
-@dataclass
 class ServingStats:
     """Counters for one :class:`~repro.service.executor.QueryExecutor`.
 
@@ -75,23 +119,40 @@ class ServingStats:
     from the result cache), ``dedup_hits`` (piggybacked on an identical
     in-flight query) and ``executed`` (actually evaluated on an index).
     Queries answered by a sharded index additionally feed a per-shard
-    latency/page breakdown (``per_index_shards``).
+    latency/page breakdown (``per_index_shards``).  All latency aggregates are
+    registry-backed histograms; :meth:`render_prometheus` exposes the whole
+    collection in Prometheus text format.
     """
 
-    queries: int = 0
-    cache_hits: int = 0
-    dedup_hits: int = 0
-    executed: int = 0
-    errors: int = 0
-    page_accesses: int = 0
-    random_reads: int = 0
-    sequential_reads: int = 0
-    decoded_hits: int = 0
-    decoded_misses: int = 0
-    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    per_index: dict = field(default_factory=dict)
-    per_index_shards: dict = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.queries = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self.executed = 0
+        self.errors = 0
+        self.errors_per_index: dict[str, int] = {}
+        self.page_accesses = 0
+        self.random_reads = 0
+        self.sequential_reads = 0
+        self.decoded_hits = 0
+        self.decoded_misses = 0
+        self.latency = LatencyRecorder(
+            self.registry.histogram(QUERY_LATENCY, "Query latency in milliseconds")
+        )
+        self.per_index: dict[str, LatencyRecorder] = {}
+        self.per_index_shards: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def _index_recorder(self, index_name: str) -> LatencyRecorder:
+        recorder = self.per_index.get(index_name)
+        if recorder is None:
+            recorder = self.per_index[index_name] = LatencyRecorder(
+                self.registry.histogram(
+                    QUERY_LATENCY, "Query latency in milliseconds", index=index_name
+                )
+            )
+        return recorder
 
     def record_query(
         self,
@@ -111,8 +172,11 @@ class ServingStats:
 
         ``shard_stats`` is the fan-out breakdown — an iterable of
         :class:`~repro.core.shard.ShardQueryStat` — for queries evaluated on
-        a sharded index.
+        a sharded index.  Negative latencies (clock adjustments mid-query)
+        clamp to zero rather than corrupting the histogram minimum.
         """
+        latency_ms = max(0.0, latency_ms)
+        outcome = "cached" if cached else "deduplicated" if deduplicated else "executed"
         with self._lock:
             self.queries += 1
             if cached:
@@ -127,21 +191,60 @@ class ServingStats:
             self.decoded_hits += decoded_hits
             self.decoded_misses += decoded_misses
             self.latency.record(latency_ms)
-            recorder = self.per_index.get(index_name)
-            if recorder is None:
-                recorder = self.per_index[index_name] = LatencyRecorder()
-            recorder.record(latency_ms)
+            self._index_recorder(index_name).record(latency_ms)
             if shard_stats:
                 shards = self.per_index_shards.setdefault(index_name, {})
                 for stat in shard_stats:
                     slot = shards.get(stat.shard)
                     if slot is None:
-                        slot = shards[stat.shard] = ShardRecorder()
+                        slot = shards[stat.shard] = ShardRecorder(
+                            self.registry.histogram(
+                                SHARD_LATENCY,
+                                "Per-shard fan-out latency in milliseconds",
+                                index=index_name,
+                                shard=str(stat.shard),
+                            )
+                        )
                     slot.record(stat.matches, stat.page_accesses, stat.elapsed_ms)
+        self.registry.counter(
+            QUERIES_TOTAL, "Answered queries by outcome", outcome=outcome
+        ).inc()
+        if page_accesses:
+            self.registry.counter(
+                PAGE_ACCESSES_TOTAL, "Disk page accesses charged to queries"
+            ).inc(page_accesses)
+        if random_reads:
+            self.registry.counter(
+                READS_TOTAL, "Physical reads by access pattern", pattern="random"
+            ).inc(random_reads)
+        if sequential_reads:
+            self.registry.counter(
+                READS_TOTAL, "Physical reads by access pattern", pattern="sequential"
+            ).inc(sequential_reads)
+        if decoded_hits:
+            self.registry.counter(
+                DECODED_TOTAL, "Decoded-block cache lookups", result="hit"
+            ).inc(decoded_hits)
+        if decoded_misses:
+            self.registry.counter(
+                DECODED_TOTAL, "Decoded-block cache lookups", result="miss"
+            ).inc(decoded_misses)
 
-    def record_error(self) -> None:
+    def record_error(self, index_name: "str | None" = None) -> None:
+        """Account one failed query, attributed to its index when known."""
         with self._lock:
             self.errors += 1
+            if index_name is not None:
+                self.errors_per_index[index_name] = (
+                    self.errors_per_index.get(index_name, 0) + 1
+                )
+        self.registry.counter(
+            ERRORS_TOTAL, "Failed queries by index", index=index_name or "unknown"
+        ).inc()
+
+    def render_prometheus(self) -> str:
+        """All serving instruments in Prometheus text exposition format."""
+        return self.registry.render()
 
     def as_dict(self) -> dict:
         with self._lock:
@@ -151,6 +254,7 @@ class ServingStats:
                 "dedup_hits": self.dedup_hits,
                 "executed": self.executed,
                 "errors": self.errors,
+                "errors_per_index": dict(self.errors_per_index),
                 "page_accesses": self.page_accesses,
                 "random_reads": self.random_reads,
                 "sequential_reads": self.sequential_reads,

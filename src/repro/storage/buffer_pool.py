@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import BufferPoolError
+from repro.obs import trace
 from repro.storage.pager import PageFile
 from repro.storage.stats import IOStatistics, ReadContext
 
@@ -92,17 +93,21 @@ class BufferPool:
         is the cached frame itself: callers that mutate it must also call
         :meth:`mark_dirty` so the change is flushed.
         """
-        with self._lock:
-            frame = self._frames.get(page_id)
-            if frame is not None:
-                self.stats.record_read(page_id, hit=True, ctx=ctx)
-                self._frames.move_to_end(page_id)
+        token = trace.stage_begin()
+        try:
+            with self._lock:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.stats.record_read(page_id, hit=True, ctx=ctx)
+                    self._frames.move_to_end(page_id)
+                    return frame.data
+                self.stats.record_read(page_id, hit=False, ctx=ctx)
+                data = self.page_file.read(page_id)
+                frame = _Frame(data=data, dirty=False)
+                self._install(page_id, frame)
                 return frame.data
-            self.stats.record_read(page_id, hit=False, ctx=ctx)
-            data = self.page_file.read(page_id)
-            frame = _Frame(data=data, dirty=False)
-            self._install(page_id, frame)
-            return frame.data
+        finally:
+            trace.stage_end("buffer_pool", token)
 
     def put_page(self, page_id: int, data: bytes) -> None:
         """Replace the payload of ``page_id`` and mark it dirty."""

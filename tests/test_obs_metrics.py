@@ -1,0 +1,214 @@
+"""Unit and property tests for the metric instruments and their registry.
+
+The load-bearing guarantee is the histogram's percentile error bound: for any
+sample the log-bucketed readout must be within one bucket width (< ``GROWTH``
+relative) of numpy's exact inverted-CDF order statistic.  The Prometheus
+rendering is checked by parsing it back line by line.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper_bound,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(4.0)
+        assert gauge.value == pytest.approx(8.5)
+
+
+class TestBuckets:
+    def test_value_in_its_bucket_range(self):
+        for value in (0.001, 0.5, 1.0, 3.7, 100.0, 12345.6):
+            index = bucket_index(value)
+            upper = bucket_upper_bound(index)
+            assert value <= upper * (1 + 1e-9)
+            assert value > upper / GROWTH * (1 - 1e-9)
+
+    def test_non_positive_values_share_the_zero_bucket(self):
+        assert bucket_index(0.0) == bucket_index(-5.0)
+        assert bucket_upper_bound(bucket_index(0.0)) == 0.0
+
+    def test_exact_powers_stay_in_their_bucket(self):
+        # Values sitting on a bucket boundary must not jump up a bucket.
+        for exponent in range(-8, 9):
+            value = GROWTH**exponent
+            assert bucket_index(value) == exponent
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) is None
+        summary = hist.as_dict()
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["p95"] is None
+
+    def test_single_observation_is_exact(self):
+        hist = Histogram()
+        hist.record(7.3)
+        for q in (0.5, 0.95, 0.999, 1.0):
+            assert hist.percentile(q) == pytest.approx(7.3)
+
+    def test_percentile_rejects_bad_quantile(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_merge_combines_counts_and_extremes(self):
+        left, right = Histogram(), Histogram()
+        for value in (1.0, 2.0, 3.0):
+            left.record(value)
+        for value in (10.0, 0.5):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 5
+        assert left.min == 0.5
+        assert left.max == 10.0
+        assert left.total == pytest.approx(16.5)
+
+    def test_concurrent_records_are_not_lost(self):
+        hist = Histogram()
+
+        def worker():
+            for _ in range(1000):
+                hist.record(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 8000
+        assert hist.total == pytest.approx(8000.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        q=st.sampled_from([0.5, 0.9, 0.95, 0.99, 0.999]),
+    )
+    def test_percentile_within_one_bucket_of_numpy(self, samples, q):
+        """The histogram readout brackets numpy's exact inverted-CDF value."""
+        hist = Histogram()
+        for value in samples:
+            hist.record(value)
+        approx = hist.percentile(q)
+        exact = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+        # One bucket width of slack on either side, plus float-log jitter.
+        assert approx <= exact * GROWTH * (1 + 1e-9)
+        assert approx >= exact / GROWTH * (1 - 1e-9)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", "help", index="x")
+        b = registry.counter("repro_test_total", index="x")
+        c = registry.counter("repro_test_total", index="y")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("repro_test_total")
+
+    def test_render_round_trips(self):
+        """Parse the exposition text back and recover every sample value."""
+        registry = MetricsRegistry()
+        registry.counter("repro_q_total", "Answered queries", outcome="executed").inc(3)
+        registry.counter("repro_q_total", outcome="cached").inc(1)
+        registry.gauge("repro_uptime_seconds", "Uptime").set(12.5)
+        hist = registry.histogram("repro_lat_ms", "Latency", index="web")
+        for value in (1.0, 2.0, 4.0, 8.0):
+            hist.record(value)
+
+        samples: dict[str, float] = {}
+        types: dict[str, str] = {}
+        for line in registry.render().splitlines():
+            assert line, "no blank lines in the exposition"
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            samples[series] = float(value)
+
+        assert types == {
+            "repro_q_total": "counter",
+            "repro_uptime_seconds": "gauge",
+            "repro_lat_ms": "histogram",
+        }
+        assert samples['repro_q_total{outcome="executed"}'] == 3
+        assert samples['repro_q_total{outcome="cached"}'] == 1
+        assert samples["repro_uptime_seconds"] == 12.5
+        assert samples['repro_lat_ms_count{index="web"}'] == 4
+        assert samples['repro_lat_ms_sum{index="web"}'] == pytest.approx(15.0)
+        assert samples['repro_lat_ms_bucket{index="web",le="+Inf"}'] == 4
+
+        # Bucket series are cumulative and non-decreasing by upper bound.
+        buckets = sorted(
+            (float(series.split('le="')[1].rstrip('"}').replace("+Inf", "inf")), value)
+            for series, value in samples.items()
+            if series.startswith("repro_lat_ms_bucket")
+        )
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_esc_total", "", path='we"ird\\path\nx').inc()
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # The physical line count stays intact despite the embedded newline.
+        assert len([ln for ln in text.splitlines() if ln.startswith("repro_esc")]) == 1
+
+    def test_histogram_bucket_bound_formatting(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_fmt_ms").record(3.0)
+        text = registry.render()
+        bucket_line = next(ln for ln in text.splitlines() if "_bucket" in ln)
+        bound = bucket_line.split('le="')[1].split('"')[0]
+        assert math.isclose(float(bound), bucket_upper_bound(bucket_index(3.0)))

@@ -1,0 +1,135 @@
+"""Run manifests, the metrics stream, the validator CLI and the slow-query log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.runmeta import MANIFEST_NAME, RunRecorder, main, validate_manifest
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestRunRecorder:
+    def test_manifest_written_on_creation(self, tmp_path):
+        recorder = RunRecorder(tmp_path, run="r1", scale="smoke-0.02", seed=7)
+        manifest = json.loads((tmp_path / "r1" / MANIFEST_NAME).read_text())
+        assert manifest["run"] == "r1"
+        assert manifest["scale"] == "smoke-0.02"
+        assert manifest["seed"] == 7
+        assert validate_manifest(manifest) == []
+        assert recorder.directory == tmp_path / "r1"
+
+    def test_update_config_rewrites_the_manifest(self, tmp_path):
+        recorder = RunRecorder(tmp_path, run="r1", config={"a": 1})
+        recorder.update_config(b="two")
+        manifest = json.loads((tmp_path / "r1" / MANIFEST_NAME).read_text())
+        assert manifest["config"] == {"a": 1, "b": "two"}
+
+    def test_append_streams_jsonl_records(self, tmp_path):
+        recorder = RunRecorder(tmp_path, run="r1")
+        recorder.append("query", {"index": "OIF", "page_accesses": 12})
+        recorder.append("table_row", {"table": "fig8", "row": {"qs": 2}})
+        lines = [
+            json.loads(line)
+            for line in recorder.metrics_path().read_text().splitlines()
+        ]
+        assert [record["kind"] for record in lines] == ["query", "table_row"]
+        assert lines[0]["page_accesses"] == 12
+
+    def test_auto_run_names_are_unique_per_process(self, tmp_path):
+        recorder = RunRecorder(tmp_path)
+        assert recorder.run
+        assert (tmp_path / recorder.run / MANIFEST_NAME).exists()
+
+
+class TestValidateManifest:
+    def test_rejects_non_dict(self):
+        assert validate_manifest([1, 2]) != []
+
+    def test_reports_missing_and_mistyped_fields(self):
+        problems = validate_manifest({"run": 5, "scale": "full"})
+        text = "; ".join(problems)
+        assert "'run' must be str" in text
+        assert "missing required field 'config'" in text
+
+
+class TestValidatorCli:
+    def test_valid_tree_passes(self, tmp_path, capsys):
+        recorder = RunRecorder(tmp_path, run="r1")
+        recorder.append("query", {"x": 1})
+        assert main([str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_manifest_fails(self, tmp_path, capsys):
+        run_dir = tmp_path / "bad"
+        run_dir.mkdir()
+        (run_dir / MANIFEST_NAME).write_text(json.dumps({"run": "bad"}))
+        assert main([str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_malformed_metrics_line_fails(self, tmp_path, capsys):
+        recorder = RunRecorder(tmp_path, run="r1")
+        with recorder.metrics_path().open("a") as fh:
+            fh.write('{"kind": "query"}\n{broken\n')
+        assert main([str(tmp_path)]) == 1
+        assert "malformed JSON on line 2" in capsys.readouterr().out
+
+    def test_empty_tree_fails(self, tmp_path):
+        assert main([str(tmp_path)]) == 1
+
+    def test_missing_directory_fails(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 1
+
+    def test_usage_error(self):
+        assert main([]) == 2
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record(expr="{}", latency_ms=1e9) is False
+        assert log.entries() == []
+
+    def test_threshold_gates_capture(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record(expr="fast", latency_ms=9.9) is False
+        assert log.record(expr="slow", latency_ms=10.0) is True
+        (entry,) = log.entries()
+        assert entry["expr"] == "slow"
+        assert entry["threshold_ms"] == 10.0
+
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for n in range(5):
+            log.record(expr=f"q{n}", latency_ms=1.0)
+        payload = log.as_dict()
+        assert [entry["expr"] for entry in payload["entries"]] == ["q3", "q4"]
+        assert payload["dropped"] == 3
+
+    def test_sink_appends_jsonl(self, tmp_path):
+        sink = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(threshold_ms=0.0, sink=sink)
+        log.record(expr="a", latency_ms=1.0, index="web", counters={"p": 1})
+        log.record(expr="b", latency_ms=2.0, trace={"name": "query"})
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [entry["expr"] for entry in lines] == ["a", "b"]
+        assert lines[0]["counters"] == {"p": 1}
+        assert lines[1]["trace"]["name"] == "query"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_clear_resets_entries_and_drops(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=1)
+        log.record(expr="a", latency_ms=1.0)
+        log.record(expr="b", latency_ms=1.0)
+        log.clear()
+        assert log.as_dict() == {
+            "threshold_ms": 0.0,
+            "capacity": 1,
+            "dropped": 0,
+            "entries": [],
+        }

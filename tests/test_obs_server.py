@@ -1,0 +1,139 @@
+"""Observability endpoints over a real socket: /metrics, /slowlog, tracing.
+
+A dedicated server fixture (module-scoped, ephemeral port) runs with a 0 ms
+slow-query threshold and tracing enabled, so every query is slow-logged with
+a span breakdown and the Prometheus endpoint has data to expose.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.service import ServiceClient, ServiceServer
+
+TRANSACTIONS = [
+    {"a", "b", "d"},
+    {"a", "b", "e"},
+    {"a", "c"},
+    {"b", "c", "d"},
+    {"a", "b"},
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceServer(
+        max_workers=2,
+        cache_capacity=32,
+        slow_query_ms=0.0,
+        trace=True,
+    ) as running:
+        yield running
+    trace.disable()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    test_client = ServiceClient(port=server.port)
+    test_client.create_index("obs", transactions=TRANSACTIONS)
+    return test_client
+
+
+def parse_prometheus(text: str) -> "tuple[dict[str, float], dict[str, str]]":
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            series, value = line.rsplit(" ", 1)
+            samples[series] = float(value)
+    return samples, types
+
+
+def test_metrics_exposes_latency_histograms(client):
+    for _ in range(3):
+        client.query("obs", "subset", ["a", "b"])
+    samples, types = parse_prometheus(client.metrics())
+
+    assert types["repro_query_latency_ms"] == "histogram"
+    assert types["repro_queries_total"] == "counter"
+    assert types["repro_uptime_seconds"] == "gauge"
+
+    # Global and per-index histograms both carry sum/count series.
+    assert samples["repro_query_latency_ms_count"] >= 3
+    assert samples['repro_query_latency_ms_count{index="obs"}'] >= 3
+    assert samples["repro_query_latency_ms_sum"] >= 0
+    assert samples['repro_query_latency_ms_bucket{le="+Inf"}'] >= 3
+    assert samples["repro_uptime_seconds"] >= 0
+    assert samples["repro_resident_indexes"] >= 1
+
+    # p50/p95/p99 are derivable from the bucket series via /stats' summary.
+    latency = client.stats()["serving"]["latency"]
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        assert latency[key] is not None
+
+
+def test_metrics_outcome_counters_track_cache_hits(client):
+    client.query("obs", "subset", ["b", "c"])
+    client.query("obs", "subset", ["b", "c"])
+    samples, _ = parse_prometheus(client.metrics())
+    assert samples['repro_queries_total{outcome="executed"}'] >= 1
+    assert samples['repro_queries_total{outcome="cached"}'] >= 1
+
+
+def test_slowlog_records_queries_with_trace_breakdown(client):
+    client.query("obs", "superset", ["a", "b", "d"])
+    payload = client.slowlog()
+    assert payload["threshold_ms"] == 0.0
+    entries = payload["entries"]
+    assert entries, "threshold 0 must log every query"
+    entry = entries[-1]
+    assert entry["latency_ms"] >= 0
+    assert entry["index"] == "obs"
+    expr = json.loads(entry["expr"])
+    assert expr["op"] == "superset"
+    assert set(entry["counters"]) >= {"page_accesses", "cached", "deduplicated"}
+    # Tracing is on, so the executed slow queries carry a span tree.
+    traced = [e for e in entries if e.get("trace")]
+    assert traced
+    tree = traced[-1]["trace"]
+    assert tree["name"] == "query"
+    assert {child["name"] for child in tree["children"]} == {"lookup", "execute"}
+
+
+def test_trace_child_spans_cover_the_query_window(client):
+    client.query("obs", "equality", ["a", "c"])
+    traced = [e for e in client.slowlog()["entries"] if e.get("trace")]
+    tree = traced[-1]["trace"]
+    child_sum = sum(child["duration_ms"] for child in tree["children"])
+    assert child_sum <= tree["duration_ms"] + 1e-6
+
+
+def test_errors_are_attributed_per_index(client):
+    from repro.errors import ServiceError
+
+    with pytest.raises(ServiceError):
+        client.query("no-such-index", "subset", ["a"])
+    stats = client.stats()["serving"]
+    assert stats["errors"] >= 1
+    assert stats["errors_per_index"].get("no-such-index", 0) >= 1
+    samples, _ = parse_prometheus(client.metrics())
+    assert samples['repro_errors_total{index="no-such-index"}'] >= 1
+
+
+def test_metrics_endpoint_is_plain_text(server, client):
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}/metrics", timeout=5
+    ) as response:
+        assert response.status == 200
+        content_type = response.headers.get("Content-Type", "")
+        assert content_type.startswith("text/plain")
+        body = response.read().decode("utf-8")
+    assert "# TYPE repro_query_latency_ms histogram" in body
