@@ -9,9 +9,12 @@ The CLI exposes the workflows a downstream user needs without writing Python:
   and print the mean page accesses per query size;
 * ``repro-oif experiment`` — regenerate one of the paper's figures/tables;
 * ``repro-oif serve`` — keep indexes resident and answer containment queries
-  over JSON-over-HTTP (see :mod:`repro.service`);
+  over JSON-over-HTTP (see :mod:`repro.service`); with ``--data-dir`` the
+  indexes are persisted (pages + manifest + write-ahead log) and a restarted
+  server reopens them in seconds — crash-interrupted updates replayed from
+  the WAL — instead of rebuilding from the source datasets;
 * ``repro-oif client`` — talk to a running server (health, stats, queries,
-  index lifecycle, updates).
+  index lifecycle, updates, checkpoints).
 
 Run ``repro-oif <command> --help`` for the options of each command.
 """
@@ -156,10 +159,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--queries-per-size", type=int, default=5)
 
-    serve = sub.add_parser("serve", help="serve containment queries over JSON-over-HTTP")
+    serve = sub.add_parser(
+        "serve",
+        help="serve containment queries over JSON-over-HTTP "
+        "(--data-dir makes indexes survive restarts)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     serve.add_argument("--data", help="transaction file to pre-load as an index")
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="persist OIF indexes under DIR (page images + manifest + WAL) and "
+        "reopen every index found there on start — no source dataset needed, "
+        "updates acked after the last checkpoint are replayed from the WAL",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="with --data-dir, checkpoint durable indexes every SECONDS in the "
+        "background (flush deltas, publish a new generation, truncate the WAL)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "never"), default="always",
+        help="WAL fsync policy: 'always' makes every acked update survive power "
+        "loss; 'never' trades the WAL tail for update throughput",
+    )
     serve.add_argument("--name", default="default", help="name of the pre-loaded index")
     serve.add_argument("--index", choices=sorted(INDEX_KINDS), default="oif")
     serve.add_argument(
@@ -219,6 +242,19 @@ def _build_parser() -> argparse.ArgumentParser:
     client_insert.add_argument("name", help="index name on the server")
     client_insert.add_argument("items", nargs="+", help="items of the new record")
     client_insert.add_argument("--flush", action="store_true", help="merge the delta afterwards")
+    client_delete = client_sub.add_parser("delete", help="delete records by id")
+    client_delete.add_argument("name", help="index name on the server")
+    client_delete.add_argument("record_ids", nargs="+", type=int, help="record ids to delete")
+    client_delete.add_argument("--flush", action="store_true", help="merge the delta afterwards")
+    client_checkpoint = client_sub.add_parser(
+        "checkpoint",
+        help="flush deltas and publish a new on-disk generation (durable indexes)",
+    )
+    client_checkpoint.add_argument("name", help="index name on the server")
+    client_checkpoint.add_argument(
+        "--force", action="store_true",
+        help="write a new generation even when nothing changed",
+    )
     return parser
 
 
@@ -370,11 +406,25 @@ def build_server(args: argparse.Namespace):
         slow_query_log=args.slow_query_log,
         trace=args.trace,
         trace_sample=args.trace_sample,
+        data_dir=args.data_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync=args.fsync,
     )
+    for info in server.recovered:
+        print(
+            f"recovered index {info['name']!r}: generation {info['generation']}, "
+            f"{info['records']} records, {info['wal_records_replayed']} WAL "
+            f"records replayed in {info['open_seconds']}s"
+        )
     if args.shards > 1 and not args.data:
         server.shutdown()
         raise ReproError("--shards only applies to the pre-loaded index; pass --data")
-    if args.data:
+    if args.data and args.name in server.manager:
+        # --data-dir already brought this name back; the transaction file was
+        # only its original seed, so don't build (or error) over the
+        # recovered index.
+        print(f"index {args.name!r} already resident from --data-dir; skipping --data")
+    elif args.data:
         options = {"shards": args.shards} if args.shards > 1 else {}
         try:
             dataset = read_transactions(args.data)
@@ -439,6 +489,10 @@ def _run_client_action(client, args: argparse.Namespace) -> int:
         payload = client.drop_index(args.name)
     elif args.action == "insert":
         payload = client.insert(args.name, [args.items], flush=args.flush)
+    elif args.action == "delete":
+        payload = client.delete(args.name, args.record_ids, flush=args.flush)
+    elif args.action == "checkpoint":
+        payload = client.checkpoint(args.name, force=args.force)
     elif args.expr is not None:
         if args.predicate or args.items:
             raise ReproError("pass either --expr or a predicate with items, not both")

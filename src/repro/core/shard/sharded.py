@@ -33,7 +33,7 @@ import heapq
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.interfaces import SetContainmentIndex
 from repro.core.oif import OrderedInvertedFile
@@ -229,6 +229,44 @@ class ShardedIndex(SetContainmentIndex):
         template = self.live_shards[0]
         self.name = f"{template.name}x{num_shards}"
 
+    @classmethod
+    def from_shards(
+        cls,
+        dataset: Dataset,
+        shards: "Sequence[SetContainmentIndex | None]",
+        *,
+        strategy: "str | Partitioner" = "hash",
+        factory: "ShardFactory | None" = None,
+        max_workers: "int | None" = None,
+        **index_kwargs,
+    ) -> "ShardedIndex":
+        """Assemble a sharded index from already-built per-shard indexes.
+
+        The durability layer reopens each shard's environment from disk and
+        re-wires them here without any rebuild.  ``shards`` must be position-
+        ordered with ``None`` for empty slots and partitioned consistently
+        with ``strategy`` — the partitioner routes future inserts, so a
+        mismatch would corrupt the shard assignment.
+        """
+        if factory is not None and index_kwargs:
+            raise QueryError("pass either a shard factory or index options, not both")
+        index = cls.__new__(cls)
+        index.dataset = dataset
+        index.env = None
+        index._planner = None
+        index.partitioner = make_partitioner(strategy, len(shards))
+        index.max_workers = max_workers
+        index._factory = factory or (
+            lambda shard_dataset: OrderedInvertedFile(shard_dataset, **index_kwargs)
+        )
+        index._shards = list(shards)
+        index._stats = AggregateIOStatistics(index)
+        if not index.live_shards:
+            raise QueryError("from_shards() needs at least one built shard")
+        template = index.live_shards[0]
+        index.name = f"{template.name}x{len(shards)}"
+        return index
+
     # -- shard management ------------------------------------------------------------
 
     @property
@@ -406,26 +444,42 @@ class ShardedIndex(SetContainmentIndex):
     # -- updates ---------------------------------------------------------------------
 
     def absorb(
-        self, fresh_records: Sequence[Record], max_workers: "int | None" = None
+        self,
+        fresh_records: Sequence[Record],
+        max_workers: "int | None" = None,
+        removed_ids: "Iterable[int] | None" = None,
     ) -> AbsorbReport:
         """Merge ``fresh_records`` by rebuilding only the shards that get any.
 
-        The untouched shards keep their indexes (and warm buffer pools)
-        as-is — this is the per-shard counterpart of the monolithic
-        ``UpdatableOIF.flush`` full rebuild.  Rebuilds run on an ephemeral
-        pool when ``max_workers`` (or the index default) allows.
+        ``removed_ids`` names resident records to drop during the merge: the
+        shards owning them rebuild over their surviving records (a shard whose
+        records all disappear reverts to an empty slot).  The untouched shards
+        keep their indexes (and warm buffer pools) as-is — this is the
+        per-shard counterpart of the monolithic ``UpdatableOIF.flush`` full
+        rebuild.  Rebuilds run on an ephemeral pool when ``max_workers`` (or
+        the index default) allows.
         """
         fresh = list(fresh_records)
-        if not fresh:
+        removed = set(removed_ids or ())
+        if not fresh and not removed:
             return AbsorbReport(records_absorbed=0, rebuilt_shards=(), io=IOSnapshot())
         groups: dict[int, list[Record]] = {}
         for record in fresh:
             groups.setdefault(self.partitioner.shard_of(record.record_id), []).append(record)
+        for record_id in removed:
+            groups.setdefault(self.partitioner.shard_of(record_id), [])
 
-        def rebuild(position: int) -> tuple[SetContainmentIndex, IOSnapshot]:
+        def rebuild(position: int) -> "tuple[SetContainmentIndex | None, IOSnapshot]":
             current = self._shards[position]
             existing = list(current.dataset) if current is not None else []
-            shard = self._factory(Dataset(existing + groups[position]))
+            if removed:
+                existing = [
+                    record for record in existing if record.record_id not in removed
+                ]
+            merged = existing + groups[position]
+            if not merged:
+                return None, IOSnapshot()
+            shard = self._factory(Dataset(merged))
             # The shard's environment is brand new, so its counters are
             # exactly the build cost.
             return shard, shard.stats.snapshot()
@@ -435,7 +489,10 @@ class ShardedIndex(SetContainmentIndex):
         for position, (shard, build_io) in built:
             self._shards[position] = shard
             total_io = total_io + build_io
-        self.dataset = Dataset(list(self.dataset) + fresh)
+        survivors = [
+            record for record in self.dataset if record.record_id not in removed
+        ] if removed else list(self.dataset)
+        self.dataset = Dataset(survivors + fresh)
         # Frequency statistics changed; replan from the merged dataset.
         self._planner = None
         return AbsorbReport(

@@ -53,6 +53,20 @@ class DeltaInvertedFile:
     def __len__(self) -> int:
         return len(self._records)
 
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._records
+
+    def remove(self, record_id: int) -> frozenset:
+        """Un-buffer one pending record (a delete caught it before any merge)."""
+        items = self._records.pop(record_id)
+        for item in items:
+            postings = [entry for entry in self._lists[item] if entry[0] != record_id]
+            if postings:
+                self._lists[item] = postings
+            else:
+                del self._lists[item]
+        return items
+
     @property
     def records(self) -> list[Record]:
         """The buffered records, in insertion order of their ids."""
@@ -131,6 +145,13 @@ class ShardedDeltaBuffer:
     def __len__(self) -> int:
         return sum(len(buffer) for buffer in self._buffers)
 
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._buffers[self.partitioner.shard_of(record_id)]
+
+    def remove(self, record_id: int) -> frozenset:
+        """Un-buffer one pending record from its shard's delta."""
+        return self._buffers[self.partitioner.shard_of(record_id)].remove(record_id)
+
     @property
     def records(self) -> list[Record]:
         """All buffered records across shards, ordered by id."""
@@ -196,6 +217,9 @@ class _UpdatableBase:
         #: Concurrent readers / exclusive insert+flush.
         self.rwlock = ReadWriteLock()
         self._next_id = max(dataset.record_ids) + 1
+        #: Ids of base-index records deleted but not yet merged out: queries
+        #: filter them, :meth:`flush` drops them from the rebuilt dataset.
+        self._tombstones: set[int] = set()
         self._update_listeners: list[UpdateListener] = []
 
     def add_update_listener(self, listener: UpdateListener) -> None:
@@ -232,15 +256,72 @@ class _UpdatableBase:
                     listener(inserted)
             return new_ids
 
+    def delete(self, record_ids: Iterable[int]) -> list[frozenset]:
+        """Delete records by id; returns the deleted item sets (listener payload).
+
+        A delete of a still-buffered record simply un-buffers it; a delete of
+        a merged record adds a tombstone that every query path filters until
+        the next :meth:`flush` rebuilds without it.  The whole batch is
+        validated before any mutation, mirroring :meth:`insert`: an unknown or
+        already-deleted id raises :class:`~repro.errors.QueryError` and leaves
+        the index untouched.
+        """
+        ids = list(record_ids)
+        with self.rwlock.write_locked():
+            seen: set[int] = set()
+            for record_id in ids:
+                if record_id in seen:
+                    raise QueryError(f"record {record_id} deleted twice in one batch")
+                seen.add(record_id)
+                in_delta = record_id in self.delta
+                in_base = (
+                    self.dataset.has_id(record_id) and record_id not in self._tombstones
+                )
+                if not in_delta and not in_base:
+                    raise QueryError(f"cannot delete unknown record {record_id}")
+            removed: list[frozenset] = []
+            for record_id in ids:
+                if record_id in self.delta:
+                    removed.append(self.delta.remove(record_id))
+                else:
+                    self._tombstones.add(record_id)
+                    removed.append(self.dataset.get(record_id).items)
+            if removed:
+                for listener in self._update_listeners:
+                    listener(removed)
+            return removed
+
     @property
     def pending_updates(self) -> int:
-        """Number of records waiting in the delta buffer."""
-        return len(self.delta)
+        """Records waiting to be merged: buffered inserts plus tombstones."""
+        return len(self.delta) + len(self._tombstones)
+
+    @property
+    def pending_deletes(self) -> int:
+        """Tombstoned base records awaiting the next merge."""
+        return len(self._tombstones)
+
+    def live_dataset(self) -> Dataset:
+        """Snapshot of the records a query can currently return.
+
+        Base records minus tombstones, plus the buffered inserts — the
+        dataset a rebuild must be built over to preserve every answer.
+        """
+        with self.rwlock.read_locked():
+            records = [
+                record
+                for record in self.dataset
+                if record.record_id not in self._tombstones
+            ]
+            records.extend(self.delta.records)
+            return Dataset(records)
 
     def _combined(self, index: SetContainmentIndex, query_type: str, items: Iterable[Item]) -> list[int]:
         with self.rwlock.read_locked():
             item_set = frozenset(items)
             base = index.query(query_type, item_set)
+            if self._tombstones:
+                base = [rid for rid in base if rid not in self._tombstones]
             fresh = self.delta.query(query_type, item_set) if len(self.delta) else []
             return sorted(set(base) | set(fresh))
 
@@ -325,6 +406,8 @@ class _UpdatableBase:
         """
         from repro.core.query.expr import slice_ids
 
+        if self._tombstones:
+            base = [rid for rid in base if rid not in self._tombstones]
         if len(self.delta):
             fresh = [
                 record.record_id
@@ -336,24 +419,64 @@ class _UpdatableBase:
 
 
 class UpdatableOIF(_UpdatableBase):
-    """OIF with a delta buffer; the merge re-sorts and rebuilds the index."""
+    """OIF with a delta buffer; the merge re-sorts and rebuilds the index.
 
-    def __init__(self, dataset: Dataset, **oif_kwargs) -> None:
+    ``env_factory`` (optional) supplies the storage environment for the
+    initial build *and* every flush rebuild.  The durability layer uses it to
+    keep every generation of the index on catalog-enabled environments whose
+    page images can be snapshotted verbatim; when omitted, rebuilds land on
+    plain in-memory environments sized like the current one.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        env_factory: "Callable[[], Environment] | None" = None,
+        **oif_kwargs,
+    ) -> None:
         super().__init__(dataset)
         self._oif_kwargs = dict(oif_kwargs)
-        self.index = OrderedInvertedFile(dataset, **self._oif_kwargs)
+        self._env_factory = env_factory
+        if env_factory is not None:
+            self.index = OrderedInvertedFile(dataset, env=env_factory(), **self._oif_kwargs)
+        else:
+            self.index = OrderedInvertedFile(dataset, **self._oif_kwargs)
+
+    @classmethod
+    def from_existing(
+        cls,
+        index: OrderedInvertedFile,
+        dataset: Dataset,
+        *,
+        env_factory: "Callable[[], Environment] | None" = None,
+        **oif_kwargs,
+    ) -> "UpdatableOIF":
+        """Wrap an already-built OIF (e.g. one reopened from disk) — no rebuild."""
+        wrapper = cls.__new__(cls)
+        _UpdatableBase.__init__(wrapper, dataset)
+        wrapper._oif_kwargs = dict(oif_kwargs)
+        wrapper._env_factory = env_factory
+        wrapper.index = index
+        return wrapper
 
     def _flush_locked(self) -> UpdateReport:
         """Merge the delta into the OIF by rebuilding it over the merged data."""
-        merged_count = len(self.delta)
+        merged_count = len(self.delta) + len(self._tombstones)
         start = time.perf_counter()
-        combined = Dataset(
-            list(self.dataset) + self.delta.records
+        survivors = (
+            [record for record in self.dataset if record.record_id not in self._tombstones]
+            if self._tombstones
+            else list(self.dataset)
         )
-        env = Environment(
-            page_size=self.index.env.page_size,
-            cache_bytes=self.index.env.cache_pages * self.index.env.page_size,
-        )
+        combined = Dataset(survivors + self.delta.records)
+        if self._env_factory is not None:
+            env = self._env_factory()
+        else:
+            env = Environment(
+                page_size=self.index.env.page_size,
+                cache_bytes=self.index.env.cache_pages * self.index.env.page_size,
+            )
         before = env.stats.snapshot()
         new_index = OrderedInvertedFile(combined, env=env, **self._oif_kwargs)
         delta_stats = env.stats.since(before)
@@ -362,6 +485,7 @@ class UpdatableOIF(_UpdatableBase):
         self.dataset = combined
         self.index = new_index
         self.delta.clear()
+        self._tombstones.clear()
         return UpdateReport(
             index_name=new_index.name,
             records_merged=merged_count,
@@ -369,6 +493,17 @@ class UpdatableOIF(_UpdatableBase):
             page_writes=delta_stats.page_writes,
             page_reads=delta_stats.page_reads,
         )
+
+
+def _shard_factory(
+    env_factory: "Callable[[], Environment]", oif_kwargs: dict
+) -> "Callable[[Dataset], OrderedInvertedFile]":
+    """Shard builder that places every shard on an environment from the factory."""
+
+    def build(shard_dataset: Dataset) -> OrderedInvertedFile:
+        return OrderedInvertedFile(shard_dataset, env=env_factory(), **oif_kwargs)
+
+    return build
 
 
 class UpdatableShardedOIF(_UpdatableBase):
@@ -389,18 +524,47 @@ class UpdatableShardedOIF(_UpdatableBase):
         *,
         strategy: str = "hash",
         max_workers: "int | None" = None,
+        env_factory: "Callable[[], Environment] | None" = None,
         **oif_kwargs,
     ) -> None:
         super().__init__(dataset)
         self._oif_kwargs = dict(oif_kwargs)
-        self.index = ShardedIndex(
-            dataset,
-            num_shards,
-            strategy=strategy,
-            max_workers=max_workers,
-            **self._oif_kwargs,
-        )
+        self._env_factory = env_factory
+        if env_factory is not None:
+            self.index = ShardedIndex(
+                dataset,
+                num_shards,
+                strategy=strategy,
+                max_workers=max_workers,
+                factory=_shard_factory(env_factory, self._oif_kwargs),
+            )
+        else:
+            self.index = ShardedIndex(
+                dataset,
+                num_shards,
+                strategy=strategy,
+                max_workers=max_workers,
+                **self._oif_kwargs,
+            )
         self.delta = ShardedDeltaBuffer(self.index.partitioner)
+
+    @classmethod
+    def from_existing(
+        cls,
+        index: ShardedIndex,
+        dataset: Dataset,
+        *,
+        env_factory: "Callable[[], Environment] | None" = None,
+        **oif_kwargs,
+    ) -> "UpdatableShardedOIF":
+        """Wrap an already-built sharded index (e.g. reopened shards) — no rebuild."""
+        wrapper = cls.__new__(cls)
+        _UpdatableBase.__init__(wrapper, dataset)
+        wrapper._oif_kwargs = dict(oif_kwargs)
+        wrapper._env_factory = env_factory
+        wrapper.index = index
+        wrapper.delta = ShardedDeltaBuffer(index.partitioner)
+        return wrapper
 
     @property
     def num_shards(self) -> int:
@@ -413,12 +577,17 @@ class UpdatableShardedOIF(_UpdatableBase):
     def flush(self, max_workers: "int | None" = None) -> UpdateReport:
         """Merge the per-shard deltas by rebuilding only the affected shards."""
         with self.rwlock.write_locked():
-            merged_count = len(self.delta)
+            merged_count = len(self.delta) + len(self._tombstones)
             start = time.perf_counter()
-            report = self.index.absorb(self.delta.records, max_workers=max_workers)
+            report = self.index.absorb(
+                self.delta.records,
+                max_workers=max_workers,
+                removed_ids=self._tombstones,
+            )
             elapsed = time.perf_counter() - start
             self.dataset = self.index.dataset
             self.delta.clear()
+            self._tombstones.clear()
             return UpdateReport(
                 index_name=self.index.name,
                 records_merged=merged_count,
@@ -460,9 +629,33 @@ class UpdatableIF(_UpdatableBase):
         The merge rewrites list pages in place, which no concurrent reader
         may observe half-done — hence the base class's exclusive hold.
         """
-        merged_count = len(self.delta)
+        merged_count = len(self.delta) + len(self._tombstones)
         fresh_records = self.delta.records
         start = time.perf_counter()
+        if self._tombstones:
+            # Deletions cannot be merged by appending: the contiguous lists
+            # still hold the dead postings.  Rebuild the whole IF over the
+            # surviving records instead (the classic IF's compaction story).
+            survivors = [
+                record
+                for record in self.dataset
+                if record.record_id not in self._tombstones
+            ]
+            combined = Dataset(survivors + fresh_records)
+            new_index = InvertedFile(combined, **self._if_kwargs)
+            delta_stats = new_index.stats.snapshot()
+            elapsed = time.perf_counter() - start
+            self.dataset = combined
+            self.index = new_index
+            self.delta.clear()
+            self._tombstones.clear()
+            return UpdateReport(
+                index_name=new_index.name,
+                records_merged=merged_count,
+                merge_seconds=elapsed,
+                page_writes=delta_stats.page_writes,
+                page_reads=delta_stats.page_reads,
+            )
         before = self.index.stats.snapshot()
         self.index.merge_records(fresh_records)
         delta_stats = self.index.stats.since(before)

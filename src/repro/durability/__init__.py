@@ -1,0 +1,54 @@
+"""Durable index lifecycle: on-disk format, write-ahead log, checkpoints.
+
+The rest of the library builds indexes from a dataset and keeps every update
+in memory-resident delta buffers — a restart loses everything.  This package
+gives an index a real on-disk life:
+
+* :mod:`repro.durability.manifest` — the versioned ``manifest.json`` that
+  makes a persisted directory self-describing (format version, index kind,
+  shard layout, page size, provenance), committed atomically via rename;
+* :mod:`repro.durability.wal` — a CRC-framed write-ahead log with an fsync
+  policy knob; every acked ``insert``/``delete`` is logged before the caller
+  sees its result, and recovery replays (and torn-tail-truncates) the log;
+* :mod:`repro.durability.state` — serialization of the OIF's Python-side
+  state (item order, sequence forms, id maps) and verbatim page-image
+  snapshots of catalog-enabled storage environments;
+* :mod:`repro.durability.store` — the :class:`IndexStore` generation
+  machinery (snapshot → manifest rename → WAL truncation) and the
+  :class:`DurableIndex` facade that the service layer serves from.
+
+Entry points: :func:`persist` makes a freshly built updatable index durable;
+:func:`open_index` brings a persisted directory back as a queryable index
+without touching the source dataset.
+"""
+
+from repro.durability.manifest import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    read_manifest,
+    write_manifest,
+)
+from repro.durability.store import (
+    DurableIndex,
+    IndexStore,
+    durable_env_factory,
+    open_index,
+    persist,
+)
+from repro.durability.wal import WalScan, WriteAheadLog
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "read_manifest",
+    "write_manifest",
+    "DurableIndex",
+    "IndexStore",
+    "durable_env_factory",
+    "open_index",
+    "persist",
+    "WalScan",
+    "WriteAheadLog",
+]

@@ -1,0 +1,84 @@
+"""The versioned ``manifest.json`` anchoring a persisted index directory.
+
+The manifest is the *commit point* of every checkpoint: generation files
+(``pages-<gen>.db``, ``state-<gen>.json``) are written and fsynced first,
+then the manifest is atomically replaced via ``os.replace`` — a crash at any
+point leaves either the old or the new manifest in place, never a torn one.
+Readers therefore trust whatever generation the manifest names and ignore
+(and clean up) any other generation's files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import DurabilityError
+
+#: Identifies the directory format (stored in every manifest).
+FORMAT_NAME = "repro-oif-index"
+#: Bumped on every incompatible change to the directory layout or page format.
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so a just-renamed entry survives a crash."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_manifest(directory: str, payload: dict) -> None:
+    """Atomically (re)write ``directory/manifest.json``.
+
+    ``format`` / ``format_version`` are stamped in here, so callers only
+    provide the index-specific fields.  The write goes to a temporary file
+    that is fsynced and renamed over the manifest; the directory itself is
+    fsynced afterwards so the rename is durable too.
+    """
+    record = {"format": FORMAT_NAME, "format_version": FORMAT_VERSION}
+    record.update(payload)
+    target = os.path.join(directory, MANIFEST_NAME)
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(directory)
+
+
+def read_manifest(directory: str) -> dict:
+    """Load and validate ``directory/manifest.json``.
+
+    Raises :class:`~repro.errors.DurabilityError` (a ``StorageError``) with a
+    clear message when the manifest is missing, unparseable, from a different
+    format, or from an incompatible format version — instead of letting the
+    caller fail later on a short read or garbage decode.
+    """
+    target = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except FileNotFoundError:
+        raise DurabilityError(
+            f"{directory!r} is not a persisted index: no {MANIFEST_NAME} found"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise DurabilityError(f"cannot parse {target!r}: {exc}") from None
+    if not isinstance(record, dict) or record.get("format") != FORMAT_NAME:
+        raise DurabilityError(
+            f"{target!r} is not a {FORMAT_NAME} manifest "
+            f"(format={record.get('format') if isinstance(record, dict) else record!r})"
+        )
+    version = record.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DurabilityError(
+            f"{target!r} has format version {version}; this build reads "
+            f"version {FORMAT_VERSION} — rebuild the index or upgrade the library"
+        )
+    return record

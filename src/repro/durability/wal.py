@@ -1,0 +1,142 @@
+"""CRC-framed write-ahead log for index updates.
+
+File layout::
+
+    8-byte header:  b"RWAL" + uint32 version
+    frame*:         uint32 payload length | uint32 crc32(payload) | payload
+
+Payloads are compact JSON objects carrying the operation, a store-wide
+monotonically increasing LSN, and the affected record ids / set-values.  The
+frame CRC is what makes a *torn tail* — the partially written frame a crash
+can leave behind — detectable: :meth:`WriteAheadLog.recover` replays frames
+until the first short or corrupt one, truncates the file back to the last
+good frame boundary, and reports how many bytes it dropped.
+
+``fsync`` policy:
+
+* ``"always"`` (default) — every append flushes and fsyncs before returning,
+  so an acked update survives power loss;
+* ``"never"`` — appends only flush to the OS, trading the tail of the log
+  (bounded by the checkpoint interval) for update throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import DurabilityError
+
+_WAL_MAGIC = b"RWAL"
+_WAL_VERSION = 1
+_HEADER = struct.Struct("<4sI")  # magic, version
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Accepted values for the fsync policy knob.
+FSYNC_POLICIES = ("always", "never")
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Outcome of one recovery scan over a log file."""
+
+    records: list
+    truncated_bytes: int
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed log of update transactions."""
+
+    def __init__(self, path: str, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        fresh = not os.path.exists(path)
+        self._file = open(path, "w+b" if fresh else "r+b")
+        if fresh:
+            self._file.write(_HEADER.pack(_WAL_MAGIC, _WAL_VERSION))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        else:
+            header = self._file.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                raise DurabilityError(f"{path!r} is too short to be a WAL")
+            magic, version = _HEADER.unpack(header)
+            if magic != _WAL_MAGIC:
+                raise DurabilityError(f"{path!r} does not start with the WAL magic")
+            if version != _WAL_VERSION:
+                raise DurabilityError(
+                    f"{path!r} has WAL version {version}; this build reads "
+                    f"version {_WAL_VERSION}"
+                )
+        self._file.seek(0, os.SEEK_END)
+
+    def append(self, payload: dict) -> None:
+        """Frame and append one transaction record, honouring the fsync policy."""
+        data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(_FRAME.pack(len(data), zlib.crc32(data)) + data)
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+
+    def recover(self) -> WalScan:
+        """Replay every intact frame; truncate (don't replay) a torn tail.
+
+        A frame is *torn* when its header or payload is shorter than declared
+        or its CRC does not match — exactly what a crash mid-append leaves.
+        Everything from the first torn frame on is discarded by truncating the
+        file back to the last good frame boundary, so a later append continues
+        from a clean tail.
+        """
+        self._file.seek(0)
+        header = self._file.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise DurabilityError(f"{self.path!r} lost its WAL header")
+        records: list = []
+        good_end = _HEADER.size
+        while True:
+            frame_header = self._file.read(_FRAME.size)
+            if not frame_header:
+                break
+            if len(frame_header) < _FRAME.size:
+                break
+            length, crc = _FRAME.unpack(frame_header)
+            payload = self._file.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break
+            try:
+                records.append(json.loads(payload.decode("utf-8")))
+            except ValueError:
+                break
+            good_end = self._file.tell()
+        self._file.seek(0, os.SEEK_END)
+        torn = self._file.tell() - good_end
+        if torn:
+            self._file.truncate(good_end)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._file.seek(0, os.SEEK_END)
+        return WalScan(records=records, truncated_bytes=torn)
+
+    def reset(self) -> None:
+        """Drop every logged frame (after a checkpoint made them redundant)."""
+        self._file.truncate(_HEADER.size)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.seek(0, os.SEEK_END)
+
+    @property
+    def size_bytes(self) -> int:
+        """Current file size (header + frames)."""
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()
+
+    def close(self) -> None:
+        self._file.close()

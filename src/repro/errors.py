@@ -40,6 +40,10 @@ class HashFileError(StorageError):
     """Structural failure or misuse of the hash-organized table."""
 
 
+class DurabilityError(StorageError):
+    """A persisted index directory, manifest or WAL is missing or corrupt."""
+
+
 class CompressionError(ReproError):
     """A codec was fed malformed data (e.g. truncated v-byte stream)."""
 

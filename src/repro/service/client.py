@@ -176,6 +176,12 @@ class ServiceClient:
     def rebuild_index(self, name: str) -> dict:
         return self._request("POST", f"/indexes/{quote(name, safe='')}/rebuild", {})
 
+    def checkpoint(self, name: str, *, force: bool = False) -> dict:
+        """Flush deltas and publish a new on-disk generation (durable indexes)."""
+        return self._request(
+            "POST", f"/indexes/{quote(name, safe='')}/checkpoint", {"force": force}
+        )
+
     def query(self, index: str, query_type: str, items: Iterable) -> dict:
         return self._request(
             "POST",
@@ -213,4 +219,14 @@ class ServiceClient:
                 "transactions": [sorted(str(item) for item in t) for t in transactions],
                 "flush": flush,
             },
+        )
+
+    def delete(
+        self, index: str, record_ids: Sequence[int], *, flush: bool = False
+    ) -> dict:
+        """Delete records by id; the server tombstones them until the next merge."""
+        return self._request(
+            "POST",
+            "/update",
+            {"index": index, "deletes": list(record_ids), "flush": flush},
         )

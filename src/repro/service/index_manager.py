@@ -12,18 +12,28 @@ rebuild swaps take the exclusive write side.
 Lifecycle:
 
 * ``create`` builds an index of any registered kind (OIF, IF, unordered
-  B-tree, signature file, naive scan) over a dataset;
-* ``insert`` routes updates through the delta-buffer machinery of
-  :mod:`repro.core.updates` (OIF/IF only) and fires its update listeners, so
-  the result cache drops exactly the affected entries;
-* ``rebuild`` builds a fresh index *outside* any lock, replays any inserts
+  B-tree, signature file, naive scan) over a dataset; with a ``data_dir``
+  configured, OIF indexes are additionally *persisted* — page images,
+  manifest and a write-ahead log under ``data_dir/<name>/`` — so a restarted
+  server reopens them in seconds instead of rebuilding from the dataset;
+* ``insert``/``delete`` route updates through the delta-buffer machinery of
+  :mod:`repro.core.updates` (OIF/IF only) and fire its update listeners, so
+  the result cache drops exactly the affected entries; durable entries
+  write-ahead-log every update before acking;
+* ``checkpoint`` flushes a durable entry's deltas and publishes a new
+  on-disk generation, truncating its WAL;
+* ``open_resident`` brings every persisted index under ``data_dir`` back —
+  no source dataset needed, crash-interrupted updates replayed from the WAL;
+* ``rebuild`` builds a fresh index *outside* any lock, replays any updates
   that raced with the build, then swaps the handle in atomically — queries
   keep being served from the old index during the (slow) build;
-* ``drop`` evicts the index and flushes its cache entries.
+* ``drop`` evicts the index, flushes its cache entries and (for durable
+  entries) deletes its on-disk directory.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -43,8 +53,18 @@ from repro.core.updates import (
     UpdatableShardedOIF,
     UpdateReport,
 )
+from repro.durability import (
+    MANIFEST_NAME,
+    DurableIndex,
+    durable_env_factory,
+    open_index,
+    persist,
+)
 from repro.errors import ServiceError, UnknownIndexError
+from repro.obs import trace as obs_trace
 from repro.service.cache import ResultCache
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.kvstore import PAPER_CACHE_BYTES
 from repro.storage.stats import IOSnapshot
 
 #: Index kinds the manager can build.  ``oif`` and ``if`` are updatable (they
@@ -58,6 +78,11 @@ _STATIC_CLASSES = {
 }
 
 
+def _unwrap(handle):
+    """Strip the durability facade for type dispatch on the inner handle."""
+    return handle.inner if isinstance(handle, DurableIndex) else handle
+
+
 class ManagedIndex:
     """One named, resident index plus the reader-writer lock guarding it.
 
@@ -67,7 +92,16 @@ class ManagedIndex:
     Inserts, flushes, the drop flag and rebuild swaps take the write side.
     """
 
-    def __init__(self, name: str, kind: str, dataset: Dataset, **options) -> None:
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        dataset: Dataset,
+        *,
+        catalog_envs: bool = False,
+        handle=None,
+        **options,
+    ) -> None:
         if kind not in INDEX_KINDS:
             raise ServiceError(
                 f"unknown index kind {kind!r}; expected one of {list(INDEX_KINDS)}"
@@ -75,6 +109,9 @@ class ManagedIndex:
         self.name = name
         self.kind = kind
         self.options = dict(options)
+        #: Build (or build-and-flush-rebuild) on catalog-enabled storage
+        #: environments, the prerequisite for persisting the page images.
+        self.catalog_envs = catalog_envs or handle is not None
         #: Reader-writer guard: shared for queries, exclusive for mutation.
         self.lock = ReadWriteLock()
         #: Serializes rebuilds only; queries proceed under :attr:`lock`.
@@ -84,11 +121,21 @@ class ManagedIndex:
         #: the drop already invalidated the index's entries.
         self.dropped = False
         self._listeners: list = []
-        self._insert_log: list[frozenset] = []
+        #: Update transactions since creation — the replay source for
+        #: rebuilds.  One ``("insert", (record_id, items))`` entry per
+        #: inserted record, one ``("delete", ids)`` entry per delete batch.
+        self._insert_log: list[tuple] = []
         #: Transactions trimmed off the front of the log (see insert_count).
         self._insert_log_base = 0
         start = time.perf_counter()
-        self._handle = self._build_handle(dataset)
+        if handle is not None:
+            # Adopt an already-opened handle (the ``open_resident`` path): no
+            # build happens, just the listener wiring.
+            self._handle = handle
+            if self.supports_updates:
+                handle.add_update_listener(self._fanout)
+        else:
+            self._handle = self._build_handle(dataset)
         self.build_seconds = time.perf_counter() - start
 
     def _build_handle(self, dataset: Dataset):
@@ -115,20 +162,61 @@ class ManagedIndex:
             if build_workers is not None:
                 raise ServiceError("the 'build_workers' option requires 'shards' > 1")
         if self.kind == "oif":
+            env_factory = None
+            if self.catalog_envs:
+                page_size = options.get("page_size", DEFAULT_PAGE_SIZE)
+                cache_bytes = options.get("cache_bytes", PAPER_CACHE_BYTES)
+                env_factory = durable_env_factory(page_size, cache_bytes)
             if sharded:
                 # Shard builds (and later rebuild swaps / flushes) run
                 # concurrently; by default one worker per shard.
                 handle = UpdatableShardedOIF(
-                    dataset, shards, max_workers=build_workers or shards, **options
+                    dataset,
+                    shards,
+                    max_workers=build_workers or shards,
+                    env_factory=env_factory,
+                    **options,
                 )
             else:
-                handle = UpdatableOIF(dataset, **options)
+                handle = UpdatableOIF(dataset, env_factory=env_factory, **options)
         elif self.kind == "if":
             handle = UpdatableIF(dataset, **options)
         else:
             return _STATIC_CLASSES[self.kind](dataset, **options)
         handle.add_update_listener(self._fanout)
         return handle
+
+    def make_durable(
+        self,
+        directory: str,
+        *,
+        fsync: str = "always",
+        seed: "int | None" = None,
+        dataset_config: "dict | None" = None,
+    ) -> None:
+        """Persist the freshly built handle under ``directory`` (generation 0).
+
+        From here on every acked update is write-ahead-logged and
+        :meth:`checkpoint` publishes new generations.  Requires the entry to
+        have been built with ``catalog_envs=True``.
+        """
+        if self.kind != "oif":
+            raise ServiceError(
+                f"durability is only supported for kind 'oif', not {self.kind!r}"
+            )
+        persist_options = {
+            key: value for key, value in self.options.items()
+            if key not in ("shards", "strategy", "build_workers")
+        }
+        with self.lock.write_locked():
+            self._handle = persist(
+                directory,
+                self._handle,
+                options=persist_options,
+                fsync=fsync,
+                seed=seed,
+                dataset_config=dataset_config,
+            )
 
     def _fanout(self, item_sets: list[frozenset]) -> None:
         for listener in self._listeners:
@@ -141,6 +229,11 @@ class ManagedIndex:
         return self.kind in ("oif", "if")
 
     @property
+    def is_durable(self) -> bool:
+        """True when the entry persists updates to disk (WAL + checkpoints)."""
+        return isinstance(self._handle, DurableIndex)
+
+    @property
     def index(self) -> SetContainmentIndex:
         """The underlying disk-resident index (excluding any delta buffer)."""
         if self.supports_updates:
@@ -149,10 +242,12 @@ class ManagedIndex:
 
     @property
     def num_records(self) -> int:
+        """Records a query can currently return (buffered adds minus deletes)."""
         with self.lock.read_locked():
-            count = len(self._handle.dataset)
+            handle = _unwrap(self._handle)
+            count = len(handle.dataset)
             if self.supports_updates:
-                count += self._handle.pending_updates
+                count += len(handle.delta) - handle.pending_deletes
             return count
 
     @property
@@ -178,10 +273,16 @@ class ManagedIndex:
                 "build_seconds": round(self.build_seconds, 4),
                 "supports_updates": self.supports_updates,
             }
-            if isinstance(self._handle, UpdatableShardedOIF):
+            if isinstance(_unwrap(self._handle), UpdatableShardedOIF):
                 out["shards"] = self._handle.num_shards
                 out["shard_records"] = self._handle.index.shard_record_counts()
                 out["pending_per_shard"] = self._handle.pending_per_shard()
+            if self.is_durable:
+                store = self._handle.store
+                out["durable"] = True
+                out["generation"] = store.generation
+                out["checkpoint_age_seconds"] = round(store.checkpoint_age_seconds(), 3)
+                out["wal_bytes"] = sum(wal.size_bytes for wal in store._wals)
             return out
 
     # -- serving operations ----------------------------------------------------------
@@ -214,7 +315,7 @@ class ManagedIndex:
         deadlock); without one the shards evaluate serially.
         """
         with self.lock.read_locked():
-            if isinstance(self._handle, UpdatableShardedOIF):
+            if isinstance(_unwrap(self._handle), UpdatableShardedOIF):
                 record_ids, shard_stats = self._handle.evaluate_detail(
                     expr, pool=fanout_pool
                 )
@@ -246,13 +347,14 @@ class ManagedIndex:
         return self.measured_expr(QueryType.parse(query_type).leaf(items))
 
     def close(self) -> None:
-        """Compatibility no-op: entries no longer own per-index resources.
+        """Release per-entry resources.
 
-        The dedicated per-entry shard fan-out pool is gone — fan-out borrows
-        the caller's pool deadlock-free — so there is nothing left to
-        release.  Kept so embedding servers written against the old
-        lifecycle keep working.
+        Durable entries own open WAL file handles through their store; plain
+        entries own nothing (fan-out borrows the caller's pool), so for them
+        this stays the historical no-op.
         """
+        if self.is_durable:
+            self._handle.close()
 
     def insert(self, transactions: Iterable[Iterable[Item]]) -> list[int]:
         """Buffer new records (updatable kinds only); fires update listeners."""
@@ -267,8 +369,36 @@ class ManagedIndex:
                 # fail loudly, not be acknowledged into a discarded handle.
                 raise UnknownIndexError(f"no index named {self.name!r}")
             new_ids = self._handle.insert(materialized)
-            self._insert_log.extend(materialized)
+            self._insert_log.extend(
+                ("insert", (record_id, items))
+                for record_id, items in zip(new_ids, materialized)
+            )
             return new_ids
+
+    def delete(self, record_ids: Iterable[int]) -> list:
+        """Delete records by id (updatable kinds only); fires update listeners."""
+        if not self.supports_updates:
+            raise ServiceError(
+                f"index {self.name!r} (kind {self.kind!r}) does not support updates"
+            )
+        ids = list(record_ids)
+        with self.lock.write_locked():
+            if self.dropped:
+                raise UnknownIndexError(f"no index named {self.name!r}")
+            removed = self._handle.delete(ids)
+            self._insert_log.append(("delete", tuple(ids)))
+            return removed
+
+    def checkpoint(self, force: bool = False) -> dict:
+        """Flush deltas and publish a new on-disk generation (durable only)."""
+        if not self.is_durable:
+            raise ServiceError(f"index {self.name!r} is not durable")
+        with self.lock.write_locked():
+            if self.dropped:
+                raise UnknownIndexError(f"no index named {self.name!r}")
+            result = self._handle.checkpoint(force=force)
+            self._trim_insert_log()
+            return result
 
     def flush(self) -> "UpdateReport | None":
         """Merge the delta buffer into the disk index (no-op for static kinds)."""
@@ -309,25 +439,52 @@ class ManagedIndex:
     # -- rebuild ---------------------------------------------------------------------
 
     def snapshot_dataset(self) -> Dataset:
-        """Merged dataset (base + delta) as of now."""
+        """Merged dataset (base + delta, minus tombstones) as of now."""
         with self.lock.read_locked():
-            if self.supports_updates and self._handle.pending_updates:
-                return Dataset(list(self._handle.dataset) + self._handle.delta.records)
-            return self._handle.dataset
+            handle = _unwrap(self._handle)
+            if self.supports_updates and handle.pending_updates:
+                return handle.live_dataset()
+            return handle.dataset
 
     def swap_handle(self, fresh: "ManagedIndex", since_insert: int) -> None:
         """Atomically replace the underlying handle with ``fresh``'s.
 
-        ``since_insert`` is the insert-log position the fresh handle was built
-        from; any transactions inserted after it are replayed first so the
-        swap loses no update.  Exclusive: readers drain before the swap and
-        the next ones see the fresh handle — atomicity is the write lock.
+        ``since_insert`` is the update-log position the fresh handle was built
+        from; transactions logged after it are replayed first — inserts under
+        their original, already-acked record ids — so the swap loses no
+        update.  Exclusive: readers drain before the swap and the next ones
+        see the fresh handle — atomicity is the write lock.  For durable
+        entries the :class:`~repro.durability.DurableIndex` facade (WAL +
+        manifest) stays in place; only its wrapped handle is swapped.
         """
         with self.lock.write_locked():
             missed = self._insert_log[max(0, since_insert - self._insert_log_base):]
-            if missed:
-                fresh._handle.insert(missed)
-            self._handle = fresh._handle
+            fresh_inner = _unwrap(fresh._handle)
+            for op, payload in missed:
+                if op == "insert":
+                    record_id, items = payload
+                    # Re-apply under the id the live handle acked: aligning
+                    # the counter makes the fresh handle assign exactly it.
+                    fresh_inner._next_id = max(fresh_inner._next_id, record_id)
+                    assigned = fresh._handle.insert([items])
+                    if assigned != [record_id]:
+                        raise ServiceError(
+                            f"rebuild replay assigned id {assigned}, "
+                            f"expected [{record_id}]"
+                        )
+                else:
+                    fresh._handle.delete(list(payload))
+            if self.supports_updates:
+                # An id acked before the swap must never be reassigned after
+                # it, even when deleting the max-id record shrank the fresh
+                # handle's view of the id space.
+                fresh_inner._next_id = max(
+                    fresh_inner._next_id, _unwrap(self._handle)._next_id
+                )
+            if self.is_durable:
+                self._handle.swap_inner(fresh_inner)
+            else:
+                self._handle = fresh._handle
             if self.supports_updates:
                 # The forwarder of the old handle dies with it; the fresh
                 # handle was wired to ``fresh._fanout`` — rewire it to ours.
@@ -339,10 +496,24 @@ class ManagedIndex:
 
 
 class IndexManager:
-    """Registry of named resident indexes with lifecycle operations."""
+    """Registry of named resident indexes with lifecycle operations.
 
-    def __init__(self, result_cache: "ResultCache | None" = None) -> None:
+    With a ``data_dir``, every OIF index the manager creates is persisted
+    under ``data_dir/<name>/`` (page images + manifest + WAL) and
+    :meth:`open_resident` brings the whole catalog of persisted indexes back
+    after a restart — including updates that were acked but never
+    checkpointed, replayed from the WALs.
+    """
+
+    def __init__(
+        self,
+        result_cache: "ResultCache | None" = None,
+        data_dir: "str | None" = None,
+        fsync: str = "always",
+    ) -> None:
         self.result_cache = result_cache
+        self.data_dir = data_dir
+        self.fsync = fsync
         self._indexes: dict[str, ManagedIndex] = {}
         self._registry_lock = threading.RLock()
 
@@ -374,21 +545,39 @@ class IndexManager:
         name: str,
         dataset: Dataset,
         kind: str = "oif",
+        dataset_config: "dict | None" = None,
         **options,
     ) -> ManagedIndex:
-        """Build an index over ``dataset`` and register it under ``name``."""
+        """Build an index over ``dataset`` and register it under ``name``.
+
+        With a ``data_dir`` configured, ``oif`` indexes are built on
+        catalog-enabled environments and persisted to ``data_dir/<name>/``
+        before the entry is registered; ``dataset_config`` (if given) is
+        recorded in the manifest as provenance.
+        """
         with self._registry_lock:
             if name in self._indexes:
                 raise ServiceError(f"an index named {name!r} already exists")
             # Reserve the name so concurrent creates fail fast; the (slow)
             # build below runs without blocking access to other indexes.
             self._indexes[name] = None  # type: ignore[assignment]
+        durable = self.data_dir is not None and kind == "oif"
         try:
-            entry = ManagedIndex(name, kind, dataset, **options)
+            entry = ManagedIndex(name, kind, dataset, catalog_envs=durable, **options)
+            if durable:
+                entry.make_durable(
+                    os.path.join(self.data_dir, name),
+                    fsync=self.fsync,
+                    dataset_config=dataset_config,
+                )
         except BaseException:
             with self._registry_lock:
                 self._indexes.pop(name, None)
             raise
+        self._register(name, entry)
+        return entry
+
+    def _register(self, name: str, entry: ManagedIndex) -> None:
         def _invalidate(item_sets: list[frozenset]) -> None:
             # Resolve the cache at fire time, so wiring a cache into the
             # manager after indexes were created still invalidates correctly.
@@ -399,7 +588,61 @@ class IndexManager:
         entry.add_update_listener(_invalidate)
         with self._registry_lock:
             self._indexes[name] = entry
-        return entry
+
+    def open_resident(self) -> list[dict]:
+        """Reopen every persisted index under ``data_dir``; returns stats.
+
+        Each subdirectory holding a manifest is opened without its source
+        dataset — pages are loaded, the OIF state rebuilt and any updates
+        acked after the last checkpoint replayed from the WALs.  Returns one
+        stats dict per recovered index (name, generation, records, WAL
+        records replayed, torn bytes truncated, open seconds).
+        """
+        if self.data_dir is None:
+            return []
+        recovered: list[dict] = []
+        try:
+            names = sorted(os.listdir(self.data_dir))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            directory = os.path.join(self.data_dir, name)
+            if not os.path.isfile(os.path.join(directory, MANIFEST_NAME)):
+                continue
+            with self._registry_lock:
+                if name in self._indexes:
+                    raise ServiceError(
+                        f"an index named {name!r} already exists; cannot recover "
+                        f"{directory!r} over it"
+                    )
+            with obs_trace.span("index.recover", index=name):
+                start = time.perf_counter()
+                durable = open_index(directory, fsync=self.fsync)
+                store = durable.store
+                options = store.options
+                if store.kind == "sharded-oif":
+                    options["shards"] = store.manifest["shards"]
+                    if store.manifest.get("strategy", "hash") != "hash":
+                        options["strategy"] = store.manifest["strategy"]
+                entry = ManagedIndex(
+                    name, "oif", durable.dataset, handle=durable, **options
+                )
+                self._register(name, entry)
+                recovered.append(
+                    {
+                        "name": name,
+                        "generation": store.generation,
+                        "records": entry.num_records,
+                        "wal_records_replayed": store.replayed_records,
+                        "torn_bytes_truncated": store.torn_bytes_truncated,
+                        "open_seconds": round(time.perf_counter() - start, 4),
+                    }
+                )
+        return recovered
+
+    def checkpoint(self, name: str, force: bool = False) -> dict:
+        """Checkpoint one durable index (flush deltas, publish a generation)."""
+        return self.get(name).checkpoint(force=force)
 
     def get(self, name: str) -> ManagedIndex:
         with self._registry_lock:
@@ -425,7 +668,12 @@ class IndexManager:
         # cache stale results under a name that may be reused.
         with entry.lock.write_locked():
             entry.dropped = True
-        entry.close()
+        if entry.is_durable:
+            # Dropping a durable index removes its on-disk directory too —
+            # a restart must not resurrect an index the client evicted.
+            entry._handle.store.destroy()
+        else:
+            entry.close()
         if self.result_cache is not None:
             self.result_cache.invalidate_index(name)
 
@@ -448,7 +696,13 @@ class IndexManager:
                 # shared read hold is enough.
                 dataset = entry.snapshot_dataset()
                 mark = entry.insert_count
-            fresh = ManagedIndex(entry.name, entry.kind, dataset, **entry.options)
+            fresh = ManagedIndex(
+                entry.name,
+                entry.kind,
+                dataset,
+                catalog_envs=entry.catalog_envs,
+                **entry.options,
+            )
             entry.swap_handle(fresh, mark)
         return entry
 
@@ -463,12 +717,18 @@ class IndexManager:
 
     # -- lifecycle of the manager itself ----------------------------------------------
 
-    def close(self) -> None:
-        """Compatibility no-op (see :meth:`ManagedIndex.close`).
+    def close(self, checkpoint: bool = True) -> None:
+        """Release per-entry resources; checkpoint durable entries first.
 
-        Earlier versions parked a dedicated shard fan-out thread pool on
-        every sharded entry and released them here; fan-out now shares the
-        caller's executor pool, so no per-index threads exist to tear down.
+        A clean shutdown checkpoints every durable index so the next open is
+        a pure page load with an empty WAL; pass ``checkpoint=False`` to
+        skip that (crash-simulation paths).  Plain entries own no resources
+        (fan-out shares the caller's executor pool) and close as a no-op.
         """
         for entry in self:
+            if checkpoint and entry.is_durable and not entry.dropped:
+                try:
+                    entry.checkpoint()
+                except ServiceError:
+                    pass
             entry.close()

@@ -20,13 +20,23 @@ Endpoints (all payloads JSON):
   a transaction file (``{"name", "kind", "transactions" | "path", ...}``; an
   optional ``"shards": N`` partitions an OIF over N concurrently built
   shards);
-* ``DELETE /indexes/<name>``     — drop an index;
+* ``DELETE /indexes/<name>``     — drop an index (and, for durable indexes,
+  its on-disk directory);
 * ``POST /indexes/<name>/rebuild`` — rebuild and swap the index in place;
+* ``POST /indexes/<name>/checkpoint`` — flush deltas and publish a new
+  on-disk generation, truncating the index's write-ahead log
+  (``{"force"?: bool}``; durable indexes only);
 * ``POST /query``                — one query ``{"index", "type", "items"}``;
 * ``POST /batch``                — ``{"queries": [...]}``, answered
   concurrently, results in request order;
-* ``POST /update``               — insert transactions
-  (``{"index", "transactions", "flush"?}``); affected cache entries drop.
+* ``POST /update``               — insert and/or delete records
+  (``{"index", "transactions"?, "deletes"?, "flush"?}``); affected cache
+  entries drop, durable indexes write-ahead-log each change before acking.
+
+With ``data_dir`` set, indexes are persisted under it and a restarted server
+reopens every one of them at construction — pages loaded, WAL replayed — in
+seconds, without the source datasets.  ``checkpoint_interval`` arms a
+background thread that periodically checkpoints every durable index.
 """
 
 from __future__ import annotations
@@ -56,6 +66,13 @@ from repro.obs.slowlog import SlowQueryLog
 from repro.service.cache import ResultCache
 from repro.service.executor import DEFAULT_WORKERS, QueryExecutor
 from repro.service.index_manager import IndexManager
+from repro.service.stats import (
+    CHECKPOINT_AGE,
+    CHECKPOINTS_TOTAL,
+    WAL_BYTES,
+    WAL_REPLAYED_TOTAL,
+    WAL_TORN_BYTES_TOTAL,
+)
 
 #: Request body ceiling — a 100K-transaction dataset fits comfortably.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -96,6 +113,9 @@ class ServiceServer:
         slow_query_log: "str | None" = None,
         trace: bool = False,
         trace_sample: int = 1,
+        data_dir: "str | None" = None,
+        checkpoint_interval: "float | None" = None,
+        fsync: str = "always",
     ) -> None:
         # One cache must serve both roles — executor lookups and manager
         # invalidation; a split pair would never see its entries invalidated.
@@ -105,6 +125,11 @@ class ServiceServer:
         # shutdown; an externally supplied one (directly or via an executor)
         # may outlive the server, so its resources stay armed.
         self._owns_manager = executor is None and manager is None
+        if data_dir is not None and not self._owns_manager:
+            raise ServiceError(
+                "'data_dir' configures the manager this server builds; an "
+                "externally supplied manager/executor carries its own data_dir"
+            )
         if executor is not None:
             if manager is not None and manager is not executor.manager:
                 raise ServiceError(
@@ -121,7 +146,9 @@ class ServiceServer:
             if cache is None and manager is not None and manager.result_cache is not None:
                 cache = manager.result_cache
             self.cache = cache if cache is not None else ResultCache(capacity=cache_capacity)
-            self.manager = manager if manager is not None else IndexManager(result_cache=self.cache)
+            self.manager = manager if manager is not None else IndexManager(
+                result_cache=self.cache, data_dir=data_dir, fsync=fsync
+            )
             self.executor = QueryExecutor(
                 self.manager,
                 cache=self.cache,
@@ -137,6 +164,31 @@ class ServiceServer:
                 self.slow_log.sink = Path(slow_query_log)
         if trace:
             obs_trace.configure(enabled=True, sample_every=trace_sample)
+        #: Per-index recovery stats from opening the resident catalog (if any).
+        self.recovered: list[dict] = []
+        if self._owns_manager and self.manager.data_dir is not None:
+            registry = self.executor.stats.registry
+            self.recovered = self.manager.open_resident()
+            for info in self.recovered:
+                registry.counter(
+                    WAL_REPLAYED_TOTAL,
+                    "WAL records replayed during recovery",
+                    index=info["name"],
+                ).inc(info["wal_records_replayed"])
+                if info["torn_bytes_truncated"]:
+                    registry.counter(
+                        WAL_TORN_BYTES_TOTAL,
+                        "Torn WAL tail bytes truncated during recovery",
+                        index=info["name"],
+                    ).inc(info["torn_bytes_truncated"])
+        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_stop = threading.Event()
+        self._checkpoint_thread: "threading.Thread | None" = None
+        if checkpoint_interval:
+            self._checkpoint_thread = threading.Thread(
+                target=self._checkpoint_loop, name="repro-checkpoint", daemon=True
+            )
+            self._checkpoint_thread.start()
         self.started_at = time.time()
         handler = _make_handler(self, quiet=quiet)
         self._http = ThreadingHTTPServer((host, port), handler)
@@ -165,8 +217,30 @@ class ServiceServer:
         self._thread.start()
         return self
 
+    def _checkpoint_loop(self) -> None:
+        """Periodically checkpoint every durable index (background daemon)."""
+        while not self._checkpoint_stop.wait(self._checkpoint_interval):
+            for entry in self.manager:
+                if not entry.is_durable or entry.dropped:
+                    continue
+                try:
+                    result = entry.checkpoint()
+                except ReproError:
+                    continue  # e.g. the entry was dropped mid-iteration
+                if not result.get("skipped"):
+                    self.executor.stats.registry.counter(
+                        CHECKPOINTS_TOTAL,
+                        "Checkpoints published",
+                        index=entry.name,
+                        trigger="interval",
+                    ).inc()
+
     def shutdown(self) -> None:
         """Stop the HTTP loop, close the socket and drain the executor."""
+        self._checkpoint_stop.set()
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join(timeout=5.0)
+            self._checkpoint_thread = None
         if self._serving:
             # BaseServer.shutdown() waits on an event only serve_forever()
             # sets — calling it on a never-started server hangs forever.
@@ -178,10 +252,10 @@ class ServiceServer:
             self._thread = None
         self.executor.shutdown()
         if self._owns_manager:
-            # Compatibility hook: entries no longer own threads (shard
-            # fan-out borrows the executor pool), but close() stays in the
-            # lifecycle for embedders.  An externally supplied manager may
-            # keep serving after this server is gone either way.
+            # Clean shutdown: checkpoints every durable index (so the next
+            # open is a pure page load with an empty WAL) and releases the
+            # WAL file handles.  An externally supplied manager may keep
+            # serving after this server is gone, so it stays armed.
             self.manager.close()
 
     def __enter__(self) -> "ServiceServer":
@@ -221,6 +295,19 @@ class ServiceServer:
                     registry.gauge(
                         f"repro_result_cache_{key}", "Result cache statistic"
                     ).set(value)
+        for entry in self.manager:
+            if entry.is_durable and not entry.dropped:
+                store = entry._handle.store
+                registry.gauge(
+                    CHECKPOINT_AGE,
+                    "Seconds since the index's last checkpoint",
+                    index=entry.name,
+                ).set(store.checkpoint_age_seconds())
+                registry.gauge(
+                    WAL_BYTES,
+                    "Write-ahead log size in bytes",
+                    index=entry.name,
+                ).set(sum(wal.size_bytes for wal in store._wals))
         return self.executor.stats.render_prometheus()
 
     def slowlog(self) -> dict:
@@ -260,13 +347,32 @@ class ServiceServer:
                     "conflicting 'shards' values in the request body and 'options'"
                 )
             options = {**options, "shards": payload["shards"]}
+        provenance = (
+            {"source": "path", "path": str(path)}
+            if path is not None
+            else {"source": "inline", "transactions": len(dataset)}
+        )
         try:
-            entry = self.manager.create(name, dataset, kind=kind, **options)
+            entry = self.manager.create(
+                name, dataset, kind=kind, dataset_config=provenance, **options
+            )
         except TypeError as error:
             # An unknown/invalid index option is a client mistake, not a
             # server fault — surface it as 400 with the constructor's message.
             raise ServiceError(f"invalid index options: {error}") from error
         return entry.describe()
+
+    def checkpoint_index(self, name: str, payload: dict) -> dict:
+        """Checkpoint one durable index on request (``POST .../checkpoint``)."""
+        result = self.manager.checkpoint(name, force=bool(payload.get("force")))
+        if not result.get("skipped"):
+            self.executor.stats.registry.counter(
+                CHECKPOINTS_TOTAL,
+                "Checkpoints published",
+                index=name,
+                trigger="request",
+            ).inc()
+        return {"index": name, **result}
 
     def run_query(self, payload: dict) -> dict:
         outcome = self.executor.execute_expr(
@@ -297,8 +403,25 @@ class ServiceServer:
 
     def update(self, payload: dict) -> dict:
         name = self._field(payload, "index")
-        new_ids = self.manager.insert(name, self._transactions(payload))
-        response = {"index": name, "record_ids": new_ids, "inserted": len(new_ids)}
+        deletes = payload.get("deletes")
+        if deletes is not None and (
+            not isinstance(deletes, list)
+            or not deletes
+            or not all(
+                isinstance(record_id, int) and not isinstance(record_id, bool)
+                for record_id in deletes
+            )
+        ):
+            raise ServiceError("'deletes' must be a non-empty list of record ids")
+        if payload.get("transactions") is None and deletes is None:
+            raise ServiceError("an update needs 'transactions' and/or 'deletes'")
+        response: dict = {"index": name}
+        if payload.get("transactions") is not None:
+            new_ids = self.manager.insert(name, self._transactions(payload))
+            response.update({"record_ids": new_ids, "inserted": len(new_ids)})
+        if deletes is not None:
+            removed = self.manager.get(name).delete(deletes)
+            response["deleted"] = len(removed)
         if payload.get("flush"):
             report = self.manager.flush(name)
             if report is not None:
@@ -456,6 +579,9 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
             elif self.path.startswith("/indexes/") and self.path.endswith("/rebuild"):
                 name = unquote(self.path[len("/indexes/"):-len("/rebuild")])
                 self._dispatch(lambda: service.manager.rebuild(name).describe())
+            elif self.path.startswith("/indexes/") and self.path.endswith("/checkpoint"):
+                name = unquote(self.path[len("/indexes/"):-len("/checkpoint")])
+                self._dispatch(lambda: service.checkpoint_index(name, payload))
             else:
                 self._error(404, f"unknown path {self.path!r}")
 

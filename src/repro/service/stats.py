@@ -23,6 +23,11 @@ ERRORS_TOTAL = "repro_errors_total"
 PAGE_ACCESSES_TOTAL = "repro_page_accesses_total"
 READS_TOTAL = "repro_reads_total"
 DECODED_TOTAL = "repro_decoded_lookups_total"
+WAL_REPLAYED_TOTAL = "repro_wal_records_replayed_total"
+WAL_TORN_BYTES_TOTAL = "repro_wal_torn_bytes_truncated_total"
+CHECKPOINTS_TOTAL = "repro_checkpoints_total"
+CHECKPOINT_AGE = "repro_last_checkpoint_age_seconds"
+WAL_BYTES = "repro_wal_bytes"
 
 
 class LatencyRecorder:

@@ -18,6 +18,7 @@ set of I/O counters captures everything a query touches.
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
@@ -30,6 +31,18 @@ from repro.storage.stats import DiskModel, IOStatistics, ReadContext
 #: Cache size used by the paper's experiments (the Berkeley DB minimum).
 PAPER_CACHE_BYTES = 32 * 1024
 
+# Catalog page layout (page 0 of catalog-enabled environments): the header
+# carries the format magic/version and the page size the file was written
+# with, followed by one entry per table (name, access method, root page id).
+# The catalog is what makes a closed environment reopenable — without it the
+# table roots live only in Python objects.
+_CATALOG_MAGIC = 0x0C174106
+_CATALOG_VERSION = 1
+_CATALOG_HEADER = struct.Struct("<IHIH")  # magic, version, page size, entry count
+_CATALOG_ENTRY = struct.Struct("<HBII")  # name length, method code, root page, buckets
+_METHOD_CODES = {"btree": 0, "hash": 1}
+_METHOD_NAMES = {code: name for name, code in _METHOD_CODES.items()}
+
 
 class Environment:
     """Shared storage context: page file + buffer pool + I/O statistics."""
@@ -40,6 +53,7 @@ class Environment:
         cache_bytes: int = PAPER_CACHE_BYTES,
         path: str | None = None,
         disk_model: DiskModel | None = None,
+        catalog: bool = False,
     ) -> None:
         if cache_bytes < page_size:
             raise StorageError(
@@ -55,6 +69,18 @@ class Environment:
         self.cache_pages = max(1, cache_bytes // page_size)
         self.pool = BufferPool(self.page_file, capacity=self.cache_pages, stats=self.stats)
         self._tables: dict[str, Table] = {}
+        #: ``catalog=True`` reserves page 0 as a table catalog (name, access
+        #: method, root page per table), making the environment reopenable
+        #: from its page file alone.  Experiments keep it off so their page
+        #: counts match the paper's layout exactly.
+        self.has_catalog = catalog
+        if catalog:
+            if self.page_file.num_pages == 0:
+                if self.page_file.allocate() != 0:
+                    raise StorageError("the catalog page must be page 0")
+                self._write_catalog()
+            else:
+                self._load_catalog()
 
     def create_table(self, name: str, access_method: str = "btree", **kwargs: int) -> "Table":
         """Create (and register) a table with the given access method."""
@@ -62,6 +88,8 @@ class Environment:
             raise StorageError(f"table {name!r} already exists in this environment")
         table = Table(self, name, access_method, **kwargs)
         self._tables[name] = table
+        if self.has_catalog:
+            self._write_catalog()
         return table
 
     def table(self, name: str) -> "Table":
@@ -88,10 +116,98 @@ class Environment:
         """Total size of the allocated pages (the on-disk footprint)."""
         return self.page_file.num_pages * self.page_size
 
+    def sync(self) -> None:
+        """Flush dirty pages and fsync the backing file (durability barrier)."""
+        self.pool.flush()
+        self.page_file.sync()
+
     def close(self) -> None:
         """Flush dirty pages and close the backing file."""
         self.pool.flush()
         self.page_file.close()
+
+    # -- catalog page --------------------------------------------------------------
+
+    def load_catalog(self) -> None:
+        """(Re)read the catalog page and rebuild the table directory.
+
+        Used by the durability layer after copying a persisted page image
+        into a fresh environment: the pages carry the catalog, the Python
+        ``Table`` objects have to be reconstructed from it.
+        """
+        self.has_catalog = True
+        self._tables.clear()
+        self._load_catalog()
+
+    def _write_catalog(self) -> None:
+        """Serialize the table directory into page 0.
+
+        The catalog page is written through :attr:`page_file` directly rather
+        than the buffer pool so catalog maintenance never perturbs the I/O
+        counters the experiments report.
+        """
+        entries = []
+        for table in self._tables.values():
+            name_bytes = table.name.encode("utf-8")
+            if table._btree is not None:
+                root, buckets = table._btree.meta_page_id, 0
+            else:
+                assert table._hash is not None
+                root, buckets = 0, table._hash.num_buckets
+            entries.append(
+                _CATALOG_ENTRY.pack(
+                    len(name_bytes), _METHOD_CODES[table.access_method], root, buckets
+                )
+                + name_bytes
+            )
+        payload = _CATALOG_HEADER.pack(
+            _CATALOG_MAGIC, _CATALOG_VERSION, self.page_size, len(entries)
+        ) + b"".join(entries)
+        if len(payload) > self.page_size:
+            raise StorageError(
+                f"catalog of {len(self._tables)} tables does not fit in one "
+                f"{self.page_size}-byte page"
+            )
+        self.page_file.write(0, payload)
+
+    def _load_catalog(self) -> None:
+        """Rebuild ``_tables`` from page 0 of an existing environment."""
+        if self.page_file.num_pages == 0:
+            raise StorageError("environment file has no pages; nothing to reopen")
+        data = bytes(self.page_file.read(0))
+        if len(data) < _CATALOG_HEADER.size:
+            raise StorageError("environment file is too small to hold a catalog page")
+        magic, version, page_size, count = _CATALOG_HEADER.unpack_from(data, 0)
+        if magic != _CATALOG_MAGIC:
+            raise StorageError(
+                "environment file does not start with a catalog page "
+                f"(magic {magic:#x}, expected {_CATALOG_MAGIC:#x})"
+            )
+        if version != _CATALOG_VERSION:
+            raise StorageError(
+                f"environment catalog has format version {version}; this build "
+                f"reads version {_CATALOG_VERSION}"
+            )
+        if page_size != self.page_size:
+            raise StorageError(
+                f"environment was written with page size {page_size}, but is "
+                f"being opened with page size {self.page_size}"
+            )
+        offset = _CATALOG_HEADER.size
+        for _ in range(count):
+            name_len, method_code, root, buckets = _CATALOG_ENTRY.unpack_from(data, offset)
+            offset += _CATALOG_ENTRY.size
+            name = data[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            try:
+                method = _METHOD_NAMES[method_code]
+            except KeyError:
+                raise StorageError(
+                    f"catalog entry {name!r} has unknown access method code {method_code}"
+                ) from None
+            self._tables[name] = Table(
+                self, name, method, num_buckets=buckets or 64, root_page_id=root
+            )
 
 
 class Table:
@@ -103,20 +219,31 @@ class Table:
         name: str,
         access_method: str = "btree",
         num_buckets: int = 64,
+        root_page_id: int | None = None,
     ) -> None:
         self.env = env
         self.name = name
         self.access_method = access_method
         if access_method == "btree":
-            self._btree: BTree | None = BTree(env.pool)
+            self._btree: BTree | None = BTree(env.pool, meta_page_id=root_page_id)
             self._hash: HashFile | None = None
         elif access_method == "hash":
+            if root_page_id is not None:
+                raise StorageError(
+                    f"table {name!r} uses the hash access method, which does not "
+                    "support reopening; rebuild it or use a btree table"
+                )
             self._btree = None
             self._hash = HashFile(env.pool, num_buckets=num_buckets)
         else:
             raise StorageError(
                 f"unknown access method {access_method!r}; expected 'btree' or 'hash'"
             )
+
+    @property
+    def root_page_id(self) -> int:
+        """Meta page id anchoring the table on disk (btree tables only)."""
+        return self._require_btree().meta_page_id
 
     # -- common operations ---------------------------------------------------------
 

@@ -53,6 +53,14 @@ class PageFile(ABC):
     def close(self) -> None:
         """Release any underlying resources (no-op by default)."""
 
+    def sync(self) -> None:
+        """Force written pages to stable storage (no-op for memory backends).
+
+        Durability barriers (WAL truncation, snapshot publication) call this
+        before declaring data persistent; only :class:`FilePageFile` actually
+        has anything to fsync.
+        """
+
     # -- shared validation helpers -------------------------------------------------
 
     def _check_page_id(self, page_id: int) -> None:
@@ -135,6 +143,11 @@ class FilePageFile(PageFile):
     @property
     def num_pages(self) -> int:
         return self._num_pages
+
+    def sync(self) -> None:
+        """Flush Python buffers and fsync the file to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def close(self) -> None:
         self._file.flush()

@@ -1,0 +1,197 @@
+"""kill -9 recovery: a SIGKILLed server restarts with every acked update intact.
+
+These tests drive a real ``repro-oif serve`` subprocess — separate
+interpreter, real sockets, real files — so the recovery path is exercised
+exactly as an operator would hit it.  They are excluded from the fast CI step
+and run in a dedicated recovery step under ``pytest-timeout``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+from tests.conftest import make_skewed_transactions
+
+pytestmark = pytest.mark.timeout(120)
+
+BASE = [sorted(t) for t in make_skewed_transactions(120, seed=9)]
+STREAM = [sorted(t | {f"s{i}"}) for i, t in enumerate(make_skewed_transactions(60, seed=10))]
+PROBES = ["a", "b", "c", "d", "s1", "s5", "s20"]
+
+
+class ServeProcess:
+    """One ``python -m repro.cli serve`` subprocess bound to a free port."""
+
+    def __init__(self, data_dir: str, *extra: str) -> None:
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli", "serve",
+                "--port", "0", "--data-dir", data_dir, *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self) -> int:
+        deadline = time.time() + 60.0
+        lines = []
+        while time.time() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"server exited before binding:\n{''.join(lines)}"
+                )
+            lines.append(line)
+            if line.startswith("serving on http://"):
+                return int(line.split(":")[-1].split()[0].rstrip("/"))
+        raise AssertionError(f"server never bound a port:\n{''.join(lines)}")
+
+    def kill9(self) -> None:
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=30)
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+
+def probe_answers(client: ServiceClient, name: str) -> dict:
+    return {
+        item: client.query(name, "subset", [item])["record_ids"] for item in PROBES
+    }
+
+
+def test_sigkill_mid_update_stream_loses_no_acked_update(tmp_path):
+    crash_dir = str(tmp_path / "crash")
+    control_dir = str(tmp_path / "control")
+
+    # -- crashed run: stream updates, SIGKILL after the 25th ack ------------------
+    server = ServeProcess(crash_dir)
+    acked: list[list[str]] = []
+    try:
+        client = ServiceClient(port=server.port, timeout=30.0)
+        client.create_index("crash", transactions=BASE)
+        for i, transaction in enumerate(STREAM):
+            client.insert("crash", [transaction])
+            acked.append(transaction)  # response received => must survive kill -9
+            if i == 24:
+                break
+        client.close()
+    finally:
+        server.kill9()
+
+    # -- restart from the same directory ------------------------------------------
+    recovered = ServeProcess(crash_dir)
+    try:
+        client = ServiceClient(port=recovered.port, timeout=30.0)
+        recovered_answers = probe_answers(client, "crash")
+        client.close()
+    finally:
+        recovered.stop()
+
+    # -- control: a never-crashed server fed exactly the acked prefix --------------
+    control = ServeProcess(control_dir)
+    try:
+        client = ServiceClient(port=control.port, timeout=30.0)
+        client.create_index("crash", transactions=BASE)
+        for transaction in acked:
+            client.insert("crash", [transaction])
+        control_answers = probe_answers(client, "crash")
+        client.close()
+    finally:
+        control.stop()
+
+    assert recovered_answers == control_answers, (
+        "results after kill -9 + restart must be byte-identical to a run "
+        "that never crashed"
+    )
+
+
+def test_sigkill_after_checkpoint_and_more_updates(tmp_path):
+    """Checkpoint + post-checkpoint WAL records both survive the kill."""
+    data_dir = str(tmp_path / "data")
+    server = ServeProcess(data_dir)
+    try:
+        client = ServiceClient(port=server.port, timeout=30.0)
+        client.create_index("crash", transactions=BASE)
+        client.insert("crash", [STREAM[0]])
+        assert client.checkpoint("crash")["generation"] == 1
+        client.insert("crash", [STREAM[1], STREAM[2]])
+        client.delete("crash", [1, 2])
+        expected = probe_answers(client, "crash")
+        client.close()
+    finally:
+        server.kill9()
+
+    recovered = ServeProcess(data_dir)
+    try:
+        client = ServiceClient(port=recovered.port, timeout=30.0)
+        assert probe_answers(client, "crash") == expected
+        # The recovered index is fully live: updates and checkpoints work.
+        client.insert("crash", [["post", "recovery"]])
+        assert client.query("crash", "subset", ["post"])["record_ids"]
+        assert client.checkpoint("crash")["generation"] >= 2
+        client.close()
+    finally:
+        recovered.stop()
+
+
+def test_recovered_server_reports_replayed_records(tmp_path):
+    data_dir = str(tmp_path / "data")
+    server = ServeProcess(data_dir)
+    try:
+        client = ServiceClient(port=server.port, timeout=30.0)
+        client.create_index("crash", transactions=BASE)
+        client.insert("crash", [STREAM[0], STREAM[1]])
+        client.close()
+    finally:
+        server.kill9()
+
+    recovered = ServeProcess(data_dir)
+    try:
+        client = ServiceClient(port=recovered.port, timeout=30.0)
+        metrics = client.metrics()
+        assert 'repro_wal_records_replayed_total{index="crash"}' in metrics
+        client.close()
+    finally:
+        recovered.stop()
+
+
+def test_fsync_never_still_recovers_after_clean_process_death(tmp_path):
+    """'never' skips fsync, not the OS write: SIGKILL (no power loss) keeps data."""
+    data_dir = str(tmp_path / "data")
+    server = ServeProcess(data_dir, "--fsync", "never")
+    try:
+        client = ServiceClient(port=server.port, timeout=30.0)
+        client.create_index("crash", transactions=BASE)
+        client.insert("crash", [STREAM[0]])
+        expected = probe_answers(client, "crash")
+        client.close()
+    finally:
+        server.kill9()
+    recovered = ServeProcess(data_dir, "--fsync", "never")
+    try:
+        client = ServiceClient(port=recovered.port, timeout=30.0)
+        assert probe_answers(client, "crash") == expected
+        client.close()
+    finally:
+        recovered.stop()

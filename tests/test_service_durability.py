@@ -1,0 +1,184 @@
+"""Durability through the serving stack: data_dir restarts, checkpoints, metrics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import Dataset
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ServiceServer
+from repro.service.index_manager import IndexManager
+
+from tests.conftest import PAPER_TRANSACTIONS
+
+BASE = [sorted(transaction) for transaction in PAPER_TRANSACTIONS]
+
+
+@pytest.fixture()
+def data_dir(tmp_path) -> str:
+    return str(tmp_path / "data")
+
+
+def serve(data_dir: str, **kwargs) -> ServiceServer:
+    """Build (without starting) a durable server; use as a context manager."""
+    return ServiceServer(port=0, data_dir=data_dir, fsync="never", **kwargs)
+
+
+def test_restart_preserves_indexes_and_unflushed_updates(data_dir):
+    with serve(data_dir) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("demo", transactions=BASE)
+        inserted = client.insert("demo", [["a", "fresh"]])["record_ids"]
+        client.delete("demo", [1])  # server-side ids start at 1
+        answers = {
+            q: client.query("demo", "subset", [q])["record_ids"]
+            for q in ("a", "b", "fresh")
+        }
+        client.close()
+        # Context exit is a *clean* shutdown: durable entries checkpoint.
+
+    with serve(data_dir) as server:
+        assert [info["name"] for info in server.recovered] == ["demo"]
+        client = ServiceClient(port=server.port)
+        for q, expected in answers.items():
+            assert client.query("demo", "subset", [q])["record_ids"] == expected
+        # The id space continues past the pre-restart inserts.
+        again = client.insert("demo", [["b", "later"]])["record_ids"]
+        assert again[0] > inserted[0]
+        client.close()
+
+
+def test_unclean_stop_recovers_from_the_wal(data_dir):
+    server = serve(data_dir).start()
+    client = ServiceClient(port=server.port)
+    client.create_index("demo", transactions=BASE)
+    client.insert("demo", [["wal", "a"], ["wal", "b"]])
+    expected = client.query("demo", "subset", ["wal"])["record_ids"]
+    client.close()
+    # Simulate a crash: skip the checkpointing close entirely.
+    server.manager.close(checkpoint=False)
+    server._owns_manager = False  # the manager is already "dead"
+    server.shutdown()
+
+    with serve(data_dir) as reborn:
+        [info] = reborn.recovered
+        assert info["wal_records_replayed"] >= 1
+        client = ServiceClient(port=reborn.port)
+        assert client.query("demo", "subset", ["wal"])["record_ids"] == expected
+        metrics = client.metrics()
+        assert 'repro_wal_records_replayed_total{index="demo"}' in metrics
+        client.close()
+
+
+def test_checkpoint_endpoint_and_gauges(data_dir):
+    with serve(data_dir) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("demo", transactions=BASE)
+        client.insert("demo", [["ckpt", "a"]])
+        result = client.checkpoint("demo")
+        assert result["generation"] == 1
+        assert client.checkpoint("demo").get("skipped") is True
+        describe = [d for d in client.indexes() if d["name"] == "demo"][0]
+        assert describe["durable"] is True
+        assert describe["generation"] == 1
+        metrics = client.metrics()
+        assert 'repro_checkpoints_total{index="demo",trigger="request"}' in metrics
+        assert 'repro_last_checkpoint_age_seconds{index="demo"}' in metrics
+        assert 'repro_wal_bytes{index="demo"}' in metrics
+        client.close()
+
+
+def test_checkpoint_on_a_plain_index_is_a_client_error(data_dir, tmp_path):
+    with ServiceServer(port=0) as server:  # no data_dir: nothing durable
+        client = ServiceClient(port=server.port)
+        client.create_index("plain", transactions=BASE)
+        with pytest.raises(ServiceError, match="not durable"):
+            client.checkpoint("plain")
+        client.close()
+
+
+def test_background_checkpoint_interval(data_dir):
+    with serve(data_dir, checkpoint_interval=0.2) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("demo", transactions=BASE)
+        client.insert("demo", [["tick", "a"]])
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            entry = server.manager.get("demo")
+            if entry._handle.store.generation >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("the background thread never checkpointed")
+        metrics = client.metrics()
+        assert 'repro_checkpoints_total{index="demo",trigger="interval"}' in metrics
+        client.close()
+
+
+def test_drop_removes_the_persisted_directory(data_dir):
+    import os
+
+    with serve(data_dir) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("demo", transactions=BASE)
+        assert os.path.isdir(os.path.join(data_dir, "demo"))
+        client.drop_index("demo")
+        assert not os.path.exists(os.path.join(data_dir, "demo"))
+        client.close()
+    with serve(data_dir) as reborn:
+        assert reborn.recovered == [], "a dropped index must not resurrect"
+
+
+def test_sharded_index_round_trips_through_restart(data_dir):
+    with serve(data_dir) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("sharded", transactions=BASE, shards=3)
+        client.insert("sharded", [["shardy", "a"]])
+        expected = client.query("sharded", "subset", ["a"])["record_ids"]
+        client.close()
+        server.manager.close(checkpoint=False)  # crash-style stop
+        server._owns_manager = False
+    with serve(data_dir) as reborn:
+        client = ServiceClient(port=reborn.port)
+        describe = [d for d in client.indexes() if d["name"] == "sharded"][0]
+        assert describe["shards"] == 3
+        assert client.query("sharded", "subset", ["a"])["record_ids"] == expected
+        client.close()
+
+
+def test_rebuild_keeps_durability(data_dir):
+    with serve(data_dir) as server:
+        client = ServiceClient(port=server.port)
+        client.create_index("demo", transactions=BASE)
+        client.insert("demo", [["pre", "a"]])
+        client.rebuild_index("demo")
+        entry = server.manager.get("demo")
+        assert entry.is_durable, "rebuild must not shed the WAL facade"
+        client.insert("demo", [["post", "b"]])
+        expected = {
+            q: client.query("demo", "subset", [q])["record_ids"]
+            for q in ("pre", "post")
+        }
+        client.close()
+        server.manager.close(checkpoint=False)
+        server._owns_manager = False
+    with serve(data_dir) as reborn:
+        client = ServiceClient(port=reborn.port)
+        for q, want in expected.items():
+            assert client.query("demo", "subset", [q])["record_ids"] == want
+        client.close()
+
+
+def test_manager_open_resident_conflicts_with_existing_name(data_dir):
+    manager = IndexManager(data_dir=data_dir, fsync="never")
+    dataset = Dataset.from_transactions(PAPER_TRANSACTIONS, start_id=101)
+    manager.create("demo", dataset)
+    manager.close()
+    clashing = IndexManager(fsync="never")
+    clashing.create("demo", dataset)  # plain registration first...
+    clashing.data_dir = data_dir
+    with pytest.raises(ServiceError, match="already exists"):
+        clashing.open_resident()  # ...then recovery must not clobber it
+    clashing.close()
