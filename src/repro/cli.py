@@ -118,6 +118,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shards", type=_positive_int, default=1,
         help="partition the index over N shards (fan-out + merged cursor)",
     )
+    query.add_argument(
+        "--shard-backend", choices=("threads", "processes"), default="threads",
+        help="evaluate shards in-process (default) or in worker processes "
+        "(--index oif with --shards > 1 only)",
+    )
+    query.add_argument(
+        "--shard-workers", type=_positive_int, default=None,
+        help="worker processes for --shard-backend processes",
+    )
     query.add_argument("--limit", type=int, default=20, help="max record ids to print")
     query.add_argument("--explain", action="store_true", help="print the physical plan")
     query.add_argument(
@@ -188,6 +197,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shards", type=_positive_int, default=1,
         help="partition the pre-loaded index over N shards (oif only)",
+    )
+    serve.add_argument(
+        "--shard-backend", choices=("threads", "processes"), default="threads",
+        help="fan sharded queries out on threads (default) or a persistent "
+        "worker-process pool that sidesteps the GIL",
+    )
+    serve.add_argument(
+        "--shard-workers", type=_positive_int, default=None,
+        help="worker processes for --shard-backend processes "
+        "(default: min(cpus, shards))",
     )
     serve.add_argument("--workers", type=int, default=4, help="query worker threads")
     serve.add_argument("--cache-capacity", type=int, default=4096, help="result cache entries")
@@ -298,51 +317,67 @@ def _parse_cli_expr(args: argparse.Namespace):
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = read_transactions(args.data)
     index_class = _INDEX_CLASSES[args.index]
-    if args.shards > 1:
+    pool = None
+    if args.shard_backend == "processes":
+        if args.index != "oif" or args.shards <= 1:
+            raise ReproError(
+                "--shard-backend processes needs --index oif with --shards > 1"
+            )
+        from repro.core.shard import ShardProcessPool
+
+        # Catalog-enabled shard environments so the pool can image them.
+        index = ShardedIndex(dataset, args.shards, catalog_pages=True)
+        pool = ShardProcessPool(index, args.shard_workers)
+        index.attach_process_pool(pool)
+    elif args.shards > 1:
         index = ShardedIndex(
             dataset, args.shards, factory=lambda shard_ds: index_class(shard_ds)
         )
     else:
         index = index_class(dataset)
     expr = _parse_cli_expr(args)
-    if args.explain:
-        # Plan without opening a cursor: executing here would warm the buffer
-        # pool and distort the measured page accesses below.
-        print(index.explain(expr))
-    root = None
-    if args.trace:
-        obs_trace.configure(enabled=True)
-        root = obs_trace.begin("query", index=index.name)
-    if args.cpu_profile is not None:
-        import cProfile
-        import pstats
+    try:
+        if args.explain:
+            # Plan without opening a cursor: executing here would warm the buffer
+            # pool and distort the measured page accesses below.
+            print(index.explain(expr))
+        root = None
+        if args.trace:
+            obs_trace.configure(enabled=True)
+            root = obs_trace.begin("query", index=index.name)
+        if args.cpu_profile is not None:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        result = index.measured_execute(expr)
-        profiler.disable()
-    else:
-        result = index.measured_execute(expr)
-    span_tree = None
-    if args.trace:
-        span_tree = obs_trace.finish(root)
-        obs_trace.disable()
-    shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
-    suffix = " ..." if result.cardinality > args.limit else ""
-    print(f"{result.cardinality} matching records: {shown}{suffix}")
-    print(
-        f"cost: {result.page_accesses} page accesses "
-        f"({result.random_reads} random, {result.sequential_reads} sequential), "
-        f"{result.io_time_ms:.2f} ms simulated I/O, {result.cpu_time_ms:.2f} ms CPU"
-    )
-    if span_tree is not None:
-        print("\ntrace:")
-        print(obs_trace.format_tree(span_tree))
-    if args.cpu_profile is not None:
-        print(f"\ncProfile: top {args.cpu_profile} by cumulative time")
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.strip_dirs().sort_stats("cumulative").print_stats(args.cpu_profile)
-    return 0
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result = index.measured_execute(expr)
+            profiler.disable()
+        else:
+            result = index.measured_execute(expr)
+        span_tree = None
+        if args.trace:
+            span_tree = obs_trace.finish(root)
+            obs_trace.disable()
+        shown = ", ".join(str(record_id) for record_id in result.record_ids[: args.limit])
+        suffix = " ..." if result.cardinality > args.limit else ""
+        print(f"{result.cardinality} matching records: {shown}{suffix}")
+        print(
+            f"cost: {result.page_accesses} page accesses "
+            f"({result.random_reads} random, {result.sequential_reads} sequential), "
+            f"{result.io_time_ms:.2f} ms simulated I/O, {result.cpu_time_ms:.2f} ms CPU"
+        )
+        if span_tree is not None:
+            print("\ntrace:")
+            print(obs_trace.format_tree(span_tree))
+        if args.cpu_profile is not None:
+            print(f"\ncProfile: top {args.cpu_profile} by cumulative time")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(args.cpu_profile)
+        return 0
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -409,6 +444,8 @@ def build_server(args: argparse.Namespace):
         data_dir=args.data_dir,
         checkpoint_interval=args.checkpoint_interval,
         fsync=args.fsync,
+        shard_backend=args.shard_backend,
+        shard_workers=args.shard_workers,
     )
     for info in server.recovered:
         print(
@@ -419,6 +456,14 @@ def build_server(args: argparse.Namespace):
     if args.shards > 1 and not args.data:
         server.shutdown()
         raise ReproError("--shards only applies to the pre-loaded index; pass --data")
+    if args.shard_backend == "processes" and args.data and (
+        args.shards <= 1 or args.index != "oif"
+    ):
+        server.shutdown()
+        raise ReproError(
+            "--shard-backend processes needs the pre-loaded index to be "
+            "--index oif with --shards > 1"
+        )
     if args.data and args.name in server.manager:
         # --data-dir already brought this name back; the transaction file was
         # only its original seed, so don't build (or error) over the

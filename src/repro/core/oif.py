@@ -201,6 +201,11 @@ class OrderedInvertedFile(SetContainmentIndex):
         :meth:`drop_cache`.
     item_order:
         Override the ``<_D`` order (e.g. to study non-frequency orderings).
+    catalog_pages:
+        When building a fresh environment (``env`` omitted), reserve page 0
+        as a table catalog so the page image can be snapshotted and reopened
+        verbatim — the prerequisite for durability snapshots and for the
+        multiprocess shard backend.  Ignored when ``env`` is supplied.
     """
 
     name = "OIF"
@@ -222,10 +227,13 @@ class OrderedInvertedFile(SetContainmentIndex):
         cache_bytes: int = PAPER_CACHE_BYTES,
         decoded_cache_bytes: "int | None" = DEFAULT_DECODED_CACHE_BYTES,
         item_order: ItemOrder | None = None,
+        catalog_pages: bool = False,
         build: bool = True,
     ) -> None:
         if env is None:
-            env = Environment(page_size=page_size, cache_bytes=cache_bytes)
+            env = Environment(
+                page_size=page_size, cache_bytes=cache_bytes, catalog=catalog_pages
+            )
         super().__init__(dataset, env)
         self.decoded_cache: "DecodedBlockCache | None" = (
             DecodedBlockCache(decoded_cache_bytes, stats=env.stats)

@@ -16,6 +16,11 @@ from repro.core.shard.partitioner import (
     make_partitioner,
     stable_id_hash,
 )
+from repro.core.shard.procpool import (
+    RemoteShardCursor,
+    ShardImage,
+    ShardProcessPool,
+)
 from repro.core.shard.sharded import (
     AbsorbReport,
     AggregateIOStatistics,
@@ -31,7 +36,10 @@ __all__ = [
     "HashPartitioner",
     "MergedShardCursor",
     "Partitioner",
+    "RemoteShardCursor",
     "RoundRobinPartitioner",
+    "ShardImage",
+    "ShardProcessPool",
     "ShardQueryStat",
     "ShardedIndex",
     "make_partitioner",

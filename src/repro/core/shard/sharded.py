@@ -42,6 +42,7 @@ from repro.core.query.planner import Planner
 from repro.core.records import Dataset, Record
 from repro.core.shard.merge import FanoutPlan, MergedShardCursor
 from repro.core.shard.partitioner import Partitioner, make_partitioner
+from repro.core.shard.procpool import RemoteShardCursor
 from repro.errors import QueryError
 from repro.obs import trace
 from repro.storage.stats import DiskModel, IOSnapshot, ReadContext
@@ -50,6 +51,21 @@ from repro.storage.stats import DiskModel, IOSnapshot, ReadContext
 ShardFactory = Callable[[Dataset], SetContainmentIndex]
 
 DEFAULT_NUM_SHARDS = 4
+
+
+def _merge_sorted(streams: "Sequence[Sequence[int]]") -> list[int]:
+    """Merge per-shard ascending id streams into one sorted list.
+
+    Concatenate-then-sort beats ``heapq.merge`` here: Timsort detects the
+    pre-sorted runs and gallops through them in C, while the heap pays a
+    per-element Python-level comparison.  Only valid for *materialized*
+    fan-out (the streaming path keeps its lazy heap merge for early-stop).
+    """
+    merged: list[int] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort()
+    return merged
 
 
 def run_sharing_pool(pool: "ThreadPoolExecutor | None", run, items: Sequence) -> list:
@@ -110,7 +126,21 @@ class AggregateIOStatistics:
     @property
     def disk_model(self) -> DiskModel:
         shards = self._owner.live_shards
-        return shards[0].stats.disk_model if shards else DiskModel()
+        if not shards:
+            return DiskModel()
+        model = shards[0].stats.disk_model
+        for shard in shards[1:]:
+            if shard.stats.disk_model != model:
+                # Simulated I/O time is summed across shards, which is only
+                # meaningful when every shard prices its accesses the same
+                # way — answering with shards[0]'s model would silently
+                # misprice the others.
+                raise QueryError(
+                    "shards use different disk models "
+                    f"({model} vs {shard.stats.disk_model}); a sharded index "
+                    "needs one cost model across all shards"
+                )
+        return model
 
     def snapshot(self) -> IOSnapshot:
         total = IOSnapshot()
@@ -214,6 +244,13 @@ class ShardedIndex(SetContainmentIndex):
         self._planner: "Planner | None" = None
         self.partitioner = make_partitioner(strategy, num_shards)
         self.max_workers = max_workers
+        #: The OIF options the shards were built with — what the process
+        #: backend records in each shard image's state file so workers reopen
+        #: with identical decode behavior.  Unknown for custom factories.
+        self._index_options: "dict | None" = (
+            dict(index_kwargs) if factory is None else None
+        )
+        self._procpool = None
         self._factory: ShardFactory = factory or (
             lambda shard_dataset: OrderedInvertedFile(shard_dataset, **index_kwargs)
         )
@@ -256,6 +293,8 @@ class ShardedIndex(SetContainmentIndex):
         index._planner = None
         index.partitioner = make_partitioner(strategy, len(shards))
         index.max_workers = max_workers
+        index._index_options = dict(index_kwargs) if factory is None else None
+        index._procpool = None
         index._factory = factory or (
             lambda shard_dataset: OrderedInvertedFile(shard_dataset, **index_kwargs)
         )
@@ -286,6 +325,43 @@ class ShardedIndex(SetContainmentIndex):
         return [
             len(shard.dataset) if shard is not None else 0 for shard in self._shards
         ]
+
+    # -- execution backend (threads vs processes) --------------------------------------
+
+    @property
+    def process_pool(self):
+        """The attached :class:`~repro.core.shard.procpool.ShardProcessPool`, if any."""
+        return self._procpool
+
+    def attach_process_pool(self, pool) -> None:
+        """Route :meth:`execute`/:meth:`fanout_evaluate` through ``pool``.
+
+        The pool must have been built over *this* index — its workers hold
+        images of these shards' pages; attaching someone else's pool would
+        silently answer queries from a different dataset.
+        """
+        if pool.index is not self:
+            raise QueryError("the process pool was built for a different index")
+        self._procpool = pool
+
+    def detach_process_pool(self) -> None:
+        """Fall back to in-process (threaded) fan-out; the pool stays usable."""
+        self._procpool = None
+
+    def _absorb_remote(self, remote, ctx: "ReadContext | None") -> None:
+        """Fold one worker-shard result's I/O back into parent accounting.
+
+        Two destinations keep the two-level invariant intact across the
+        process boundary: the caller's read context (per-query exactness)
+        and the shard's own buffer pool totals (``sum(contexts) == totals``),
+        the latter under the pool's frame lock like every other mutation.
+        """
+        shard = self._shards[remote.position]
+        if shard is not None and shard.env is not None:
+            shard.env.pool.absorb_snapshot(remote.io)
+        if ctx is not None:
+            ctx.absorb_snapshot(remote.io)
+        trace.attach_rendered(remote.trace_tree)
 
     def _map_positions(
         self, positions: Sequence[int], build, max_workers: "int | None" = None
@@ -374,11 +450,34 @@ class ShardedIndex(SetContainmentIndex):
         layout-independent limited answer slice the sorted result instead,
         which is what the delta-aware wrappers and the service layer do
         (:meth:`repro.core.updates._UpdatableBase.evaluate`).
+
+        With a process pool attached, the shards evaluate eagerly in their
+        worker processes instead of streaming lazily: each worker gets the
+        whole slice bound pushed down as a per-shard ``limit`` (no shard can
+        contribute more than ``offset + count`` ids), so the merged answer —
+        including a limited prefix — is byte-identical to the threaded
+        stream's.  An explicit ``planner`` cannot cross the process boundary
+        and falls back to in-process execution.
         """
         if not isinstance(expr, Expr):
             raise QueryError(f"execute() needs a query expression, got {expr!r}")
         normalized = expr.normalize()
         inner, count, offset = split_limit(normalized)
+        procpool = self._procpool
+        if procpool is not None and planner is None:
+            cap = None if count is None else count + offset
+            remotes = procpool.evaluate(inner, cap=cap, sort=False)
+            cursors = []
+            for position in sorted(remotes):
+                remote = remotes[position]
+                self._absorb_remote(remote, ctx)
+                shard = self._shards[position]
+                cursors.append(
+                    RemoteShardCursor(shard.planner.plan(inner), remote.ids, remote.io)
+                )
+            return MergedShardCursor(
+                self, cursors, normalized, count=count, offset=offset, ctx=ctx
+            )
         cursors = [
             shard.execute(inner, planner=planner, ctx=ctx) for shard in self.live_shards
         ]
@@ -409,8 +508,37 @@ class ShardedIndex(SetContainmentIndex):
         query pool: tasks are submitted and then either awaited or — when the
         pool is saturated and never started them — cancelled and run inline
         by the caller, so fan-out can never deadlock on pool exhaustion.
+
+        With a process pool attached, the shards evaluate in their worker
+        processes instead (``pool`` is ignored): results and per-shard page
+        counts are bit-identical to the threaded fan-out, the workers'
+        I/O snapshots are absorbed back into the shard totals, and any trace
+        spans the workers record are grafted under the calling query's span.
         """
         inner, count, offset = split_limit(expr)
+        procpool = self._procpool
+        if procpool is not None:
+            remotes = procpool.evaluate(inner, sort=True)
+            stats: list[ShardQueryStat] = []
+            streams = []
+            for position in sorted(remotes):
+                remote = remotes[position]
+                self._absorb_remote(remote, None)
+                delta = remote.io
+                stats.append(
+                    ShardQueryStat(
+                        shard=position,
+                        matches=len(remote.ids),
+                        page_accesses=delta.page_reads,
+                        elapsed_ms=remote.elapsed_ms,
+                        random_reads=delta.random_reads,
+                        sequential_reads=delta.sequential_reads,
+                        decoded_hits=delta.decoded_hits,
+                        decoded_misses=delta.decoded_misses,
+                    )
+                )
+                streams.append(remote.ids)
+            return slice_ids(_merge_sorted(streams), count, offset), stats
         pairs = [
             (position, shard)
             for position, shard in enumerate(self._shards)
@@ -438,7 +566,7 @@ class ShardedIndex(SetContainmentIndex):
             return ids, stat
 
         outcomes = run_sharing_pool(pool, run, pairs)
-        merged = list(heapq.merge(*(ids for ids, _ in outcomes)))
+        merged = _merge_sorted([ids for ids, _ in outcomes])
         return slice_ids(merged, count, offset), [stat for _, stat in outcomes]
 
     # -- updates ---------------------------------------------------------------------
@@ -495,6 +623,11 @@ class ShardedIndex(SetContainmentIndex):
         self.dataset = Dataset(survivors + fresh)
         # Frequency statistics changed; replan from the merged dataset.
         self._planner = None
+        if self._procpool is not None:
+            # The rebuilt shards' workers hold stale page images; re-image
+            # exactly those positions and have the owners reopen them.  The
+            # caller (flush) holds the write lock, so no query races this.
+            self._procpool.refresh(sorted(groups))
         return AbsorbReport(
             records_absorbed=len(fresh),
             rebuilt_shards=tuple(sorted(groups)),

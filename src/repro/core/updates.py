@@ -596,6 +596,25 @@ class UpdatableShardedOIF(_UpdatableBase):
                 page_reads=report.io.page_reads,
             )
 
+    @property
+    def process_pool(self):
+        """The attached :class:`ShardProcessPool`, or ``None`` (delegated)."""
+        return self.index.process_pool
+
+    def attach_process_pool(self, pool) -> None:
+        """Route shard fan-out through a multiprocess backend.
+
+        Writes (``insert``/``delete``/``flush``) stay in the parent: the delta
+        buffer is merged after the workers' base-shard results come home, and
+        ``flush`` re-images the rebuilt shards into the pool automatically via
+        :meth:`ShardedIndex.absorb`.
+        """
+        self.index.attach_process_pool(pool)
+
+    def detach_process_pool(self):
+        """Detach and return the process pool (does not close it)."""
+        return self.index.detach_process_pool()
+
     def evaluate_detail(self, expr, pool=None):
         """Like :meth:`evaluate`, plus the per-shard cost breakdown.
 

@@ -65,6 +65,16 @@ class Span:
         with self._lock:
             self.children.append(child)
 
+    def adopt_rendered(self, tree: dict) -> None:
+        """Append an already-rendered child tree (from another process).
+
+        Worker processes cannot share contextvars with the parent, so they
+        finish their spans locally and ship the rendered dict back;
+        :meth:`as_dict` splices these in next to the live children.
+        """
+        with self._lock:
+            self.children.append(tree)
+
     def add_stage(self, name: str, elapsed_ms: float) -> None:
         slot = self.stages.get(name)
         if slot is None:
@@ -83,7 +93,10 @@ class Span:
                 for name, (count, total) in self.stages.items()
             }
         if self.children:
-            out["children"] = [child.as_dict() for child in self.children]
+            out["children"] = [
+                child if isinstance(child, dict) else child.as_dict()
+                for child in self.children
+            ]
         return out
 
 
@@ -185,6 +198,22 @@ def span(name: str, **meta) -> Iterator["Span | None"]:
         child.close()
         _current.reset(token)
         parent.span.adopt(child)
+
+
+def attach_rendered(tree: "dict | None") -> None:
+    """Adopt a pre-rendered span tree as a child of the current span.
+
+    The cross-process graft point: a shard worker traces its evaluation in
+    its own interpreter, renders the tree with :meth:`Span.as_dict` and ships
+    the dict home; the parent calls this inside the query's span so the
+    worker's phases land under the right query.  No-op outside a trace or
+    for ``None`` (the worker was not tracing).
+    """
+    if tree is None:
+        return
+    active = _current.get()
+    if active is not None:
+        active.span.adopt_rendered(tree)
 
 
 # -- hot-loop stages -----------------------------------------------------------------

@@ -46,7 +46,7 @@ from repro.concurrency import ReadWriteLock
 from repro.core.interfaces import QueryType, SetContainmentIndex
 from repro.core.items import Item
 from repro.core.records import Dataset
-from repro.core.shard import ShardQueryStat
+from repro.core.shard import ShardProcessPool, ShardQueryStat
 from repro.core.updates import (
     UpdatableIF,
     UpdatableOIF,
@@ -77,6 +77,11 @@ _STATIC_CLASSES = {
     "naive": NaiveScanIndex,
 }
 
+#: How sharded entries fan queries out: in-process threads (exact but
+#: GIL-bound) or a persistent worker-process pool (see
+#: :class:`repro.core.shard.ShardProcessPool`).
+SHARD_BACKENDS = ("threads", "processes")
+
 
 def _unwrap(handle):
     """Strip the durability facade for type dispatch on the inner handle."""
@@ -100,14 +105,44 @@ class ManagedIndex:
         *,
         catalog_envs: bool = False,
         handle=None,
+        shard_backend: str = "threads",
+        shard_workers: "int | None" = None,
         **options,
     ) -> None:
         if kind not in INDEX_KINDS:
             raise ServiceError(
                 f"unknown index kind {kind!r}; expected one of {list(INDEX_KINDS)}"
             )
+        if shard_backend not in SHARD_BACKENDS:
+            raise ServiceError(
+                f"unknown shard_backend {shard_backend!r}; "
+                f"expected one of {list(SHARD_BACKENDS)}"
+            )
+        if shard_workers is not None and (
+            isinstance(shard_workers, bool)
+            or not isinstance(shard_workers, int)
+            or shard_workers < 1
+        ):
+            raise ServiceError(
+                f"'shard_workers' must be a positive integer, got {shard_workers!r}"
+            )
+        if shard_backend == "processes":
+            shards = options.get("shards")
+            if kind != "oif" or not (
+                isinstance(shards, int) and not isinstance(shards, bool) and shards > 1
+            ):
+                raise ServiceError(
+                    "shard_backend 'processes' requires kind 'oif' with 'shards' > 1"
+                )
+            # Worker processes reopen shards from page images, which needs
+            # the page-0 catalog — force catalog environments regardless of
+            # whether the entry is also persisted.
+            catalog_envs = True
         self.name = name
         self.kind = kind
+        self.shard_backend = shard_backend
+        self.shard_workers = shard_workers
+        self._shard_pool: "ShardProcessPool | None" = None
         self.options = dict(options)
         #: Build (or build-and-flush-rebuild) on catalog-enabled storage
         #: environments, the prerequisite for persisting the page images.
@@ -218,6 +253,50 @@ class ManagedIndex:
                 dataset_config=dataset_config,
             )
 
+    def attach_shard_pool(self) -> "ShardProcessPool | None":
+        """Spawn the multiprocess shard backend (``shard_backend='processes'``).
+
+        Durable entries checkpoint on demand first (a fresh generation keeps
+        the WAL short and the base shards maximal before imaging); then every
+        live shard is materialized into the pool's temp directory and its
+        owning worker opens it.  No-op for the threads backend; idempotent.
+        """
+        if self.shard_backend != "processes" or self._shard_pool is not None:
+            return self._shard_pool
+        inner = _unwrap(self._handle)
+        if not isinstance(inner, UpdatableShardedOIF):
+            raise ServiceError(
+                f"index {self.name!r} is not sharded; the process backend "
+                "needs an 'oif' entry with 'shards' > 1"
+            )
+        if self.is_durable:
+            self.checkpoint(force=False)
+        pool_options = {
+            key: value
+            for key, value in self.options.items()
+            if key not in ("shards", "strategy", "build_workers")
+        }
+        pool = ShardProcessPool(
+            inner.index, self.shard_workers, options=pool_options
+        )
+        try:
+            inner.attach_process_pool(pool)
+        except BaseException:
+            pool.close()
+            raise
+        self._shard_pool = pool
+        return pool
+
+    def close_shard_pool(self) -> None:
+        """Detach and shut down the process backend (no-op when absent)."""
+        pool, self._shard_pool = self._shard_pool, None
+        if pool is None:
+            return
+        inner = _unwrap(self._handle)
+        if getattr(inner, "process_pool", None) is pool:
+            inner.detach_process_pool()
+        pool.close()
+
     def _fanout(self, item_sets: list[frozenset]) -> None:
         for listener in self._listeners:
             listener(item_sets)
@@ -277,6 +356,9 @@ class ManagedIndex:
                 out["shards"] = self._handle.num_shards
                 out["shard_records"] = self._handle.index.shard_record_counts()
                 out["pending_per_shard"] = self._handle.pending_per_shard()
+                out["shard_backend"] = self.shard_backend
+                if self._shard_pool is not None:
+                    out["shard_workers"] = self._shard_pool.num_workers
             if self.is_durable:
                 store = self._handle.store
                 out["durable"] = True
@@ -349,10 +431,11 @@ class ManagedIndex:
     def close(self) -> None:
         """Release per-entry resources.
 
-        Durable entries own open WAL file handles through their store; plain
-        entries own nothing (fan-out borrows the caller's pool), so for them
-        this stays the historical no-op.
+        Durable entries own open WAL file handles through their store;
+        process-backend entries own their worker pool; plain entries own
+        nothing (fan-out borrows the caller's pool) and close as a no-op.
         """
+        self.close_shard_pool()
         if self.is_durable:
             self._handle.close()
 
@@ -493,6 +576,12 @@ class ManagedIndex:
             # Everything in the log is now part of the swapped-in handle.
             self._insert_log_base += len(self._insert_log)
             self._insert_log.clear()
+        if self._shard_pool is not None:
+            # The old pool's workers hold images of the replaced shards;
+            # rebuild it over the fresh handle (outside the write lock — the
+            # spawn is slow and the swapped-in handle is already live).
+            self.close_shard_pool()
+            self.attach_shard_pool()
 
 
 class IndexManager:
@@ -510,10 +599,21 @@ class IndexManager:
         result_cache: "ResultCache | None" = None,
         data_dir: "str | None" = None,
         fsync: str = "always",
+        shard_backend: str = "threads",
+        shard_workers: "int | None" = None,
     ) -> None:
+        if shard_backend not in SHARD_BACKENDS:
+            raise ServiceError(
+                f"unknown shard_backend {shard_backend!r}; "
+                f"expected one of {list(SHARD_BACKENDS)}"
+            )
         self.result_cache = result_cache
         self.data_dir = data_dir
         self.fsync = fsync
+        #: Default fan-out backend for sharded entries; a create request can
+        #: override it per index with a ``shard_backend`` option.
+        self.shard_backend = shard_backend
+        self.shard_workers = shard_workers
         self._indexes: dict[str, ManagedIndex] = {}
         self._registry_lock = threading.RLock()
 
@@ -562,14 +662,33 @@ class IndexManager:
             # build below runs without blocking access to other indexes.
             self._indexes[name] = None  # type: ignore[assignment]
         durable = self.data_dir is not None and kind == "oif"
+        explicit_backend = "shard_backend" in options
+        shard_backend = options.pop("shard_backend", self.shard_backend)
+        shard_workers = options.pop("shard_workers", self.shard_workers)
+        shards = options.get("shards")
+        if not explicit_backend and shard_backend == "processes" and not (
+            isinstance(shards, int) and not isinstance(shards, bool) and shards > 1
+        ):
+            # The server-wide default must not break unsharded creates; an
+            # explicit per-request 'processes' ask still fails loudly.
+            shard_backend = "threads"
         try:
-            entry = ManagedIndex(name, kind, dataset, catalog_envs=durable, **options)
+            entry = ManagedIndex(
+                name,
+                kind,
+                dataset,
+                catalog_envs=durable,
+                shard_backend=shard_backend,
+                shard_workers=shard_workers,
+                **options,
+            )
             if durable:
                 entry.make_durable(
                     os.path.join(self.data_dir, name),
                     fsync=self.fsync,
                     dataset_config=dataset_config,
                 )
+            entry.attach_shard_pool()
         except BaseException:
             with self._registry_lock:
                 self._indexes.pop(name, None)
@@ -624,9 +743,23 @@ class IndexManager:
                     options["shards"] = store.manifest["shards"]
                     if store.manifest.get("strategy", "hash") != "hash":
                         options["strategy"] = store.manifest["strategy"]
-                entry = ManagedIndex(
-                    name, "oif", durable.dataset, handle=durable, **options
+                # The manager-wide process backend applies only to entries it
+                # can serve (sharded); monolithic recoveries stay threaded.
+                backend = (
+                    self.shard_backend
+                    if options.get("shards", 0) and options["shards"] > 1
+                    else "threads"
                 )
+                entry = ManagedIndex(
+                    name,
+                    "oif",
+                    durable.dataset,
+                    handle=durable,
+                    shard_backend=backend,
+                    shard_workers=self.shard_workers,
+                    **options,
+                )
+                entry.attach_shard_pool()
                 self._register(name, entry)
                 recovered.append(
                     {
@@ -668,6 +801,7 @@ class IndexManager:
         # cache stale results under a name that may be reused.
         with entry.lock.write_locked():
             entry.dropped = True
+        entry.close_shard_pool()
         if entry.is_durable:
             # Dropping a durable index removes its on-disk directory too —
             # a restart must not resurrect an index the client evicted.

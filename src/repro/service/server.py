@@ -116,6 +116,8 @@ class ServiceServer:
         data_dir: "str | None" = None,
         checkpoint_interval: "float | None" = None,
         fsync: str = "always",
+        shard_backend: str = "threads",
+        shard_workers: "int | None" = None,
     ) -> None:
         # One cache must serve both roles — executor lookups and manager
         # invalidation; a split pair would never see its entries invalidated.
@@ -129,6 +131,11 @@ class ServiceServer:
             raise ServiceError(
                 "'data_dir' configures the manager this server builds; an "
                 "externally supplied manager/executor carries its own data_dir"
+            )
+        if shard_backend != "threads" and not self._owns_manager:
+            raise ServiceError(
+                "'shard_backend' configures the manager this server builds; "
+                "set it on the supplied manager instead"
             )
         if executor is not None:
             if manager is not None and manager is not executor.manager:
@@ -147,7 +154,11 @@ class ServiceServer:
                 cache = manager.result_cache
             self.cache = cache if cache is not None else ResultCache(capacity=cache_capacity)
             self.manager = manager if manager is not None else IndexManager(
-                result_cache=self.cache, data_dir=data_dir, fsync=fsync
+                result_cache=self.cache,
+                data_dir=data_dir,
+                fsync=fsync,
+                shard_backend=shard_backend,
+                shard_workers=shard_workers,
             )
             self.executor = QueryExecutor(
                 self.manager,
@@ -221,6 +232,10 @@ class ServiceServer:
         """Periodically checkpoint every durable index (background daemon)."""
         while not self._checkpoint_stop.wait(self._checkpoint_interval):
             for entry in self.manager:
+                # Re-check between entries: shutdown must not wait for a
+                # whole sweep, only for the checkpoint already in flight.
+                if self._checkpoint_stop.is_set():
+                    return
                 if not entry.is_durable or entry.dropped:
                     continue
                 try:
@@ -239,7 +254,11 @@ class ServiceServer:
         """Stop the HTTP loop, close the socket and drain the executor."""
         self._checkpoint_stop.set()
         if self._checkpoint_thread is not None:
-            self._checkpoint_thread.join(timeout=5.0)
+            # Wait without a timeout: a checkpoint caught mid-write must
+            # finish before manager.close() tears the WAL handles down under
+            # it — the per-entry stop re-check in the loop bounds the wait to
+            # one in-flight checkpoint, not a whole sweep.
+            self._checkpoint_thread.join()
             self._checkpoint_thread = None
         if self._serving:
             # BaseServer.shutdown() waits on an event only serve_forever()

@@ -151,6 +151,17 @@ class BufferPool:
             self.flush()
             self._frames.clear()
 
+    def absorb_snapshot(self, snapshot) -> None:
+        """Fold a worker process's I/O snapshot into this pool's totals.
+
+        The worker evaluated against a verbatim image of this pool's pages,
+        so its reads belong in these totals for ``sum(contexts) == totals``
+        to keep holding.  Taken under the frame lock, like every other
+        mutation of :attr:`stats`.
+        """
+        with self._lock:
+            self.stats.absorb_snapshot(snapshot)
+
     @property
     def resident_pages(self) -> int:
         """Number of pages currently cached."""

@@ -178,6 +178,23 @@ class ReadContext:
         self.decoded_hits += other.decoded_hits
         self.decoded_misses += other.decoded_misses
 
+    def absorb_snapshot(self, snapshot: "IOSnapshot") -> None:
+        """Add a finished traversal's snapshot into this context.
+
+        The cross-process counterpart of :meth:`absorb`: a worker process
+        evaluates a shard with its own context and ships the resulting
+        :class:`IOSnapshot` back; the parent folds the counts into the
+        caller's context here.  Locality is untouched for the same reason as
+        in :meth:`absorb` — the worker's pages live in a different file.
+        """
+        self.page_reads += snapshot.page_reads
+        self.sequential_reads += snapshot.sequential_reads
+        self.random_reads += snapshot.random_reads
+        self.logical_reads += snapshot.logical_reads
+        self.cache_hits += snapshot.cache_hits
+        self.decoded_hits += snapshot.decoded_hits
+        self.decoded_misses += snapshot.decoded_misses
+
     def reset(self) -> None:
         """Zero the counters and forget locality."""
         self.page_reads = 0
@@ -264,6 +281,25 @@ class IOStatistics:
     def record_physical_write(self) -> None:
         """Count a dirty page flushed to disk."""
         self.page_writes += 1
+
+    def absorb_snapshot(self, snapshot: IOSnapshot) -> None:
+        """Fold a remote traversal's snapshot into the pool-wide totals.
+
+        Used when a worker process evaluated this environment's page image:
+        the pages it read are charged back here so the two-level invariant
+        (per-context counts sum to the owning pool's totals) keeps holding
+        across the process boundary.  Like every other mutation, callers must
+        serialize through the owning :class:`~repro.storage.buffer_pool.BufferPool`
+        (:meth:`BufferPool.absorb_snapshot`), not call this concurrently.
+        """
+        self.page_reads += snapshot.page_reads
+        self.page_writes += snapshot.page_writes
+        self.sequential_reads += snapshot.sequential_reads
+        self.random_reads += snapshot.random_reads
+        self.logical_reads += snapshot.logical_reads
+        self.cache_hits += snapshot.cache_hits
+        self.decoded_hits += snapshot.decoded_hits
+        self.decoded_misses += snapshot.decoded_misses
 
     def record_decoded(self, hit: bool, ctx: "ReadContext | None" = None) -> None:
         """Charge one decoded-block cache lookup to ``ctx`` *and* the totals.

@@ -117,6 +117,47 @@ def test_background_checkpoint_interval(data_dir):
         client.close()
 
 
+def test_shutdown_waits_for_inflight_background_checkpoint(data_dir):
+    """Teardown must not race a checkpoint already in flight.
+
+    The background daemon may be mid-checkpoint when ``shutdown()`` runs;
+    closing the manager (and its WAL handles) under it would tear the store
+    down mid-write.  The shutdown join is deliberately unbounded — this test
+    blocks the in-flight checkpoint for longer than the old 5-second join
+    timeout and asserts shutdown still waited it out.
+    """
+    import threading
+
+    server = serve(data_dir, checkpoint_interval=0.05)
+    finished = threading.Event()
+    try:
+        client = ServiceClient(port=server.start().port)
+        client.create_index("demo", transactions=BASE)
+        client.insert("demo", [["slow", "a"]])
+        client.close()
+        entry = server.manager.get("demo")
+        started = threading.Event()
+        release = threading.Event()
+        real_checkpoint = entry.checkpoint
+
+        def slow_checkpoint(force=False):
+            started.set()
+            release.wait(timeout=30.0)
+            try:
+                return real_checkpoint(force=force)
+            finally:
+                finished.set()
+
+        entry.checkpoint = slow_checkpoint
+        assert started.wait(timeout=10.0), "background checkpoint never started"
+        # Let the checkpoint outlive the historical join timeout; shutdown
+        # (below) must wait for it, not abandon the thread after 5 s.
+        threading.Timer(6.0, release.set).start()
+    finally:
+        server.shutdown()
+    assert finished.is_set(), "shutdown returned while a checkpoint was in flight"
+
+
 def test_drop_removes_the_persisted_directory(data_dir):
     import os
 

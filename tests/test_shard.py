@@ -18,7 +18,7 @@ from repro.core.shard import (
 )
 from repro.core.updates import ShardedDeltaBuffer, UpdatableOIF, UpdatableShardedOIF
 from repro.errors import QueryError
-from repro.storage.stats import IOSnapshot
+from repro.storage.stats import DiskModel, IOSnapshot
 
 
 class TestPartitioners:
@@ -226,6 +226,15 @@ class TestShardedIndex:
         assert total.page_reads == sum(
             shard.stats.page_reads for shard in sharded.live_shards
         )
+
+    def test_mixed_disk_models_across_shards_fail_loudly(self, larger_dataset):
+        sharded = ShardedIndex(larger_dataset, 3)
+        assert sharded.stats.disk_model == DiskModel()  # uniform: fine
+        # Re-pricing one shard must make the aggregate refuse rather than
+        # silently bill every shard at shard 0's rates.
+        sharded.live_shards[1].stats.disk_model = DiskModel(random_access_ms=1.0)
+        with pytest.raises(QueryError, match="different disk models"):
+            sharded.stats.disk_model
 
     def test_parallel_build_matches_serial_build(self, larger_dataset):
         serial = ShardedIndex(larger_dataset, 4)
