@@ -26,8 +26,23 @@ from typing import Iterable
 
 from repro.compression.postings import Posting, PostingColumns, PostingListCodec
 from repro.core.interfaces import SetContainmentIndex
-from repro.core.intersect import intersect_ids, superset_matches
+from repro.core.intersect import (
+    bitmap_and_dense,
+    bitmap_probe,
+    intersect_ids,
+    superset_matches,
+)
 from repro.core.items import Item, ItemOrder
+from repro.core.postings import (
+    DEFAULT_DENSE_RATIO,
+    REPR_ARRAY,
+    REPR_BITMAP,
+    DensePostings,
+    choose_representation,
+    extract_set_bits,
+    record_repr_choice,
+    to_dense,
+)
 from repro.core.records import Dataset
 from repro.core.sequence import encode_rank
 from repro.errors import IndexNotBuiltError, QueryError
@@ -62,17 +77,31 @@ class InvertedFile(SetContainmentIndex):
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_bytes: int = PAPER_CACHE_BYTES,
         num_buckets: int | None = None,
+        posting_repr: str = "auto",
+        dense_ratio: float = DEFAULT_DENSE_RATIO,
         build: bool = True,
     ) -> None:
         if env is None:
             env = Environment(page_size=page_size, cache_bytes=cache_bytes)
         super().__init__(dataset, env)
+        if posting_repr not in ("auto", "array"):
+            raise QueryError(
+                f"posting_repr must be 'auto' or 'array', got {posting_repr!r}"
+            )
         self.compress = compress
         self.num_buckets = num_buckets
+        self.posting_repr = posting_repr
+        self.dense_ratio = dense_ratio
         self._codec = PostingListCodec(compress=compress)
         self._order: ItemOrder | None = None
         self._table = None
         self._list_meta: dict[int, tuple[int, int]] = {}
+        # rank -> representation tag, chosen from list support at build/flush
+        # time so decode never re-inspects frequencies.  The tag is advisory:
+        # decode still applies the bitmap geometry guard, so a stale or
+        # adversarial tag can cost memory but never correctness — and the
+        # on-disk bytes are identical either way, so page accounting is too.
+        self._list_repr: dict[int, str] = {}
         self.build_report: IFBuildReport | None = None
         if build:
             self.build()
@@ -103,11 +132,16 @@ class InvertedFile(SetContainmentIndex):
         # last record id (the document-frequency bookkeeping every inverted
         # file maintains); batch updates use it to append without decoding.
         self._list_meta = {}
+        self._list_repr = {}
+        num_records = len(self.dataset)
         for rank in sorted(lists):
             postings = lists[rank]
             posting_count += len(postings)
             table.put(encode_rank(rank), self._codec.encode(postings))
             self._list_meta[rank] = (len(postings), postings[-1].record_id)
+            self._list_repr[rank] = choose_representation(
+                len(postings), num_records, self.dense_ratio
+            )
         self.env.pool.flush()
 
         self._table = table
@@ -155,6 +189,37 @@ class InvertedFile(SetContainmentIndex):
         if not self._table.contains(encode_rank(rank), ctx):
             return PostingColumns((), ())
         return self._codec.decode_columns(self._table.get(encode_rank(rank), ctx))
+
+    def fetch_postings(
+        self, item: Item, ctx: "ReadContext | None" = None
+    ) -> "DensePostings | PostingColumns":
+        """Retrieve one inverted list in its chosen representation.
+
+        Same whole-tuple fetch and byte-identical decode as
+        :meth:`fetch_columns`; a list tagged dense at build/flush time is then
+        converted to a packed bitmap (subject to the geometry guard), so the
+        intersection kernels dispatch on the runtime type.  Page accounting is
+        identical to the array path — the conversion touches no storage.
+        """
+        columns = self.fetch_columns(item, ctx)
+        if self.posting_repr != "array" and len(columns):
+            rank = self.order.try_rank_of(item)
+            if rank is not None and self._list_repr.get(rank) == REPR_BITMAP:
+                dense = to_dense(columns)
+                if dense is not None:
+                    record_repr_choice(REPR_BITMAP)
+                    return dense
+        record_repr_choice(REPR_ARRAY)
+        return columns
+
+    def repr_for(self, item: Item) -> str:
+        """The representation tag recorded for ``item`` (explain/metrics)."""
+        if self.posting_repr == "array" or self._order is None:
+            return REPR_ARRAY
+        rank = self._order.try_rank_of(item)
+        if rank is None:
+            return REPR_ARRAY
+        return self._list_repr.get(rank, REPR_ARRAY)
 
     def list_page_count(self, item: Item) -> int:
         """Number of data pages occupied by the item's list (for the space study)."""
@@ -208,7 +273,15 @@ class InvertedFile(SetContainmentIndex):
                 self._table.put(key, appended, replace=True)
             else:
                 self._table.put(key, self._codec.encode(postings), replace=True)
-            self._list_meta[rank] = (count + len(postings), postings[-1].record_id)
+            new_count = count + len(postings)
+            self._list_meta[rank] = (new_count, postings[-1].record_id)
+            # Re-choose the representation as the list grows: a list that
+            # crosses the density threshold on this flush decodes as a bitmap
+            # from now on.  (Tags of untouched lists are revisited on the next
+            # full build; meanwhile they are advisory-stale at worst.)
+            self._list_repr[rank] = choose_representation(
+                new_count, len(self.dataset), self.dense_ratio
+            )
             written += len(postings)
         self.env.pool.flush()
         return written
@@ -217,15 +290,35 @@ class InvertedFile(SetContainmentIndex):
 
     def _probe_subset(self, items: frozenset, ctx: "ReadContext | None" = None) -> list[int]:
         query = self._check_query(items)
-        lists = [self.fetch_columns(item, ctx) for item in sorted(query, key=str)]
-        if any(not len(columns) for columns in lists):
+        lists = [self.fetch_postings(item, ctx) for item in sorted(query, key=str)]
+        if any(not len(run) for run in lists):
             return []
-        # Shortest list first: ids are stored ascending, so the intersection
-        # is a galloping merge join over sorted columns (no hashing).
-        lists.sort(key=len)
-        result = list(lists[0].ids)
-        for columns in lists[1:]:
+        arrays = [run for run in lists if not isinstance(run, DensePostings)]
+        denses = [run for run in lists if isinstance(run, DensePostings)]
+        if not arrays:
+            # All lists dense: fold the word-AND kernel across the bitmaps
+            # (cheapest chain: fewest postings first keeps intermediates
+            # sparse) and extract ids once at the end.
+            denses.sort(key=len)
+            folded = denses[0]
+            for dense in denses[1:]:
+                folded = bitmap_and_dense(folded, dense)
+                if not len(folded.words):
+                    return []
+            return list(extract_set_bits(folded.words, folded.base))
+        # Shortest array first: ids are stored ascending, so the array chain
+        # is a galloping merge join over sorted columns (no hashing).  Dense
+        # lists then cost one O(1) membership probe per surviving candidate,
+        # regardless of their own length — exactly where the galloping merge
+        # hurt most.
+        arrays.sort(key=len)
+        result = list(arrays[0].ids)
+        for columns in arrays[1:]:
             result = intersect_ids(result, columns.ids)
+            if not result:
+                return []
+        for dense in denses:
+            result = bitmap_probe(dense, result)
             if not result:
                 return []
         return result

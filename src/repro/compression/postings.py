@@ -39,10 +39,30 @@ case for d-gapped lists).  :func:`encode_columns` is the matching batch
 encoder.  ``Posting`` stays as a lazy per-element view for compatibility:
 iterating or indexing a :class:`PostingColumns` materializes postings on
 demand.
+
+numpy backend
+-------------
+numpy is a first-class, selectable backend for the whole posting layer —
+the vectorized decoder here, the bitmap kernels in
+:mod:`repro.core.intersect` and the packed-word conversions in
+:mod:`repro.core.postings` all route through :func:`numpy_module`.  The
+backend is picked by :func:`set_backend` (or the ``REPRO_POSTINGS_BACKEND``
+environment variable) from three modes:
+
+* ``auto`` (default) — numpy when importable, with a size gate on the
+  decoder (:data:`_VECTOR_DECODE_BYTES`) below which the fixed vector-op
+  dispatch overhead loses to the tight Python loop;
+* ``numpy`` — numpy wherever applicable, without the decoder's size gate
+  (useful for measuring the crossover);
+* ``python`` — pure-Python everywhere, exactly what runs when numpy is not
+  installed.  All results are bit-identical across the three modes; the CI
+  no-numpy job keeps the pure paths green.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from array import array
 from itertools import accumulate, chain
 from typing import Iterable, Iterator, NamedTuple, Sequence
@@ -50,18 +70,49 @@ from typing import Iterable, Iterator, NamedTuple, Sequence
 from repro.compression import vbyte
 from repro.errors import CompressionError
 
-try:  # vectorized decode for large buffers; the pure-Python paths stand alone
+try:  # the pure-Python paths stand alone when numpy is not installed
     import numpy as _np
-except ImportError:  # pragma: no cover - numpy ships with the dataset layer
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
 _CONTINUATION_BIT = 0x80
 _PAYLOAD_MASK = 0x7F
 
-#: Buffers at least this large take the numpy path when numpy is available:
+#: Buffers at least this large take the numpy decode path in ``auto`` mode:
 #: below it the ~15 fixed vector-op dispatches cost more than the loop saves
 #: (OIF blocks sit well under this; whole IF lists sit well over it).
 _VECTOR_DECODE_BYTES = 1536
+
+#: The three posting-layer backends (see the module docstring).
+_BACKENDS = ("auto", "numpy", "python")
+_backend = os.environ.get("REPRO_POSTINGS_BACKEND", "auto").lower()
+if _backend not in _BACKENDS:  # a typo'd env var must not silently go pure
+    raise CompressionError(
+        f"REPRO_POSTINGS_BACKEND={_backend!r} is not one of {_BACKENDS}"
+    )
+
+
+def set_backend(mode: str) -> None:
+    """Select the posting-layer backend: ``auto``, ``numpy`` or ``python``."""
+    global _backend
+    if mode not in _BACKENDS:
+        raise CompressionError(f"backend {mode!r} is not one of {_BACKENDS}")
+    _backend = mode
+
+
+def get_backend() -> str:
+    """The posting-layer backend currently in effect."""
+    return _backend
+
+
+def numpy_module():
+    """The numpy module when the backend allows it, else ``None``.
+
+    Every vectorized path in the posting layer gates on this, so
+    ``set_backend("python")`` exercises exactly the code that runs when
+    numpy is not installed.
+    """
+    return None if _backend == "python" else _np
 
 
 class Posting(NamedTuple):
@@ -117,13 +168,20 @@ class PostingColumns:
 
     @property
     def nbytes(self) -> int:
-        """Approximate memory footprint (used by the decoded-block cache budget)."""
-        total = 0
+        """True cached footprint (the decoded-block cache budget's unit).
+
+        Charges both parallel columns *including* their container overhead
+        (``sys.getsizeof`` covers the ``array`` header plus its buffer) and
+        the object header itself — not just the id payload — so the
+        ``decoded_cache_bytes`` budget reflects what the cache actually
+        holds.  Plain-list fallback columns additionally charge the boxed
+        ints the list keeps alive.
+        """
+        total = sys.getsizeof(self)
         for column in (self.ids, self.lengths):
-            if isinstance(column, array):
-                total += column.itemsize * len(column)
-            else:
-                total += 32 * len(column)  # conservative for plain int lists
+            total += sys.getsizeof(column)
+            if not isinstance(column, array):
+                total += 28 * len(column)  # boxed ints held by a plain list
         return total
 
     def postings(self) -> list[Posting]:
@@ -190,9 +248,10 @@ def decode_columns(data: bytes, *, compress: bool = True, offset: int = 0) -> Po
       varint is a single byte: even positions are id gaps, odd positions are
       lengths, and the columns are built entirely by C-level slicing and
       :func:`itertools.accumulate` prefix summing;
-    * **vector path** — buffers past :data:`_VECTOR_DECODE_BYTES` (whole
-      inverted lists, not OIF blocks) decode with a handful of numpy
-      vector ops when numpy is importable;
+    * **vector path** — decodes with a handful of numpy vector ops when the
+      backend allows it (:func:`numpy_module`): in ``auto`` mode only for
+      buffers past :data:`_VECTOR_DECODE_BYTES` (whole inverted lists, not
+      OIF blocks), in ``numpy`` mode for every buffer;
     * **general path** — a single Python loop over the bytes, toggling
       between the id and the length of each pair; no per-integer function
       calls, no intermediate :class:`Posting` objects.
@@ -209,7 +268,9 @@ def decode_columns(data: bytes, *, compress: bool = True, offset: int = 0) -> Po
     if not data:
         return PostingColumns(array("Q"), array("Q"))
 
-    if _np is not None and len(data) >= _VECTOR_DECODE_BYTES:
+    if numpy_module() is not None and (
+        _backend == "numpy" or len(data) >= _VECTOR_DECODE_BYTES
+    ):
         columns = _decode_columns_vectorized(data, compress)
         if columns is not None:
             return columns

@@ -159,9 +159,20 @@ class SetContainmentIndex(ABC):
 
     @property
     def planner(self) -> Planner:
-        """The selectivity-aware planner over this index's dataset statistics."""
+        """The selectivity-aware planner over this index's dataset statistics.
+
+        Indexes with an adaptive posting-representation config (``posting_repr``
+        / ``dense_ratio``) pass it through so plans annotate each item with the
+        representation its list decodes under.
+        """
         if self._planner is None:
-            self._planner = Planner(self.dataset)
+            from repro.core.postings import DEFAULT_DENSE_RATIO
+
+            self._planner = Planner(
+                self.dataset,
+                dense_ratio=getattr(self, "dense_ratio", DEFAULT_DENSE_RATIO),
+                hybrid=getattr(self, "posting_repr", "auto") != "array",
+            )
         return self._planner
 
     def execute(

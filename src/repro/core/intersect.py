@@ -1,35 +1,55 @@
-"""Sorted-array merge-join kernels for the posting hot path.
+"""Merge-join and bitmap kernels for the posting hot path.
 
-Every query algorithm now carries candidates as parallel sorted columns
+Every query algorithm carries candidates as parallel sorted columns
 (ids + payloads) instead of dicts: intersection becomes a merge join over
-strictly increasing id runs.  The kernels here walk the *smaller* side and
-advance through the larger one with :func:`bisect.bisect_left` restricted to
-a moving lower bound — a galloping merge join.  When the sides are balanced
-the moving bound keeps each search short; when they are skewed (a 128-entry
-block against a million-candidate column, or vice versa) the cost collapses
-to ``|small| · log |large|`` with every comparison in C.
+strictly increasing id runs.  The merge kernels here walk the *smaller* side
+and advance through the larger one with :func:`bisect.bisect_left`
+restricted to a moving lower bound — a galloping merge join.  When the sides
+are balanced the moving bound keeps each search short; when they are skewed
+(a 128-entry block against a million-candidate column, or vice versa) the
+cost collapses to ``|small| · log |large|`` with every comparison in C.
 
-All functions require both id runs to be sorted strictly increasing and
-return columns in the same order, so the output feeds the next join without
-any re-sorting.
+Dense posting runs (:class:`repro.core.postings.DensePostings`, chosen per
+item by the density threshold) get bitmap kernels for every pairing:
+
+* :func:`bitmap_and` — bitmap × bitmap as a word-AND over the overlapping
+  word range, ``O(|D| / 64)`` regardless of list lengths;
+* :func:`bitmap_probe` / :func:`bitmap_window_probe` — bitmap × array as an
+  O(1)-per-candidate membership gather, ``O(|small|)`` total;
+* :func:`intersect_postings` — the dispatcher that picks the kernel from the
+  runtime types, so mixed joins cost ``O(min)``.
+
+All kernels require id runs sorted strictly increasing and return ids in the
+same order, so every pairing yields bit-identical results to the pure merge
+join.  The numpy paths are gated on the posting-layer backend knob
+(:func:`repro.compression.postings.numpy_module`); pure-Python fallbacks
+stand alone.
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
+from repro.compression.postings import numpy_module
 from repro.obs import trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.postings import DensePostings
 
 try:  # vectorized occurrence counting for large unions; pure paths stand alone
     import numpy as _np
-except ImportError:  # pragma: no cover - numpy ships with the dataset layer
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
 #: Unions smaller than this stay on the pure-Python merge: below it the
 #: numpy dispatch overhead outweighs the C-level sort.
 _VECTOR_UNION_VALUES = 2048
+
+#: Probes smaller than this stay on the pure-Python O(1)-per-id loop.
+_VECTOR_PROBE_VALUES = 32
 
 
 def intersect_ids(a_ids: Sequence[int], b_ids: Sequence[int]) -> list[int]:
@@ -170,7 +190,8 @@ def superset_matches(runs: "Sequence[tuple[Sequence[int], Sequence[int]]]") -> l
         live = [(ids, lens) for ids, lens in runs if len(ids)]
         if not live:
             return []
-        if _np is not None and sum(len(ids) for ids, _ in live) >= _VECTOR_UNION_VALUES:
+        np = numpy_module()
+        if np is not None and sum(len(ids) for ids, _ in live) >= _VECTOR_UNION_VALUES:
             try:
                 all_ids = _np.concatenate([_as_uint64(ids) for ids, _ in live])
                 all_lens = _np.concatenate([_as_uint64(lens) for _, lens in live])
@@ -195,3 +216,193 @@ def superset_matches(runs: "Sequence[tuple[Sequence[int], Sequence[int]]]") -> l
         ]
     finally:
         trace.stage_end("intersect", token)
+
+
+# -- bitmap kernels --------------------------------------------------------------------
+
+
+def _overlap_words(a: "DensePostings", b: "DensePostings") -> "tuple[int, int, int, int]":
+    """Word-aligned overlap of two bitmaps: ``(a_start, b_start, nwords, base)``."""
+    a_word0 = a.base >> 6
+    b_word0 = b.base >> 6
+    lo = max(a_word0, b_word0)
+    hi = min(a_word0 + len(a.words), b_word0 + len(b.words))
+    return lo - a_word0, lo - b_word0, hi - lo, lo << 6
+
+
+def bitmap_and_dense(a: "DensePostings", b: "DensePostings") -> "DensePostings":
+    """Bitmap × bitmap intersection as a new bitmap (no ids materialized).
+
+    Both bases are word-aligned, so the AND runs straight over the
+    overlapping word range with no shifting.  The result carries no lengths
+    column — it is an intermediate for folding chains of dense lists; extract
+    ids once at the end with :func:`~repro.core.postings.extract_set_bits`.
+    """
+    from repro.core.postings import DensePostings, record_kernel
+
+    started = perf_counter()
+    token = trace.stage_begin()
+    try:
+        a_start, b_start, nwords, base = _overlap_words(a, b)
+        words = array("Q")
+        first_id = 0
+        last_id = -1
+        if nwords > 0:
+            np = numpy_module()
+            if np is not None and nwords >= 8:
+                anded = np.frombuffer(a.words, np.uint64)[
+                    a_start : a_start + nwords
+                ] & np.frombuffer(b.words, np.uint64)[b_start : b_start + nwords]
+                words.frombytes(anded.tobytes())
+            else:
+                a_words = a.words
+                b_words = b.words
+                words = array(
+                    "Q",
+                    [
+                        a_words[a_start + i] & b_words[b_start + i]
+                        for i in range(nwords)
+                    ],
+                )
+            for index in range(len(words)):  # exact id bounds from the word scan
+                word = words[index]
+                if word:
+                    first_id = base + (index << 6) + (word & -word).bit_length() - 1
+                    break
+            for index in range(len(words) - 1, -1, -1):
+                word = words[index]
+                if word:
+                    last_id = base + (index << 6) + word.bit_length() - 1
+                    break
+        nbits = last_id - base + 1 if last_id >= base else 0
+        record_kernel("bitmap_and", perf_counter() - started)
+        return DensePostings(words, base, nbits, array("Q"), first_id, last_id)
+    finally:
+        trace.stage_end("intersect", token)
+
+
+def bitmap_and(a: "DensePostings", b: "DensePostings") -> "array":
+    """Bitmap × bitmap intersection, materialized as an ascending id column."""
+    from repro.core.postings import extract_set_bits
+
+    dense = bitmap_and_dense(a, b)
+    return extract_set_bits(dense.words, dense.base)
+
+
+def bitmap_probe(dense: "DensePostings", ids: Sequence[int]) -> list[int]:
+    """Bitmap × array intersection: O(1) membership gather per candidate id.
+
+    ``ids`` must be ascending; the result is the ascending subset present in
+    the bitmap — bit-identical to the galloping merge over the same runs.
+    """
+    from repro.core.postings import record_kernel
+
+    started = perf_counter()
+    token = trace.stage_begin()
+    try:
+        count = len(ids)
+        if not count or not len(dense.words):
+            return []
+        np = numpy_module()
+        if np is not None and count >= _VECTOR_PROBE_VALUES:
+            if isinstance(ids, array) and ids.typecode == "Q":
+                cand = np.frombuffer(ids, np.int64)
+            else:
+                cand = np.asarray(ids, np.int64)
+            relative = cand - dense.base
+            in_range = (relative >= 0) & (relative < len(dense.words) << 6)
+            scoped = relative[in_range]
+            words = np.frombuffer(dense.words, np.uint64)
+            hits = (
+                words[scoped >> 6] >> (scoped & 63).astype(np.uint64) & 1
+            ).astype(np.bool_)
+            return cand[in_range][hits].tolist()
+        base = dense.base
+        nbits = len(dense.words) << 6
+        words = dense.words
+        out: list[int] = []
+        append = out.append
+        for record_id in ids:
+            offset = record_id - base
+            if 0 <= offset < nbits and words[offset >> 6] >> (offset & 63) & 1:
+                append(record_id)
+        return out
+    finally:
+        record_kernel("bitmap_probe", perf_counter() - started)
+        trace.stage_end("intersect", token)
+
+
+def bitmap_window_probe(
+    cand_ids: Sequence[int],
+    cand_lo: int,
+    cand_hi: int,
+    dense: "DensePostings",
+    out_ids: list[int],
+) -> bool:
+    """Window form of :func:`bitmap_probe`, mirroring :func:`intersect_window`.
+
+    Probes ``cand_ids[cand_lo:cand_hi]`` against the bitmap and appends hits
+    to ``out_ids``; returns whether anything matched.  Lets the OIF stream a
+    moving candidate window over dense blocks without slicing.
+    """
+    from repro.core.postings import record_kernel
+
+    started = perf_counter()
+    token = trace.stage_begin()
+    try:
+        matched = False
+        if cand_hi <= cand_lo or not len(dense.words):
+            return False
+        base = dense.base
+        nbits = len(dense.words) << 6
+        words = dense.words
+        np = numpy_module()
+        if np is not None and cand_hi - cand_lo >= _VECTOR_PROBE_VALUES:
+            if isinstance(cand_ids, array) and cand_ids.typecode == "Q":
+                cand = np.frombuffer(cand_ids, np.int64)[cand_lo:cand_hi]
+            else:
+                cand = np.asarray(cand_ids[cand_lo:cand_hi], np.int64)
+            relative = cand - base
+            in_range = (relative >= 0) & (relative < nbits)
+            scoped = relative[in_range]
+            np_words = np.frombuffer(words, np.uint64)
+            hits = (
+                np_words[scoped >> 6] >> (scoped & 63).astype(np.uint64) & 1
+            ).astype(np.bool_)
+            found = cand[in_range][hits]
+            if len(found):
+                out_ids.extend(found.tolist())
+                matched = True
+            return matched
+        for index in range(cand_lo, cand_hi):
+            record_id = cand_ids[index]
+            offset = record_id - base
+            if 0 <= offset < nbits and words[offset >> 6] >> (offset & 63) & 1:
+                out_ids.append(record_id)
+                matched = True
+        return matched
+    finally:
+        record_kernel("bitmap_probe", perf_counter() - started)
+        trace.stage_end("intersect", token)
+
+
+def intersect_postings(a, b) -> "Sequence[int]":
+    """Intersect two posting runs, dispatching on their representations.
+
+    Each side is a :class:`~repro.core.postings.DensePostings`, a
+    :class:`~repro.compression.postings.PostingColumns`, or a bare sorted id
+    column.  bitmap × bitmap takes the word-AND kernel, bitmap × array the
+    membership probe (probing the array side, ``O(min)``), array × array the
+    galloping merge — all bit-identical on the same runs.
+    """
+    from repro.core.postings import DensePostings
+
+    a_dense = isinstance(a, DensePostings)
+    b_dense = isinstance(b, DensePostings)
+    if a_dense and b_dense:
+        return bitmap_and(a, b)
+    if a_dense:
+        return bitmap_probe(a, getattr(b, "ids", b))
+    if b_dense:
+        return bitmap_probe(b, getattr(a, "ids", a))
+    return intersect_ids(getattr(a, "ids", a), getattr(b, "ids", b))

@@ -31,6 +31,15 @@ from repro.core.interfaces import SetContainmentIndex
 from repro.core.items import Item, ItemOrder
 from repro.core.metadata import MetadataTable
 from repro.core.ordering import OrderedDataset, order_dataset
+from repro.core.postings import (
+    DEFAULT_DENSE_RATIO,
+    REPR_ARRAY,
+    REPR_BITMAP,
+    DensePostings,
+    choose_representation,
+    record_repr_choice,
+    to_dense,
+)
 from repro.core.records import Dataset
 from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
@@ -70,7 +79,7 @@ class BlockRef:
     the postings sit next to the key and :meth:`postings` is a pure decode.
     """
 
-    __slots__ = ("_oif", "_inline", "_page_id", "_offset", "_length")
+    __slots__ = ("_oif", "_inline", "_page_id", "_offset", "_length", "_dense")
 
     def __init__(
         self,
@@ -79,12 +88,14 @@ class BlockRef:
         page_id: int = 0,
         offset: int = 0,
         length: int = 0,
+        dense: bool = False,
     ) -> None:
         self._oif = oif
         self._inline = inline
         self._page_id = page_id
         self._offset = offset
         self._length = length
+        self._dense = dense
 
     @property
     def encoded_length(self) -> int:
@@ -100,34 +111,64 @@ class BlockRef:
         page = self._oif.env.pool.get_page(self._page_id, ctx)
         return bytes(page[self._offset : self._offset + self._length])
 
-    def columns(self, ctx: "ReadContext | None" = None) -> PostingColumns:
-        """The block's postings in columnar form — the query hot path.
+    def decoded(self, ctx: "ReadContext | None" = None) -> "PostingColumns | DensePostings":
+        """The block's postings in their chosen representation — the hot path.
 
-        Consults the owning index's decoded-block cache first.  A cache hit
-        skips the v-byte decode *but still charges the data-page access* to
-        ``ctx`` and the pool totals: the cache removes CPU, never simulated
-        I/O, so page counts stay identical with and without it.  The lookup
-        itself is recorded as a ``decoded_hit`` / ``decoded_miss`` on the
-        same context.
+        Blocks of an item tagged dense at build time decode into a
+        :class:`~repro.core.postings.DensePostings` bitmap (subject to the
+        geometry guard — a block whose ids sprawl keeps the array form);
+        everything else stays :class:`PostingColumns`.  The intersection
+        kernels dispatch on the returned type.
+
+        Consults the owning index's decoded-block cache first; the cached
+        entry is the chosen representation, so the conversion happens once
+        per residency.  A cache hit skips the v-byte decode *but still
+        charges the data-page access* to ``ctx`` and the pool totals: the
+        cache removes CPU, never simulated I/O, so page counts stay identical
+        with and without it — and identical across representations, which
+        never touch storage.  The lookup itself is recorded as a
+        ``decoded_hit`` / ``decoded_miss`` on the same context.
         """
         token = trace.stage_begin()
         try:
             if self._inline is not None:
                 # Inline blocks ride in the B-tree leaves and have no stable
                 # (page, offset) identity; decode directly.
-                return self._oif.decode_columns(self._inline)
+                return self._choose(self._oif.decode_columns(self._inline))
             cache = self._oif.decoded_cache
             if cache is None:
-                return self._oif.decode_columns(self.raw(ctx))
-            columns = cache.get((self._page_id, self._offset), ctx)
+                return self._choose(self._oif.decode_columns(self.raw(ctx)))
+            entry = cache.get((self._page_id, self._offset), ctx)
             page = self._oif.env.pool.get_page(self._page_id, ctx)
-            if columns is None:
+            if entry is None:
                 raw = bytes(page[self._offset : self._offset + self._length])
-                columns = self._oif.decode_columns(raw)
-                cache.put((self._page_id, self._offset), columns)
-            return columns
+                entry = self._choose(self._oif.decode_columns(raw))
+                cache.put((self._page_id, self._offset), entry)
+            return entry
         finally:
             trace.stage_end("decode", token)
+
+    def _choose(self, columns: PostingColumns) -> "PostingColumns | DensePostings":
+        """Apply the block's representation tag to a freshly decoded block."""
+        if self._dense:
+            dense = to_dense(columns)
+            if dense is not None:
+                record_repr_choice(REPR_BITMAP)
+                return dense
+        record_repr_choice(REPR_ARRAY)
+        return columns
+
+    def columns(self, ctx: "ReadContext | None" = None) -> PostingColumns:
+        """The block's postings in columnar form (see :meth:`decoded`).
+
+        Callers that need sorted id columns regardless of representation —
+        equality/superset evaluation, streaming single-item subsets — go
+        through here; a dense entry materializes its columns on the fly.
+        """
+        entry = self.decoded(ctx)
+        if isinstance(entry, DensePostings):
+            return entry.to_columns()
+        return entry
 
     def postings(self, ctx: "ReadContext | None" = None) -> list[Posting]:
         """Decode the block's postings, charging the data-page read to ``ctx``."""
@@ -199,6 +240,17 @@ class OrderedInvertedFile(SetContainmentIndex):
         entirely while still paying the block's simulated page access.  Pass
         ``0`` (or ``None``) to disable.  Invalidated on every rebuild and on
         :meth:`drop_cache`.
+    posting_repr:
+        ``"auto"`` (default) decodes blocks of items whose support reaches
+        ``dense_ratio`` of the record count as packed bitmaps
+        (:class:`~repro.core.postings.DensePostings`) and routes them through
+        the bitmap intersection kernels; ``"array"`` keeps every block in
+        sorted-id column form.  The stored bytes, the pages read and every
+        result are identical either way — only decode shape and CPU differ.
+    dense_ratio:
+        Density threshold for ``posting_repr="auto"``; an item appearing in
+        at least this fraction of records is tagged dense at build/flush
+        time.  Defaults to ``1/64``.
     item_order:
         Override the ``<_D`` order (e.g. to study non-frequency orderings).
     catalog_pages:
@@ -226,6 +278,8 @@ class OrderedInvertedFile(SetContainmentIndex):
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_bytes: int = PAPER_CACHE_BYTES,
         decoded_cache_bytes: "int | None" = DEFAULT_DECODED_CACHE_BYTES,
+        posting_repr: str = "auto",
+        dense_ratio: float = DEFAULT_DENSE_RATIO,
         item_order: ItemOrder | None = None,
         catalog_pages: bool = False,
         build: bool = True,
@@ -235,6 +289,17 @@ class OrderedInvertedFile(SetContainmentIndex):
                 page_size=page_size, cache_bytes=cache_bytes, catalog=catalog_pages
             )
         super().__init__(dataset, env)
+        if posting_repr not in ("auto", "array"):
+            raise QueryError(
+                f"posting_repr must be 'auto' or 'array', got {posting_repr!r}"
+            )
+        self.posting_repr = posting_repr
+        self.dense_ratio = dense_ratio
+        # item rank -> representation tag, chosen from the list's support at
+        # build time (rebuilds — the OIF's flush path — re-choose, so lists
+        # crossing the threshold switch representation then).  Advisory: the
+        # decode-time geometry guard still has the final say per block.
+        self._list_repr: dict[int, str] = {}
         self.decoded_cache: "DecodedBlockCache | None" = (
             DecodedBlockCache(decoded_cache_bytes, stats=env.stats)
             if decoded_cache_bytes
@@ -272,6 +337,25 @@ class OrderedInvertedFile(SetContainmentIndex):
             self.decoded_cache.invalidate()
         ordered = order_dataset(self.dataset, self._requested_order)
         posting_lists = self._collect_posting_lists(ordered)
+
+        # Tag each list's representation from its support before the blocks
+        # are laid out, so query-time decode never re-inspects frequencies.
+        # Supports come from the vocabulary (not the stored list length): the
+        # metadata table removes one posting per record, but density is a
+        # property of the item, not of what survived Theorem 1.
+        num_records = len(self.dataset)
+        order = ordered.order
+        self._list_repr = {
+            rank: choose_representation(
+                # Orders built without support stats (explicit overrides) fall
+                # back to the stored list length — support minus the records
+                # Theorem 1 covers, i.e. a slight, safe underestimate.
+                order.support(order.item_at(rank)) or len(posting_lists[rank]),
+                num_records,
+                self.dense_ratio,
+            )
+            for rank in posting_lists
+        }
 
         block_count = 0
         posting_count = 0
@@ -432,6 +516,7 @@ class OrderedInvertedFile(SetContainmentIndex):
         """
         if self._table is None:
             raise IndexNotBuiltError("the OIF has not been built yet")
+        dense = self.rank_is_dense(item_rank)
         seek_lower = roi.lower if self.tag_prefix is None else roi.lower[: self.tag_prefix]
         seek = search_key(item_rank, seek_lower, start_after_id)
         # Stage marks bracket each cursor step (never a yield): the consumer
@@ -450,16 +535,32 @@ class OrderedInvertedFile(SetContainmentIndex):
             block_key = BlockKey.decode(key_bytes)
             if block_key.item_rank != item_rank:
                 return
-            yield block_key, self._block_ref(value)
+            yield block_key, self._block_ref(value, dense)
             if block_key.tag > roi.upper:
                 return
 
-    def _block_ref(self, stored_value: bytes) -> BlockRef:
+    def _block_ref(self, stored_value: bytes, dense: bool = False) -> BlockRef:
         """Wrap a stored B-tree value (inline block or pointer) in a BlockRef."""
         if self.inline_blocks:
-            return BlockRef(self, inline=stored_value)
+            return BlockRef(self, inline=stored_value, dense=dense)
         page_id, offset, length = _BLOCK_POINTER.unpack(stored_value)
-        return BlockRef(self, page_id=page_id, offset=offset, length=length)
+        return BlockRef(self, page_id=page_id, offset=offset, length=length, dense=dense)
+
+    def rank_is_dense(self, item_rank: int) -> bool:
+        """Whether blocks of this list decode as bitmaps under the current config."""
+        return (
+            self.posting_repr != "array"
+            and self._list_repr.get(item_rank) == REPR_BITMAP
+        )
+
+    def repr_for(self, item: Item) -> str:
+        """The representation tag recorded for ``item`` (explain/metrics)."""
+        if self.posting_repr == "array" or self._ordered is None:
+            return REPR_ARRAY
+        rank = self.order.try_rank_of(item)
+        if rank is None:
+            return REPR_ARRAY
+        return self._list_repr.get(rank, REPR_ARRAY)
 
     def query_ranks(self, items: Iterable[Item]) -> SequenceForm | None:
         """Translate query items to a rank tuple; ``None`` if any item is unknown."""

@@ -1,0 +1,372 @@
+"""Adaptive posting representations: packed bitmaps next to sorted-id columns.
+
+The paper's whole premise is skewed item distributions, and the hottest
+inverted lists are exactly where a sorted-id column is the wrong shape: for
+an item appearing in more than ``1/64`` of the records, a packed bitset
+intersects in ``O(|D| / wordsize)`` *regardless of list length*, while a
+galloping merge still pays one Python-level bisect per element.  This module
+supplies the second representation and the policy that picks between them:
+
+* :class:`DensePostings` — one posting run as a packed 64-bit-word bitmap
+  over the record-id space plus the parallel ``lengths`` column, behind the
+  same protocol as :class:`~repro.compression.postings.PostingColumns`
+  (``len``/iterate/index yield :class:`~repro.compression.postings.Posting`
+  views; ``to_columns()`` materializes the sorted-id form).
+* :func:`choose_representation` — the per-item policy: an item whose support
+  reaches ``dense_ratio`` of the record count (default ``1/64``) is tagged
+  :data:`REPR_BITMAP`; everything else stays :data:`REPR_ARRAY`.  Indexes
+  record the tag in their list metadata at build/flush time so decode picks
+  the right shape without re-inspecting frequencies.
+* :func:`to_dense` — the geometry-guarded conversion: a list that is
+  frequent but whose ids sprawl over a huge span would make a bitmap
+  *larger* than the id column, so conversion only happens when the packed
+  words fit in the id column's budget.
+* :func:`pack_sorted_ids` / :func:`unpack_ids` — the wire codec used by the
+  multiprocess shard backend: dense result sets ship as packed words and are
+  converted back to sorted ids at the boundary.
+
+The intersection kernels pairing the two representations live in
+:mod:`repro.core.intersect`; this module also keeps the process-wide
+representation/kernel counters that back the ``repro_postings_repr_total``
+and bitmap-kernel families on ``/metrics``.
+
+Results are representation-independent by construction: every kernel and
+every conversion yields exactly the same sorted id sets, and no code path
+here touches storage — page counts and ``IOSnapshot`` accounting cannot
+differ between the array-only and hybrid configurations.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+from array import array
+from typing import Iterator, Sequence
+
+from repro.compression.postings import Posting, PostingColumns, numpy_module
+from repro.errors import CompressionError
+
+#: Representation tags recorded in list/block metadata (and persisted by the
+#: durability layer, which bumps its format version for them).
+REPR_ARRAY = "array"
+REPR_BITMAP = "bitmap"
+
+#: Default density threshold: an item appearing in at least ``1/64`` of the
+#: records gets the bitmap representation — the point where one AND over
+#: ``|D|/64`` words beats a per-element merge no matter how long the list is.
+DEFAULT_DENSE_RATIO = 1.0 / 64.0
+
+#: Set-bit positions per byte value, for the pure-Python bit extraction.
+_BYTE_BITS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1) for value in range(256)
+)
+
+
+def dense_threshold(num_records: int, dense_ratio: float = DEFAULT_DENSE_RATIO) -> int:
+    """Minimum support at which an item's list is tagged :data:`REPR_BITMAP`."""
+    if dense_ratio <= 0:
+        raise CompressionError(f"dense_ratio must be positive, got {dense_ratio}")
+    return max(1, math.ceil(num_records * dense_ratio))
+
+
+def choose_representation(
+    support: int, num_records: int, dense_ratio: float = DEFAULT_DENSE_RATIO
+) -> str:
+    """Pick the representation tag for one item from its frequency stats."""
+    if dense_ratio <= 0:
+        raise CompressionError(f"dense_ratio must be positive, got {dense_ratio}")
+    if num_records <= 0 or support <= 0:
+        return REPR_ARRAY
+    return (
+        REPR_BITMAP
+        if support >= dense_threshold(num_records, dense_ratio)
+        else REPR_ARRAY
+    )
+
+
+class DensePostings:
+    """One posting run as a packed bitmap plus the parallel ``lengths`` column.
+
+    Bit ``i`` of word ``w`` is set exactly when record id ``base + 64*w + i``
+    appears in the run; ``base`` is word-aligned so two bitmaps AND over
+    their overlapping words without shifting.  ``lengths`` stays a plain
+    column aligned with the set bits in ascending id order, so
+    :meth:`to_columns` reproduces the exact
+    :class:`~repro.compression.postings.PostingColumns` the array decoder
+    would have produced.
+
+    Like ``PostingColumns``, the class is a lazy :class:`Posting` view:
+    ``len``, iteration and indexing materialize postings on demand.
+    """
+
+    __slots__ = ("words", "base", "nbits", "lengths", "first_id", "last_id")
+
+    def __init__(
+        self,
+        words: "array",
+        base: int,
+        nbits: int,
+        lengths: Sequence[int],
+        first_id: int,
+        last_id: int,
+    ) -> None:
+        self.words = words
+        self.base = base
+        self.nbits = nbits
+        self.lengths = lengths
+        self.first_id = first_id
+        self.last_id = last_id
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_sorted_ids(
+        cls, ids: Sequence[int], lengths: "Sequence[int] | None" = None
+    ) -> "DensePostings":
+        """Build a bitmap from a strictly increasing id run (O(n))."""
+        if not len(ids):
+            return cls(array("Q"), 0, 0, array("Q"), 0, -1)
+        first_id = ids[0]
+        last_id = ids[-1]
+        if first_id < 0:
+            raise CompressionError(f"record ids must be non-negative, got {first_id}")
+        base = (first_id >> 6) << 6
+        nbits = last_id - base + 1
+        nwords = (nbits + 63) >> 6
+        np = numpy_module()
+        if np is not None and len(ids) >= 64:
+            if isinstance(ids, array) and ids.typecode == "Q":
+                relative = np.frombuffer(ids, np.int64) - base
+            else:
+                relative = np.asarray(ids, np.int64) - base
+            bits = np.zeros(nwords << 6, dtype=np.bool_)
+            bits[relative] = True
+            words = array("Q")
+            words.frombytes(np.packbits(bits, bitorder="little").tobytes())
+        else:
+            words = array("Q", bytes(8) * nwords)
+            for record_id in ids:
+                offset = record_id - base
+                words[offset >> 6] |= 1 << (offset & 63)
+        if lengths is None:
+            lengths = array("Q")
+        column = (
+            lengths
+            if isinstance(lengths, array)
+            else array("Q", list(lengths))
+        )
+        if len(column) and len(column) != len(ids):
+            raise CompressionError(
+                f"column length mismatch: {len(ids)} ids vs {len(column)} lengths"
+            )
+        return cls(words, base, nbits, column, first_id, last_id)
+
+    @classmethod
+    def from_columns(cls, columns: PostingColumns) -> "DensePostings":
+        """Build a bitmap from a decoded columnar run (ids strictly increasing)."""
+        return cls.from_sorted_ids(columns.ids, columns.lengths)
+
+    # -- the shared posting-run protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        if len(self.lengths):
+            return len(self.lengths)
+        return popcount_words(self.words)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.to_columns())
+
+    def __getitem__(self, index: int) -> Posting:
+        return self.to_columns()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (DensePostings, PostingColumns)):
+            mine = self.to_columns()
+            theirs = other.to_columns() if isinstance(other, DensePostings) else other
+            return mine == theirs
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"DensePostings({len(self)} postings over "
+            f"[{self.first_id}, {self.last_id}], {len(self.words)} words)"
+        )
+
+    @property
+    def ids(self) -> "array":
+        """Materialize the sorted id column (each call extracts afresh)."""
+        return extract_set_bits(self.words, self.base)
+
+    def to_columns(self) -> PostingColumns:
+        """Materialize the exact columnar form the array decoder would produce."""
+        ids = extract_set_bits(self.words, self.base)
+        if len(self.lengths) and len(self.lengths) != len(ids):
+            raise CompressionError(
+                f"corrupt dense run: {len(ids)} set bits vs {len(self.lengths)} lengths"
+            )
+        return PostingColumns(ids, self.lengths)
+
+    def postings(self) -> list[Posting]:
+        """Materialize the classic ``list[Posting]`` form."""
+        return self.to_columns().postings()
+
+    def contains(self, record_id: int) -> bool:
+        """O(1) membership probe."""
+        offset = record_id - self.base
+        if offset < 0 or offset >= self.nbits:
+            return False
+        return bool(self.words[offset >> 6] >> (offset & 63) & 1)
+
+    @property
+    def nbytes(self) -> int:
+        """True cached footprint: packed words, lengths column and object header."""
+        return (
+            sys.getsizeof(self.words)
+            + sys.getsizeof(self.lengths)
+            + sys.getsizeof(self)
+        )
+
+
+def to_dense(columns: PostingColumns) -> "DensePostings | None":
+    """Convert a columnar run to a bitmap when the geometry pays off.
+
+    Returns ``None`` when the run is empty or its packed words would exceed
+    the id column's own byte budget (one word per posting) — the case of a
+    frequent item whose ids sprawl over a sparse span, where a bitmap would
+    waste memory *and* kernel time.  The caller then keeps the array form;
+    the representation tag is advisory, never load-bearing for correctness.
+    """
+    count = len(columns.ids)
+    if not count:
+        return None
+    first = columns.ids[0]
+    last = columns.ids[-1]
+    if first < 0:
+        return None
+    nwords = ((last - ((first >> 6) << 6)) >> 6) + 1
+    if nwords > count:
+        return None
+    return DensePostings.from_columns(columns)
+
+
+# -- bit extraction / popcount ---------------------------------------------------------
+
+
+def extract_set_bits(words: "array | Sequence[int]", base: int) -> "array":
+    """Ascending ids of the set bits in ``words`` (bit 0 of word 0 = ``base``)."""
+    np = numpy_module()
+    if np is not None and len(words) >= 8:
+        if isinstance(words, array) and words.typecode == "Q":
+            packed = np.frombuffer(words, np.uint8)
+        else:
+            packed = np.frombuffer(array("Q", list(words)), np.uint8)
+        positions = np.flatnonzero(np.unpackbits(packed, bitorder="little"))
+        out = array("Q")
+        out.frombytes((positions.astype(np.uint64) + base).tobytes())
+        return out
+    table = _BYTE_BITS
+    ids: list[int] = []
+    extend = ids.extend
+    raw = words.tobytes() if isinstance(words, array) else array("Q", list(words)).tobytes()
+    offset = base
+    for byte in raw:
+        if byte:
+            extend(offset + bit for bit in table[byte])
+        offset += 8
+    return array("Q", ids)
+
+
+def popcount_words(words: "array | Sequence[int]") -> int:
+    """Total set bits across ``words``."""
+    return sum(word.bit_count() for word in words)
+
+
+# -- wire codec (multiprocess shard backend) -------------------------------------------
+
+
+def pack_sorted_ids(ids: Sequence[int]) -> "tuple[int, bytes] | None":
+    """Pack a strictly increasing id run into ``(base, words_bytes)``.
+
+    Returns ``None`` when the run is empty, not strictly increasing, or too
+    sparse for the packed words to undercut the raw ``array('Q')`` bytes by
+    at least 2x — the caller then ships the id column unchanged.  Round trip
+    via :func:`unpack_ids` reproduces the exact input order, which is why the
+    monotonicity check is part of the contract (an unsorted run would come
+    back reordered).
+    """
+    count = len(ids)
+    if count < 64:
+        return None
+    first = ids[0]
+    last = ids[-1]
+    if first < 0 or last < first:
+        return None
+    base = (first >> 6) << 6
+    nwords = ((last - base) >> 6) + 1
+    if nwords * 2 > count:  # packed words must be at least 2x smaller
+        return None
+    np = numpy_module()
+    if np is not None:
+        if isinstance(ids, array) and ids.typecode == "Q":
+            column = np.frombuffer(ids, np.uint64)
+        else:
+            try:
+                column = np.asarray(ids, np.uint64)
+            except (TypeError, OverflowError):
+                return None
+        if not bool((column[1:] > column[:-1]).all()):
+            return None
+    else:
+        previous = -1
+        for record_id in ids:
+            if record_id <= previous:
+                return None
+            previous = record_id
+    dense = DensePostings.from_sorted_ids(ids)
+    if popcount_words(dense.words) != count:
+        return None  # belt and braces: duplicates would fold into one bit
+    return base, dense.words.tobytes()
+
+
+def unpack_ids(base: int, words_bytes: bytes) -> "array":
+    """Inverse of :func:`pack_sorted_ids`: the ascending id column."""
+    words = array("Q")
+    words.frombytes(words_bytes)
+    return extract_set_bits(words, base)
+
+
+# -- process-wide representation / kernel telemetry ------------------------------------
+
+_counter_lock = threading.Lock()
+_repr_counts: dict[str, int] = {REPR_ARRAY: 0, REPR_BITMAP: 0}
+#: kernel name -> [invocations, cumulative seconds]
+_kernel_stats: dict[str, list] = {}
+
+
+def record_repr_choice(repr_tag: str, count: int = 1) -> None:
+    """Count one posting run decoded under ``repr_tag`` (feeds ``/metrics``)."""
+    with _counter_lock:
+        _repr_counts[repr_tag] = _repr_counts.get(repr_tag, 0) + count
+
+
+def record_kernel(kernel: str, seconds: float) -> None:
+    """Accumulate one bitmap-kernel invocation's wall time (feeds ``/metrics``)."""
+    with _counter_lock:
+        slot = _kernel_stats.get(kernel)
+        if slot is None:
+            slot = _kernel_stats[kernel] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += seconds
+
+
+def repr_counters() -> dict[str, int]:
+    """Snapshot of decoded-run counts by representation."""
+    with _counter_lock:
+        return dict(_repr_counts)
+
+
+def kernel_counters() -> dict[str, tuple[int, float]]:
+    """Snapshot of ``kernel -> (calls, cumulative seconds)``."""
+    with _counter_lock:
+        return {name: (slot[0], slot[1]) for name, slot in _kernel_stats.items()}

@@ -15,13 +15,18 @@ evaluation follows the paper:
    carry no posting (the metadata table replaces it), so candidates falling in
    its metadata region are accepted without touching the list (lines 11–14).
 
-The merge itself is array-native: candidates are parallel sorted columns
-(ids + lengths), each scanned block contributes its
-:class:`~repro.compression.postings.PostingColumns`, and survivors come from
-a galloping merge join (:mod:`repro.core.intersect`) over a moving candidate
-window — no per-posting objects, no dict hashing.  Block ids ascend within a
-list and across its blocks (records are numbered in tag order), so survivor
-columns stay sorted for free.
+The merge itself dispatches on each block's representation: candidates are
+parallel sorted columns (ids + lengths); a block decoding as
+:class:`~repro.compression.postings.PostingColumns` joins via a galloping
+merge over a moving candidate window, while blocks of dense-tagged items
+decode as :class:`~repro.core.postings.DensePostings` bitmaps and cost one
+O(1) membership probe per candidate in the window
+(:func:`~repro.core.intersect.bitmap_window_probe`) — exactly where the
+per-element merge hurt most.  Both kernels append identical survivors, and
+which blocks are *loaded* depends only on block keys and candidate bounds,
+so results and page counts are bit-identical across representations.  Block
+ids ascend within a list and across its blocks (records are numbered in tag
+order), so survivor columns stay sorted for free.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING
 
-from repro.core.intersect import intersect_window
+from repro.core.intersect import bitmap_window_probe, intersect_window
+from repro.core.postings import DensePostings
 from repro.core.roi import RangeOfInterest, subset_roi
 from repro.core.sequence import SequenceForm
 
@@ -90,12 +96,22 @@ def evaluate_subset(
                 # is never touched; only its key was read from the leaf.
                 previous_tag = block_key.tag
                 continue
-            block_ids = block.columns(ctx).ids
+            run = block.decoded(ctx)
+            if isinstance(run, DensePostings):
+                first_id, last_id = run.first_id, run.last_id
+            else:
+                block_ids = run.ids
+                first_id, last_id = block_ids[0], block_ids[-1]
             # Restrict the candidate column to this block's id span, then
-            # merge-join the smaller side against the larger.
-            cand_lo = bisect_left(cand_ids, block_ids[0], cand_lo)
-            cand_hi = bisect_right(cand_ids, block_ids[-1], cand_lo)
-            if intersect_window(cand_ids, cand_lo, cand_hi, block_ids, out_ids):
+            # join the window against the block in its native representation.
+            cand_lo = bisect_left(cand_ids, first_id, cand_lo)
+            cand_hi = bisect_right(cand_ids, last_id, cand_lo)
+            matched = (
+                bitmap_window_probe(cand_ids, cand_lo, cand_hi, run, out_ids)
+                if isinstance(run, DensePostings)
+                else intersect_window(cand_ids, cand_lo, cand_hi, block_ids, out_ids)
+            )
+            if matched:
                 if first_survivor_lower is None:
                     first_survivor_lower = previous_tag
                 last_survivor_upper = block_key.tag

@@ -22,10 +22,12 @@ counts that define the ``<_D`` order) plus its record-length histogram.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.postings import DEFAULT_DENSE_RATIO, REPR_ARRAY, REPR_BITMAP, dense_threshold
 from repro.core.query.expr import (
     And,
     Equality,
@@ -54,16 +56,32 @@ class Plan:
 
 @dataclass(frozen=True)
 class ProbePlan(Plan):
-    """Answer one predicate leaf through the index's access method."""
+    """Answer one predicate leaf through the index's access method.
+
+    ``reprs`` annotates each query item (sorted by name) with the posting
+    representation its list decodes under — ``array`` or ``bitmap`` — and
+    ``probe_cost`` carries the representation-aware CPU estimate (dense lists
+    are near-free to intersect).  Both are explain-time annotations only:
+    they never influence which pages the probe reads.
+    """
 
     leaf: Leaf
     selectivity: float
+    reprs: tuple[str, ...] = ()
+    probe_cost: float = 0.0
 
     def explain(self, depth: int = 0) -> str:
-        items = ",".join(str(item) for item in sorted(self.leaf.items, key=str))
+        items = sorted(self.leaf.items, key=str)
+        if self.reprs and len(self.reprs) == len(items):
+            rendered = ",".join(
+                f"{item}:{repr_tag}" for item, repr_tag in zip(items, self.reprs)
+            )
+        else:
+            rendered = ",".join(str(item) for item in items)
+        cost = f", cost={self.probe_cost:.2e}" if self.probe_cost else ""
         return (
-            f"{'  ' * depth}probe {self.leaf.op}({items}) "
-            f"[sel={self.selectivity:.2e}]"
+            f"{'  ' * depth}probe {self.leaf.op}({rendered}) "
+            f"[sel={self.selectivity:.2e}{cost}]"
         )
 
 
@@ -132,14 +150,32 @@ class Planner:
         estimated-rarest predicate.  Disable (the ablation knob the planner
         tests use) to drive with the *most frequent* one instead, which can
         only read more pages.
+    dense_ratio / hybrid:
+        Mirror the owning index's posting-representation config so plans can
+        annotate each item with the representation its list decodes under and
+        cost intersections accordingly (dense lists are near-free).  The
+        annotations never steer the driver choice: the driver determines
+        which pages are read, and page counts must stay bit-identical between
+        the array-only and hybrid configurations — representation only
+        changes decode shape and CPU, never I/O.
     """
 
-    def __init__(self, dataset: "Dataset", rarest_first: bool = True) -> None:
+    def __init__(
+        self,
+        dataset: "Dataset",
+        rarest_first: bool = True,
+        *,
+        dense_ratio: float = DEFAULT_DENSE_RATIO,
+        hybrid: bool = True,
+    ) -> None:
         self.dataset = dataset
         self.rarest_first = rarest_first
+        self.dense_ratio = dense_ratio
+        self.hybrid = hybrid
         self._num_records = len(dataset)
         vocabulary = dataset.vocabulary
         self._supports = {item: vocabulary.support(item) for item in vocabulary}
+        self._dense_support = dense_threshold(max(1, self._num_records), dense_ratio)
         self._length_counts = Counter(record.length for record in dataset)
         self._total_postings = sum(
             length * count for length, count in self._length_counts.items()
@@ -193,6 +229,56 @@ class Planner:
             return self._estimate(expr.operand)
         raise QueryError(f"cannot estimate selectivity of {expr!r}")
 
+    # -- posting-representation awareness ----------------------------------------------
+
+    def representation_of(self, item) -> str:
+        """The posting representation ``item``'s list decodes under."""
+        if not self.hybrid:
+            return REPR_ARRAY
+        support = self._supports.get(item, 0)
+        return REPR_BITMAP if support >= self._dense_support else REPR_ARRAY
+
+    def probe_cost(self, leaf: Leaf) -> float:
+        """Representation-aware CPU estimate for one probe, in posting touches.
+
+        The rarest item seeds the candidate set (one touch per posting);
+        every further item then costs a galloping-merge touch per surviving
+        candidate when its list decodes as an array, but a near-free O(1)
+        bitmap probe — weighted at 1/32 of a merge touch, one word operation
+        against ``log``-deep bisects — when it is dense.  This is where the
+        cost model knows dense lists are near-free to intersect.
+
+        Annotation only: the driver choice in :meth:`_plan_and` stays purely
+        selectivity-based, because the driver determines which pages are
+        read and page counts must not differ between the array-only and
+        hybrid configurations.
+        """
+        supports = sorted(
+            (self._supports.get(item, 0), self.representation_of(item))
+            for item in leaf.items
+        )
+        if not supports:
+            return 0.0
+        driver_support, _ = supports[0]
+        cost = float(driver_support)
+        candidates = float(driver_support)
+        for support, repr_tag in supports[1:]:
+            if repr_tag == REPR_BITMAP:
+                cost += candidates / 32.0
+            else:
+                cost += min(candidates, support) * math.log2(max(2, support))
+            candidates *= self._item_frequency_from_support(support)
+        return cost
+
+    def _item_frequency_from_support(self, support: int) -> float:
+        return support / self._num_records if self._num_records else 0.0
+
+    def _leaf_reprs(self, leaf: Leaf) -> tuple[str, ...]:
+        """Representation tags of the leaf's items, sorted by item name."""
+        return tuple(
+            self.representation_of(item) for item in sorted(leaf.items, key=str)
+        )
+
     # -- planning --------------------------------------------------------------------
 
     def plan(self, expr: Expr) -> Plan:
@@ -204,9 +290,17 @@ class Planner:
             )
         return self._plan_inner(expr)
 
+    def _probe(self, leaf: Leaf) -> ProbePlan:
+        return ProbePlan(
+            leaf,
+            self.selectivity(leaf),
+            reprs=self._leaf_reprs(leaf),
+            probe_cost=self.probe_cost(leaf),
+        )
+
     def _plan_inner(self, expr: Expr) -> Plan:
         if isinstance(expr, Leaf):
-            return ProbePlan(expr, self.selectivity(expr))
+            return self._probe(expr)
         if isinstance(expr, Or):
             # Cheapest branches first, so a limited cursor drains the most
             # selective probes before touching the expensive ones.
@@ -237,10 +331,13 @@ class Planner:
             driver = min(unions, key=self.selectivity)
             residual = tuple(child for child in expr.children() if child is not driver)
             return FilterPlan(self._plan_inner(driver), residual)
+        # Selectivity, never probe_cost, picks the driver: the driver decides
+        # which pages are read, and page counts must stay bit-identical
+        # between the array-only and hybrid posting representations.
         choose = min if self.rarest_first else max
         driver = choose(drivers, key=self.selectivity)
         residual = tuple(child for child in expr.children() if child is not driver)
-        probe = ProbePlan(driver, self.selectivity(driver))
+        probe = self._probe(driver)
         if not residual:
             return probe
         return FilterPlan(probe, residual)

@@ -70,6 +70,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: of being pickled inline through the result pipe.
 DEFAULT_SHM_THRESHOLD = 1 << 20
 
+#: Raw id columns at or above this many bytes are considered for the packed
+#: bitmap wire form (below it the conversion costs more than it saves).
+_BITMAP_WIRE_BYTES = 1 << 12
+
 #: Option value types that survive the JSON state file round trip.
 _JSON_SCALARS = (str, int, float, bool)
 
@@ -117,19 +121,8 @@ class RemoteShardResult:
 # -- columnar IPC payloads -------------------------------------------------------------
 
 
-def _pack_ids(ids: Sequence[int], shm_threshold: int) -> tuple:
-    """Encode a sorted/produced id sequence as a u64 column payload.
-
-    Small results inline the raw ``array('Q')`` bytes into the pickled
-    return value; results at or above ``shm_threshold`` bytes go through a
-    shared-memory segment (the worker creates and fills it, the parent
-    unlinks it after copying out).  Ids that overflow u64 fall back to a
-    plain pickled list — correctness over compactness.
-    """
-    try:
-        raw = array("Q", ids).tobytes()
-    except (OverflowError, TypeError):
-        return ("object", list(ids))
+def _pack_raw(raw: bytes, shm_threshold: int) -> tuple:
+    """Ship raw bytes inline, or through shared memory at/above the threshold."""
     if shm_threshold and len(raw) >= shm_threshold:
         from multiprocessing import shared_memory
 
@@ -142,23 +135,61 @@ def _pack_ids(ids: Sequence[int], shm_threshold: int) -> tuple:
     return ("inline", raw)
 
 
+def _unpack_raw(payload: tuple) -> bytes:
+    """Inverse of :func:`_pack_raw` (unlinking any shared-memory segment)."""
+    if payload[0] == "inline":
+        return payload[1]
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=payload[1])
+    try:
+        return bytes(segment.buf[: payload[2]])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _pack_ids(ids: Sequence[int], shm_threshold: int) -> tuple:
+    """Encode a sorted/produced id sequence as a u64 column payload.
+
+    Dense, strictly increasing runs ship as a packed bitmap —
+    ``("bitmap", base, words_payload)`` via
+    :func:`repro.core.postings.pack_sorted_ids`, which only engages when the
+    packed words undercut the raw column by at least 2x; the parent converts
+    back to the identical ascending column at the boundary.  Everything else
+    ships as the raw ``array('Q')`` bytes.  Either form rides inline in the
+    pickled return value below ``shm_threshold`` bytes and through a
+    shared-memory segment at or above it (the worker creates and fills the
+    segment, the parent unlinks it after copying out).  Ids that overflow u64
+    fall back to a plain pickled list — correctness over compactness.
+    """
+    try:
+        raw = array("Q", ids).tobytes()
+    except (OverflowError, TypeError):
+        return ("object", list(ids))
+    if len(raw) >= _BITMAP_WIRE_BYTES:
+        from repro.core.postings import pack_sorted_ids
+
+        packed = pack_sorted_ids(
+            ids if isinstance(ids, array) else array("Q", ids)
+        )
+        if packed is not None:
+            base, words = packed
+            return ("bitmap", base, _pack_raw(words, shm_threshold))
+    return _pack_raw(raw, shm_threshold)
+
+
 def _unpack_ids(payload: tuple) -> Sequence[int]:
     """Decode a payload produced by :func:`_pack_ids` (unlinking any shm)."""
     kind = payload[0]
     if kind == "object":
         return payload[1]
-    out = array("Q")
-    if kind == "inline":
-        out.frombytes(payload[1])
-        return out
-    from multiprocessing import shared_memory
+    if kind == "bitmap":
+        from repro.core.postings import unpack_ids
 
-    segment = shared_memory.SharedMemory(name=payload[1])
-    try:
-        out.frombytes(bytes(segment.buf[: payload[2]]))
-    finally:
-        segment.close()
-        segment.unlink()
+        return unpack_ids(payload[1], _unpack_raw(payload[2]))
+    out = array("Q")
+    out.frombytes(_unpack_raw(payload))
     return out
 
 

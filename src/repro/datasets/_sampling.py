@@ -1,0 +1,66 @@
+"""Pure-Python sampling primitives for the dataset simulators.
+
+The simulators (:mod:`~repro.datasets.synthetic`, :mod:`~repro.datasets.msweb`,
+:mod:`~repro.datasets.msnbc`) draw from numpy's bit generator when numpy is
+installed — that path is the reference and its output is what every committed
+figure was produced from.  When numpy is absent (the CI no-numpy job, minimal
+installs) they fall back to these primitives over :class:`random.Random`:
+same parameters, same distribution shape, a different pseudo-random stream —
+byte-identical output to the numpy path is not possible without numpy's bit
+generator, and the experiments only depend on the workload's statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from itertools import accumulate
+from math import exp
+
+
+def zipf_probabilities(domain_size: int, skew: float) -> list[float]:
+    """Normalised Zipf(``skew``) probabilities over ``domain_size`` ranks.
+
+    ``skew = 0`` degenerates to the uniform distribution.
+    """
+    weights = [float(rank) ** (-float(skew)) for rank in range(1, domain_size + 1)]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+class WeightedSampler:
+    """Index sampler over a fixed weight vector: cumulative table + bisect."""
+
+    __slots__ = ("_cumulative", "_domain", "_rng")
+
+    def __init__(self, probabilities: list[float], rng: random.Random) -> None:
+        self._cumulative = list(accumulate(probabilities))
+        self._cumulative[-1] = 1.0  # guard float drift at the top end
+        self._domain = len(probabilities)
+        self._rng = rng
+
+    def draw(self) -> int:
+        return min(bisect_right(self._cumulative, self._rng.random()), self._domain - 1)
+
+    def draw_distinct(self, count: int, attempts_per_pick: int = 20) -> set[int]:
+        """``count`` distinct indices; uniform top-up if skew starves sampling."""
+        picks: set[int] = set()
+        budget = attempts_per_pick * count
+        while len(picks) < count and budget:
+            picks.add(self.draw())
+            budget -= 1
+        while len(picks) < count:
+            picks.add(self._rng.randrange(self._domain))
+        return picks
+
+
+def poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler; exact, and fast at the small means the logs use."""
+    if mean <= 0.0:
+        return 0
+    threshold = exp(-mean)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

@@ -15,11 +15,16 @@ where the paper reports the OIF's largest wins for subset/equality queries.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-import numpy as np
+try:  # falls back to pure-Python sampling when numpy is not installed
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.core.records import Dataset
+from repro.datasets._sampling import WeightedSampler, poisson, zipf_probabilities
 from repro.errors import DatasetError
 
 #: Published statistics of the original dataset.
@@ -57,8 +62,23 @@ class MsnbcConfig:
             )
 
 
+def _generate_sessions_pure(config: MsnbcConfig) -> list[set[str]]:
+    """No-numpy generator: same parameters and shape, different PRNG stream."""
+    rng = random.Random(config.seed)
+    domain = len(CATEGORIES)
+    sampler = WeightedSampler(zipf_probabilities(domain, config.skew), rng)
+    extra_mean = max(config.mean_length - 1.0, 0.0)
+    sessions: list[set[str]] = []
+    for _ in range(config.num_sessions):
+        wanted = min(1 + poisson(rng, extra_mean), domain)
+        sessions.append({CATEGORIES[index] for index in sampler.draw_distinct(wanted)})
+    return sessions
+
+
 def generate_sessions(config: MsnbcConfig) -> list[set[str]]:
     """Generate the simulated sessions as sets of category names."""
+    if np is None:
+        return _generate_sessions_pure(config)
     rng = np.random.default_rng(config.seed)
     domain = len(CATEGORIES)
     ranks = np.arange(1, domain + 1, dtype=np.float64)

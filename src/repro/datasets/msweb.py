@@ -16,11 +16,16 @@ sessions under fresh record ids).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-import numpy as np
+try:  # falls back to pure-Python sampling when numpy is not installed
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.core.records import Dataset
+from repro.datasets._sampling import WeightedSampler, poisson, zipf_probabilities
 from repro.errors import DatasetError
 
 #: Published statistics of the original dataset.
@@ -62,8 +67,23 @@ def area_name(index: int) -> str:
     return f"V{1000 + index}"
 
 
+def _generate_sessions_pure(config: MswebConfig) -> list[set[str]]:
+    """No-numpy generator: same parameters and shape, different PRNG stream."""
+    rng = random.Random(config.seed)
+    sampler = WeightedSampler(zipf_probabilities(config.domain_size, config.skew), rng)
+    ceiling = min(config.max_length, config.domain_size)
+    extra_mean = max(config.mean_length - 1.0, 0.0)
+    sessions: list[set[str]] = []
+    for _ in range(config.num_sessions):
+        wanted = min(1 + poisson(rng, extra_mean), ceiling)
+        sessions.append({area_name(index) for index in sampler.draw_distinct(wanted)})
+    return sessions
+
+
 def generate_sessions(config: MswebConfig) -> list[set[str]]:
     """Generate the simulated sessions (before replication)."""
+    if np is None:
+        return _generate_sessions_pure(config)
     rng = np.random.default_rng(config.seed)
     ranks = np.arange(1, config.domain_size + 1, dtype=np.float64)
     weights = ranks ** (-config.skew)

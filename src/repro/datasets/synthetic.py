@@ -17,9 +17,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-import numpy as np
+try:  # falls back to pure-Python sampling when numpy is not installed
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.core.records import Dataset
+from repro.datasets._sampling import WeightedSampler, zipf_probabilities
 from repro.errors import DatasetError
 
 #: Default parameters mirroring the paper's defaults (|I|=2000, zipf=0.8,
@@ -63,19 +67,37 @@ def item_name(index: int) -> str:
     return f"i{index:06d}"
 
 
-def zipf_weights(domain_size: int, zipf_order: float) -> np.ndarray:
+def zipf_weights(domain_size: int, zipf_order: float) -> "np.ndarray | list[float]":
     """Normalised Zipf(``zipf_order``) popularity over ``domain_size`` items.
 
     ``zipf_order = 0`` degenerates to the uniform distribution, matching the
-    paper's skew sweep (Figures 8–10, right-most column).
+    paper's skew sweep (Figures 8–10, right-most column).  Returns a numpy
+    vector when numpy is installed, else a plain list.
     """
+    if np is None:
+        return zipf_probabilities(domain_size, zipf_order)
     ranks = np.arange(1, domain_size + 1, dtype=np.float64)
     weights = ranks ** (-float(zipf_order))
     return weights / weights.sum()
 
 
+def _generate_transactions_pure(config: SyntheticConfig) -> list[set[str]]:
+    """No-numpy generator: same parameters and shape, different PRNG stream."""
+    rng = random.Random(config.seed)
+    sampler = WeightedSampler(
+        zipf_probabilities(config.domain_size, config.zipf_order), rng
+    )
+    return [
+        {item_name(index) for index in
+         sampler.draw_distinct(rng.randint(config.min_length, config.max_length))}
+        for _ in range(config.num_records)
+    ]
+
+
 def generate_transactions(config: SyntheticConfig) -> list[set[str]]:
     """Generate raw transactions (sets of item labels) for ``config``."""
+    if np is None:
+        return _generate_transactions_pure(config)
     rng = np.random.default_rng(config.seed)
     py_rng = random.Random(config.seed)
     weights = zipf_weights(config.domain_size, config.zipf_order)

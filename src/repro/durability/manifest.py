@@ -18,7 +18,10 @@ from repro.errors import DurabilityError
 #: Identifies the directory format (stored in every manifest).
 FORMAT_NAME = "repro-oif-index"
 #: Bumped on every incompatible change to the directory layout or page format.
-FORMAT_VERSION = 1
+#: Version 2: the persisted state gained the ``posting_reprs`` block (per-item
+#: posting-representation tags + density threshold) that adaptive decode
+#: restores without re-inspecting frequencies.
+FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 
 

@@ -23,6 +23,7 @@ from dataclasses import asdict
 from repro.core.items import ItemOrder
 from repro.core.oif import OIFBuildReport, OrderedInvertedFile
 from repro.core.ordering import OrderedDataset, _build_metadata
+from repro.core.postings import REPR_BITMAP
 from repro.core.records import Dataset, Record
 from repro.errors import DurabilityError
 from repro.storage.kvstore import Environment
@@ -106,6 +107,18 @@ def dump_state(index: OrderedInvertedFile, options: dict) -> dict:
         "lengths": list(ordered.lengths),
         "new_to_old": list(ordered.new_to_old),
         "build_report": asdict(index.build_report),
+        # The adaptive posting-representation tags chosen at build time, so a
+        # reopened index decodes each list in the right shape without
+        # re-inspecting frequencies.  Format version 2.
+        "posting_reprs": {
+            "mode": index.posting_repr,
+            "dense_ratio": index.dense_ratio,
+            "dense_ranks": sorted(
+                rank
+                for rank, tag in index._list_repr.items()
+                if tag == REPR_BITMAP
+            ),
+        },
     }
 
 
@@ -135,6 +148,11 @@ def load_oif(env: Environment, state: dict) -> OrderedInvertedFile:
     index._ordered = ordered
     index._table = env.table(state["table"])
     index.build_report = OIFBuildReport(**state["build_report"])
+    reprs = state.get("posting_reprs")
+    if reprs is not None:
+        index.posting_repr = reprs.get("mode", index.posting_repr)
+        index.dense_ratio = reprs.get("dense_ratio", index.dense_ratio)
+        index._list_repr = {int(rank): REPR_BITMAP for rank in reprs["dense_ranks"]}
     return index
 
 

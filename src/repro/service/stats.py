@@ -28,6 +28,9 @@ WAL_TORN_BYTES_TOTAL = "repro_wal_torn_bytes_truncated_total"
 CHECKPOINTS_TOTAL = "repro_checkpoints_total"
 CHECKPOINT_AGE = "repro_last_checkpoint_age_seconds"
 WAL_BYTES = "repro_wal_bytes"
+POSTINGS_REPR_TOTAL = "repro_postings_repr_total"
+BITMAP_KERNEL_CALLS_TOTAL = "repro_bitmap_kernel_calls_total"
+BITMAP_KERNEL_SECONDS_TOTAL = "repro_bitmap_kernel_seconds_total"
 
 
 class LatencyRecorder:
@@ -148,6 +151,10 @@ class ServingStats:
         self.per_index: dict[str, LatencyRecorder] = {}
         self.per_index_shards: dict[str, dict] = {}
         self._lock = threading.Lock()
+        # Last-seen snapshots of the process-wide posting-layer counters,
+        # for the delta sync in _sync_postings_metrics.
+        self._repr_seen: dict[str, int] = {}
+        self._kernel_seen: dict[str, tuple[int, float]] = {}
 
     def _index_recorder(self, index_name: str) -> LatencyRecorder:
         recorder = self.per_index.get(index_name)
@@ -247,8 +254,47 @@ class ServingStats:
             ERRORS_TOTAL, "Failed queries by index", index=index_name or "unknown"
         ).inc()
 
+    def _sync_postings_metrics(self) -> None:
+        """Mirror the posting-layer counters into the registry (delta-based).
+
+        The representation and bitmap-kernel counters live process-wide in
+        :mod:`repro.core.postings` — query evaluation deep in the engine has
+        no handle on the serving registry — so each render pulls the current
+        totals in as deltas against the last sync.  The representation
+        families are registered even at zero so a scrape always shows them.
+        """
+        from repro.core.postings import REPR_ARRAY, REPR_BITMAP, kernel_counters, repr_counters
+
+        with self._lock:
+            counts = repr_counters()
+            for repr_tag in (REPR_ARRAY, REPR_BITMAP):
+                counter = self.registry.counter(
+                    POSTINGS_REPR_TOTAL,
+                    "Posting runs decoded, by chosen representation",
+                    repr=repr_tag,
+                )
+                delta = counts.get(repr_tag, 0) - self._repr_seen.get(repr_tag, 0)
+                if delta > 0:
+                    self._repr_seen[repr_tag] = counts[repr_tag]
+                    counter.inc(delta)
+            for kernel, (calls, seconds) in kernel_counters().items():
+                seen_calls, seen_seconds = self._kernel_seen.get(kernel, (0, 0.0))
+                if calls > seen_calls:
+                    self._kernel_seen[kernel] = (calls, seconds)
+                    self.registry.counter(
+                        BITMAP_KERNEL_CALLS_TOTAL,
+                        "Bitmap intersection-kernel invocations",
+                        kernel=kernel,
+                    ).inc(calls - seen_calls)
+                    self.registry.counter(
+                        BITMAP_KERNEL_SECONDS_TOTAL,
+                        "Cumulative bitmap-kernel wall time in seconds",
+                        kernel=kernel,
+                    ).inc(max(0.0, seconds - seen_seconds))
+
     def render_prometheus(self) -> str:
         """All serving instruments in Prometheus text exposition format."""
+        self._sync_postings_metrics()
         return self.registry.render()
 
     def as_dict(self) -> dict:

@@ -4,9 +4,13 @@ Profiling the query hot path shows the dominant cost is not the simulated
 I/O but the v-byte decode of every posting block a query touches — a pure
 CPU cost that repeats on every traversal of the same block.  The
 :class:`DecodedBlockCache` sits **above** the buffer pool and keeps the
-columnar form (:class:`~repro.compression.postings.PostingColumns`) of
-recently decoded blocks, keyed by their physical location ``(page_id,
-offset)``.
+decoded form of recently decoded blocks — columnar
+(:class:`~repro.compression.postings.PostingColumns`) or, for dense-tagged
+items, a packed bitmap (:class:`~repro.core.postings.DensePostings`) — keyed
+by their physical location ``(page_id, offset)``.  Entries are charged their
+true footprint via the entry's ``nbytes`` (both parallel columns / the
+packed words plus the lengths column, container overhead included), so the
+byte budget is honest across representations.
 
 Accounting contract
 -------------------
@@ -41,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.stats import IOStatistics, ReadContext
 
 #: Default byte budget: generous for laptop-scale experiments, small next to
-#: any real dataset.  Entries are charged their columnar payload size.
+#: any real dataset.  Entries are charged their full decoded footprint.
 DEFAULT_DECODED_CACHE_BYTES = 8 << 20
 
 

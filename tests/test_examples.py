@@ -57,7 +57,9 @@ class TestExamples:
         assert "answers via OIF: [1, 5, 7, 9]" in output
         assert "service: [1, 5, 7, 9]" in output
         assert "cached on repeat: True" in output
-        assert "probe subset(milk)" in output
+        # The probe line now carries the posting representation and cost
+        # annotations, e.g. "probe subset(milk:bitmap) [sel=..., cost=...]".
+        assert "probe subset(milk:" in output
 
     def test_sharded_service_example_runs_end_to_end(self, capsys):
         module = load_example("sharded_service")

@@ -11,7 +11,10 @@ from __future__ import annotations
 import math
 import threading
 
-import numpy as np
+try:  # the oracle test skips when numpy is absent (CI no-numpy job)
+    import numpy as np
+except ImportError:
+    np = None
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -116,6 +119,7 @@ class TestHistogram:
         assert hist.count == 8000
         assert hist.total == pytest.approx(8000.0)
 
+    @pytest.mark.skipif(np is None, reason="numpy is the percentile oracle")
     @settings(max_examples=60, deadline=None)
     @given(
         samples=st.lists(
