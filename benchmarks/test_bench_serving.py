@@ -16,6 +16,7 @@ Index builds happen in the benchmark setup, outside the timed region.
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -23,6 +24,7 @@ import time
 import pytest
 
 from repro.datasets.synthetic import SyntheticConfig
+from repro.errors import ServiceError, ServiceOverloadedError
 from repro.experiments import cache as build_cache
 from repro.experiments.report import ResultTable
 from repro.service import (
@@ -33,7 +35,7 @@ from repro.service import (
     ServiceServer,
 )
 
-from conftest import save_tables, scaled
+from conftest import BENCH_SCALE, bench_run_recorder, save_tables, scaled
 
 SERVING_CONFIG = SyntheticConfig(num_records=scaled(10_000), domain_size=1000, zipf_order=0.8, seed=7)
 NUM_QUERIES = 200
@@ -265,3 +267,242 @@ def test_concurrent_page_totals_match_serial(concurrent_table, num_threads):
 def test_concurrent_throughput_recorded(concurrent_table):
     assert {row["threads"] for row in concurrent_table.rows} == set(CONCURRENT_THREADS)
     assert all(row["qps"] > 0 for row in concurrent_table.rows)
+
+
+# -- open-loop overload harness ----------------------------------------------------
+#
+# Closed-loop clients (send, wait, send) cannot measure overload: when the
+# server slows down they slow down with it, politely hiding the backlog
+# ("coordinated omission").  This harness is open-loop — requests fire on a
+# Poisson schedule fixed in advance, and every latency is measured from the
+# *scheduled* send time, so time a request spends waiting behind a slow
+# predecessor counts against the server, exactly as a real caller would
+# experience it.
+#
+# The run: a small bounded server (few workers, bounded admission queue), a
+# closed-loop probe to find its saturation throughput, then two open-loop
+# replays at 1x and 2x that rate.  At 2x the admission queue must shed the
+# excess with 429 + Retry-After while the p99 of the *accepted* requests
+# stays within a fixed multiple of the 1x p99 — bounded latency for what is
+# served, fast rejection for the rest.
+
+OPEN_LOOP_REQUESTS = 240  # per run (probe, 1x, 2x)
+OPEN_LOOP_SENDERS = 16    # open-loop sender threads (each one keep-alive conn)
+OVERLOAD_WORKERS = 2      # executor workers on the server under test
+OVERLOAD_QUEUE = 8        # admission queue bound
+#: Accepted-request p99 at 2x saturation must stay within this multiple of
+#: the 1x p99 — the admission queue bounds waiting at (queue + workers)
+#: service times, so the ratio is small even when the offered load doubles.
+P99_BOUND_MULTIPLE = 10.0
+
+
+#: Overload queries: superset queries over many *hot* items.  They are
+#: deliberately expensive (the index walks every posting list the query
+#: covers), so the executor — the resource admission control guards — is the
+#: bottleneck rather than HTTP parsing, and they are pairwise distinct, so
+#: neither the result cache nor in-flight dedup absorbs the load.
+QUERY_ITEMS = 16
+HOT_ITEMS = 80
+
+
+@pytest.fixture(scope="module")
+def overload_queries(dataset) -> list[frozenset]:
+    rng = random.Random(20260808)
+    frequency: dict[str, int] = {}
+    for record in dataset:
+        for item in record.items:
+            frequency[item] = frequency.get(item, 0) + 1
+    hot = sorted(frequency, key=frequency.get, reverse=True)[:HOT_ITEMS]
+    need = OPEN_LOOP_REQUESTS * 3 + 64
+    pool: set[frozenset] = set()
+    size = min(QUERY_ITEMS, len(hot))
+    while len(pool) < need:
+        pool.add(frozenset(rng.sample(hot, size)))
+    queries = sorted(pool, key=sorted)
+    rng.shuffle(queries)
+    return queries
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (NaN when empty)."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, min(len(sorted_values), round(q * len(sorted_values) + 0.5)))
+    return sorted_values[rank - 1]
+
+
+#: Saturation-probe senders: enough concurrency to keep every worker busy
+#: through client-side turnaround (else the probe underestimates capacity),
+#: but no more than the workers + queue slots admission will hold, so the
+#: probe itself never sheds.
+PROBE_SENDERS = OVERLOAD_WORKERS + OVERLOAD_QUEUE
+
+
+def _measure_capacity(server, queries) -> float:
+    """Closed-loop saturation probe: back-to-back requests at full concurrency.
+
+    The measured rate is the server's drain rate with its pipeline saturated —
+    the saturation point the open-loop runs multiply.
+    """
+    counter = itertools.count()
+    done = threading.Barrier(PROBE_SENDERS + 1)
+
+    def sender() -> None:
+        with ServiceClient(host=server.host, port=server.port, max_retries=0) as client:
+            while True:
+                index = next(counter)
+                if index >= OPEN_LOOP_REQUESTS:
+                    break
+                items = sorted(queries[index % len(queries)], key=str)
+                client.query("load", "superset", items)
+        done.wait()
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=sender) for _ in range(PROBE_SENDERS)]
+    for thread in threads:
+        thread.start()
+    done.wait()
+    elapsed = time.perf_counter() - start
+    for thread in threads:
+        thread.join()
+    return OPEN_LOOP_REQUESTS / elapsed if elapsed else float("inf")
+
+
+def _open_loop_run(server, queries, target_qps: float, seed: int) -> dict:
+    """Replay one Poisson-arrival schedule; latency counts from scheduled send."""
+    rng = random.Random(seed)
+    offsets: list[float] = []
+    at = 0.0
+    for _ in range(OPEN_LOOP_REQUESTS):
+        at += rng.expovariate(target_qps)
+        offsets.append(at)
+
+    next_index = itertools.count()
+    lock = threading.Lock()
+    accepted: list[float] = []      # seconds from scheduled send to response
+    retry_hints: list[float] = []   # Retry-After carried by each shed
+    tallies = {"errors": 0}
+    start = time.perf_counter() + 0.05  # let every sender connect first
+
+    def sender() -> None:
+        with ServiceClient(host=server.host, port=server.port, max_retries=0) as client:
+            while True:
+                index = next(next_index)
+                if index >= OPEN_LOOP_REQUESTS:
+                    return
+                due = start + offsets[index]
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                items = sorted(queries[index % len(queries)], key=str)
+                try:
+                    client.query("load", "superset", items)
+                except ServiceOverloadedError as error:
+                    with lock:
+                        retry_hints.append(error.retry_after or 0.0)
+                except ServiceError:
+                    with lock:
+                        tallies["errors"] += 1
+                else:
+                    latency = time.perf_counter() - due
+                    with lock:
+                        accepted.append(latency)
+
+    threads = [threading.Thread(target=sender) for _ in range(OPEN_LOOP_SENDERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    accepted.sort()
+    return {
+        "target_qps": round(target_qps, 1),
+        "offered": OPEN_LOOP_REQUESTS,
+        "accepted": len(accepted),
+        "shed": len(retry_hints),
+        "errors": tallies["errors"],
+        "achieved_qps": round(len(accepted) / elapsed, 1) if elapsed else float("inf"),
+        "p50_ms": round(_percentile(accepted, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(accepted, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(accepted, 0.99) * 1000.0, 3),
+        "retry_hints": retry_hints,
+    }
+
+
+@pytest.fixture(scope="module")
+def overload_table(dataset, overload_queries):
+    table = ResultTable(
+        title=(
+            f"Open-loop overload: {OPEN_LOOP_REQUESTS} Poisson arrivals vs a "
+            f"{OVERLOAD_WORKERS}-worker server with queue bound {OVERLOAD_QUEUE}"
+        ),
+        columns=[
+            "run", "target_qps", "offered", "accepted", "shed", "errors",
+            "achieved_qps", "p50_ms", "p95_ms", "p99_ms",
+        ],
+    )
+    runs: dict[str, dict] = {}
+    with ServiceServer(
+        port=0,
+        max_workers=OVERLOAD_WORKERS,
+        cache_capacity=2,
+        max_queue=OVERLOAD_QUEUE,
+    ) as server:
+        with ServiceClient(host=server.host, port=server.port) as admin:
+            admin.create_index(
+                "load",
+                transactions=[sorted(record.items, key=str) for record in dataset],
+                cache_bytes=1 << 22,
+            )
+            capacity = _measure_capacity(server, overload_queries)
+            table.add_row(
+                run="probe", target_qps=round(capacity, 1),
+                offered=OPEN_LOOP_REQUESTS, accepted=OPEN_LOOP_REQUESTS,
+                shed=0, errors=0, achieved_qps=round(capacity, 1),
+                p50_ms=None, p95_ms=None, p99_ms=None,
+            )
+            for label, multiple, seed in (("1x", 1.0, 101), ("2x", 2.0, 202)):
+                run = _open_loop_run(server, overload_queries, capacity * multiple, seed=seed)
+                runs[label] = run
+                table.add_row(run=label, **{
+                    key: value for key, value in run.items() if key != "retry_hints"
+                })
+            admission = admin.stats()["admission"]
+    bench_run_recorder().append(
+        "admission_snapshot",
+        {"saturation_qps": round(capacity, 1), "admission": admission},
+    )
+    table.add_note(
+        "latency measured from the scheduled (open-loop) send time; shed "
+        "requests were answered 429 with a Retry-After hint"
+    )
+    save_tables("serving_overload", [table])
+    return runs
+
+
+def test_overload_accounting(overload_table):
+    """Every offered request is accounted for: accepted, shed, or errored."""
+    for label in ("1x", "2x"):
+        run = overload_table[label]
+        assert run["accepted"] + run["shed"] + run["errors"] == OPEN_LOOP_REQUESTS
+        assert run["errors"] == 0
+        assert run["accepted"] > 0
+
+
+def test_overload_sheds_excess_with_retry_after(overload_table):
+    """At 2x saturation the bounded queue sheds, and every shed carries a hint."""
+    if BENCH_SCALE != 1:
+        pytest.skip("saturation behaviour is only meaningful at full scale")
+    run = overload_table["2x"]
+    assert run["shed"] > 0
+    assert all(hint > 0 for hint in run["retry_hints"])
+
+
+def test_overload_p99_stays_bounded(overload_table):
+    """Accepted-request p99 at 2x load stays within a fixed multiple of 1x."""
+    if BENCH_SCALE != 1:
+        pytest.skip("saturation behaviour is only meaningful at full scale")
+    p99_1x = overload_table["1x"]["p99_ms"]
+    p99_2x = overload_table["2x"]["p99_ms"]
+    assert p99_2x <= P99_BOUND_MULTIPLE * max(p99_1x, 1.0)

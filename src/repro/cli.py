@@ -229,6 +229,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-sample", type=_positive_int, default=1, metavar="N",
         help="with --trace, trace only every N-th query (default: every query)",
     )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound the admission queue at N waiting queries; excess requests "
+        "are shed with 429 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-inflight-per-index", type=_positive_int, default=None, metavar="N",
+        help="bound concurrent queries per index at N; excess requests are "
+        "shed with 429 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="default wall-clock deadline per query; an expired query stops "
+        "at its next page access and answers 408 (requests may override "
+        "with 'deadline_ms'; default: none)",
+    )
 
     client = sub.add_parser("client", help="talk to a running repro-oif server")
     client.add_argument("--host", default="127.0.0.1")
@@ -446,6 +462,9 @@ def build_server(args: argparse.Namespace):
         fsync=args.fsync,
         shard_backend=args.shard_backend,
         shard_workers=args.shard_workers,
+        max_queue=args.max_queue,
+        max_inflight_per_index=args.max_inflight_per_index,
+        default_deadline_ms=args.default_deadline_ms,
     )
     for info in server.recovered:
         print(

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro import deadline as _deadline
 from repro.core.query.expr import Expr, Limit, expr_from_dict
 from repro.errors import QueryError
 from repro.obs import trace
@@ -105,6 +106,9 @@ class _Task:
     sort: bool
     shm_threshold: int
     traced: bool
+    #: Remaining wall-clock budget in ms (a monotonic deadline cannot cross
+    #: the process boundary; the worker re-arms a local one from this).
+    deadline_ms: "float | None" = None
 
 
 @dataclass
@@ -235,6 +239,25 @@ def _worker_evaluate(task: _Task) -> list:
     """Evaluate one expression on every shard this worker owns."""
     inner = expr_from_dict(task.expr)
     expr = inner if task.cap is None else Limit(inner, count=task.cap)
+    token = None
+    if task.deadline_ms is not None:
+        # Arm a local deadline from the shipped remaining budget; an already
+        # exhausted budget raises here, before any page is read.  The page
+        # accesses each shard *did* perform before expiry are still counted
+        # in its cursor context — but an expired worker raises instead of
+        # returning, so the parent absorbs nothing and the worker-side pool
+        # totals (discarded with the image on refresh) stay self-consistent.
+        token = _deadline.activate(_deadline.Deadline.after_ms(task.deadline_ms))
+    out = []
+    try:
+        out = _worker_evaluate_shards(task, expr)
+    finally:
+        if token is not None:
+            _deadline.deactivate(token)
+    return out
+
+
+def _worker_evaluate_shards(task: _Task, expr: Expr) -> list:
     out = []
     for position in task.positions:
         shard = _WORKER_SHARDS.get(position)
@@ -504,8 +527,20 @@ class ShardProcessPool:
         fails *this* query with a :class:`QueryError` naming the worker; the
         pool respawns it from the current images before raising, so the next
         query runs normally.
+
+        When the calling context has a :mod:`repro.deadline` armed, the
+        *remaining* budget ships with each task and every worker arms a local
+        deadline from it — an expired query stops reading pages inside the
+        workers and the fan-out raises
+        :class:`~repro.errors.DeadlineExceededError` here.
         """
         self._check_open()
+        armed = _deadline.current()
+        deadline_ms: "float | None" = None
+        if armed is not None:
+            # Fail before paying the IPC round trip on a spent budget.
+            armed.check()
+            deadline_ms = armed.remaining_ms()
         wire = inner.to_dict()
         traced = trace.is_active()
         submitted: list = []
@@ -521,6 +556,7 @@ class ShardProcessPool:
                 sort=sort,
                 shm_threshold=self._shm_threshold,
                 traced=traced,
+                deadline_ms=deadline_ms,
             )
             try:
                 submitted.append(

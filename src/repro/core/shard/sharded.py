@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro import deadline as _deadline
 from repro.core.interfaces import SetContainmentIndex
 from repro.core.oif import OrderedInvertedFile
 from repro.core.query.expr import Expr, Leaf, slice_ids, split_limit
@@ -86,9 +87,11 @@ def run_sharing_pool(pool: "ThreadPoolExecutor | None", run, items: Sequence) ->
     for item in items:
         try:
             # Each submission carries its own copy of the caller's trace
-            # context, so spans opened in pool workers nest under the
-            # submitting query (identity function when not tracing).
-            futures.append((item, pool.submit(trace.wrap(run), item)))
+            # context *and* the caller's deadline, so spans opened in pool
+            # workers nest under the submitting query and an expired query
+            # stops reading pages on every shard (both wraps are identity
+            # functions when tracing/deadlines are off).
+            futures.append((item, pool.submit(trace.wrap(_deadline.wrap(run)), item)))
         except RuntimeError:
             # The pool is shutting down; the remaining items run inline so a
             # query already in flight still completes.

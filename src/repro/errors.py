@@ -89,3 +89,51 @@ class UnknownIndexError(ServiceError):
     Distinguished from :class:`ServiceError` so the HTTP layer can map it to
     404 without sniffing error messages.
     """
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request instead of queueing it (HTTP 429).
+
+    ``reason`` names the admission gate that rejected the request
+    (``"queue_full"`` / ``"index_limit"``) and ``retry_after`` is the
+    server's hint — derived from observed service time and backlog — for how
+    many seconds the client should wait before retrying.
+    """
+
+    def __init__(self, message: str, *, reason: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's wall-clock deadline expired before it finished (HTTP 408).
+
+    Raised at page-access boundaries deep in the storage engine, so an
+    expired query stops reading pages instead of running to completion.  The
+    single ``message`` argument keeps the exception picklable — it must
+    cross the multiprocess shard-backend boundary intact.
+    """
+
+
+class ServiceHTTPError(ServiceError):
+    """Client-side view of a non-2xx server response, typed by status.
+
+    ``status`` is the HTTP status code; ``retry_after`` carries the server's
+    ``Retry-After`` hint in seconds when one was sent (429 sheds).
+    """
+
+    def __init__(
+        self, message: str, *, status: int, retry_after: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceOverloadedError(ServiceHTTPError):
+    """The server answered 429: the request was shed, retry after backoff."""
+
+
+class ServiceTimeoutError(ServiceHTTPError):
+    """The server answered 408: the request's deadline expired mid-execution."""

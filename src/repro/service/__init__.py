@@ -21,6 +21,7 @@ from repro.service.index_manager import INDEX_KINDS, IndexManager, ManagedIndex
 #: 562), so importing the package for its light pieces — e.g. the CLI needs
 #: only ``INDEX_KINDS`` to build its parser — stays cheap.
 _LAZY_EXPORTS = {
+    "AdmissionController": "admission",
     "QueryExecutor": "executor",
     "QueryOutcome": "executor",
     "QueryRequest": "executor",
@@ -41,6 +42,7 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "AdmissionController",
     "CacheKey",
     "INDEX_KINDS",
     "IndexManager",

@@ -1,0 +1,207 @@
+"""Admission control for the serving hot path: bounded queue, load shedding.
+
+An unbounded executor queue turns overload into unbounded latency: every
+request is eventually answered, long after its sender stopped caring, and the
+backlog grows without limit.  The :class:`AdmissionController` puts an
+explicit bound on how much work the serving layer will *hold* and sheds the
+excess immediately with a retry hint, so an overloaded server degrades into
+bounded-latency service for the requests it accepts plus fast, honest ``429``
+rejections for the rest.
+
+Two gates run at submit time, before a request touches the thread pool:
+
+* **queue bound** — at most ``max_queue`` admitted requests may be held
+  beyond worker capacity (admitted minus ``workers``, i.e. the executor's
+  backlog).  A full queue sheds with reason ``"queue_full"``;
+* **per-index concurrency** — at most ``max_inflight_per_index`` admitted
+  requests (queued or running) may target one index, so a single hot index
+  cannot starve every other tenant of the shared pool.  Breaching it sheds
+  with reason ``"index_limit"``.
+
+A shed raises :class:`~repro.errors.OverloadedError` carrying a
+``retry_after`` hint in seconds, derived from the EWMA of observed
+*executed* service times scaled by the current backlog: roughly "how long
+until the queue has drained enough to admit you".  The HTTP layer maps it to
+``429`` with a ``Retry-After`` header; :class:`~repro.service.client.ServiceClient`
+honors the hint in its backoff.
+
+Cache and dedup hits bypass admission entirely — they are answered inline
+(or piggyback on an already-admitted evaluation) and never occupy a worker,
+so shedding them would throw away free capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import OverloadedError
+
+#: Fallback service-time guess (seconds) before the EWMA has any sample.
+_DEFAULT_SERVICE_TIME_S = 0.05
+
+#: EWMA smoothing factor: ~63% of the weight sits on the last ~10 samples.
+_EWMA_ALPHA = 0.1
+
+#: Bounds on the Retry-After hint (seconds).
+_MIN_RETRY_AFTER = 0.05
+_MAX_RETRY_AFTER = 30.0
+
+
+class AdmissionController:
+    """Bounded admission for a :class:`~repro.service.executor.QueryExecutor`.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count of the executor this controller guards; admitted
+        requests beyond this number are the *queue*.
+    max_queue:
+        Maximum queued (admitted but not yet running) requests before
+        shedding; ``None`` disables the queue bound.
+    max_inflight_per_index:
+        Maximum admitted requests per target index; ``None`` disables the
+        per-index gate.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_queue: "int | None" = None,
+        max_inflight_per_index: "int | None" = None,
+    ) -> None:
+        if max_queue is not None and max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if max_inflight_per_index is not None and max_inflight_per_index < 1:
+            raise ValueError(
+                f"max_inflight_per_index must be >= 1, got {max_inflight_per_index}"
+            )
+        self.workers = max(1, workers)
+        self.max_queue = max_queue
+        self.max_inflight_per_index = max_inflight_per_index
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._running = 0
+        self._per_index: dict[str, int] = {}
+        self._shed: dict[str, int] = {}
+        self._service_time_s = _DEFAULT_SERVICE_TIME_S
+        self._samples = 0
+
+    # -- the gates ---------------------------------------------------------------------
+
+    def admit(self, index: str) -> None:
+        """Admit one request for ``index`` or shed it.
+
+        Raises :class:`~repro.errors.OverloadedError` (with ``reason`` and a
+        ``retry_after`` hint) when a gate rejects; on success the caller owns
+        one slot and must eventually pair this call with :meth:`release`.
+        """
+        with self._lock:
+            # Backlog is measured against worker *capacity*, not the running
+            # count: a worker calls started() only once it picks the task up,
+            # and gating on that transient would shed requests a free worker
+            # was about to serve.
+            queued = self._admitted - self.workers
+            if self.max_queue is not None and queued >= self.max_queue:
+                self._shed["queue_full"] = self._shed.get("queue_full", 0) + 1
+                hint = self._retry_after_locked()
+                raise OverloadedError(
+                    f"admission queue is full ({queued} waiting, bound "
+                    f"{self.max_queue}); retry after {hint:.2f}s",
+                    reason="queue_full",
+                    retry_after=hint,
+                )
+            held = self._per_index.get(index, 0)
+            if (
+                self.max_inflight_per_index is not None
+                and held >= self.max_inflight_per_index
+            ):
+                self._shed["index_limit"] = self._shed.get("index_limit", 0) + 1
+                hint = self._retry_after_locked()
+                raise OverloadedError(
+                    f"index {index!r} already has {held} requests in flight "
+                    f"(bound {self.max_inflight_per_index}); retry after "
+                    f"{hint:.2f}s",
+                    reason="index_limit",
+                    retry_after=hint,
+                )
+            self._admitted += 1
+            self._per_index[index] = held + 1
+
+    def started(self) -> None:
+        """An admitted request began executing (left the queue)."""
+        with self._lock:
+            self._running += 1
+
+    def release(
+        self, index: str, *, started: bool, service_time_s: "float | None" = None
+    ) -> None:
+        """Free the slot taken by :meth:`admit`.
+
+        ``started`` says whether the paired :meth:`started` call happened
+        (a request shed between admit and execution never did).
+        ``service_time_s`` feeds the Retry-After EWMA; pass it only for
+        requests that actually executed to completion — expired or failed
+        requests would drag the estimate toward their truncated times.
+        """
+        with self._lock:
+            self._admitted = max(0, self._admitted - 1)
+            if started:
+                self._running = max(0, self._running - 1)
+            held = self._per_index.get(index, 0) - 1
+            if held > 0:
+                self._per_index[index] = held
+            else:
+                self._per_index.pop(index, None)
+            if service_time_s is not None and service_time_s >= 0.0:
+                self._samples += 1
+                if self._samples == 1:
+                    self._service_time_s = service_time_s
+                else:
+                    self._service_time_s += _EWMA_ALPHA * (
+                        service_time_s - self._service_time_s
+                    )
+
+    # -- readout -----------------------------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        # "Time until the backlog drains": one queue's worth of work spread
+        # over the worker pool, floored/capped to keep the hint sane.
+        queued = max(1, self._admitted - self.workers)
+        hint = self._service_time_s * queued / self.workers
+        return min(_MAX_RETRY_AFTER, max(_MIN_RETRY_AFTER, hint))
+
+    def retry_after(self) -> float:
+        """The current Retry-After hint in seconds."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests beyond worker capacity (the held backlog)."""
+        with self._lock:
+            return max(0, self._admitted - self.workers)
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self._shed.values())
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state for ``/stats``."""
+        with self._lock:
+            return {
+                "max_queue": self.max_queue,
+                "max_inflight_per_index": self.max_inflight_per_index,
+                "queue_depth": max(0, self._admitted - self.workers),
+                "running": self._running,
+                "per_index_inflight": dict(self._per_index),
+                "shed": dict(self._shed),
+                "service_time_ewma_ms": round(self._service_time_s * 1000.0, 4),
+                "retry_after_s": round(self._retry_after_locked(), 4),
+            }

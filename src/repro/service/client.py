@@ -5,40 +5,96 @@ Connections are **persistent**: each thread keeps one
 :class:`http.client.HTTPConnection` alive and pipelines its requests over it
 (HTTP/1.1 keep-alive), so benchmark loops measure the server rather than TCP
 setup.  The per-thread connection (``threading.local``) keeps the client
-thread-safe without any locking; a request that fails on a *reused*
-connection — the server may close an idle keep-alive at any time — is
-retried once on a fresh one.  Error responses surface as
-:class:`~repro.errors.ServiceError` with the server-provided message.
+thread-safe without any locking.
+
+Failure semantics:
+
+* non-2xx responses raise **typed** exceptions carrying the status:
+  :class:`~repro.errors.ServiceOverloadedError` for 429 (with the server's
+  ``Retry-After`` hint), :class:`~repro.errors.ServiceTimeoutError` for 408,
+  :class:`~repro.errors.ServiceHTTPError` otherwise — all subclasses of
+  :class:`~repro.errors.ServiceError`, so broad handlers keep working;
+* a request that fails in transit on a *reused* connection (the server may
+  close an idle keep-alive at any time) is retried once on a fresh
+  connection — but only for **idempotent reads** (``GET``, ``/query``,
+  ``/batch``).  A non-idempotent ``/update`` is never re-sent: the server
+  may have received and applied it even though the send appeared to fail,
+  and replaying it would double the mutation.  It fails fast instead, with
+  the ambiguity spelled out;
+* 429 sheds are retried with capped, jittered exponential backoff that
+  honors the server's ``Retry-After`` hint — again only for idempotent
+  reads, and at most ``max_retries`` times;
+* a per-request ``timeout`` overrides the client-wide default; a timed-out
+  request is *not* retried (it may still be executing server-side, and
+  re-sending doubles the load exactly when the server is slow).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
+import time
 from http.client import HTTPConnection, HTTPException
 from typing import Iterable, Sequence
 from urllib.parse import quote
 
-from repro.errors import ServiceError
+from repro.errors import (
+    ServiceError,
+    ServiceHTTPError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 
 
 class ServiceClient:
-    """Python-side handle on a running :class:`~repro.service.server.ServiceServer`."""
+    """Python-side handle on a running :class:`~repro.service.server.ServiceServer`.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    timeout:
+        Default per-request socket timeout in seconds.
+    max_retries:
+        Backoff retries for 429-shed idempotent reads (0 disables).
+    backoff_base / backoff_cap:
+        Exponential backoff schedule in seconds: attempt *n* waits
+        ``min(cap, max(base * 2**n, server Retry-After hint))``, jittered
+        down by up to 50% to spread synchronized retriers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        *,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._local = threading.local()
 
     # -- transport -------------------------------------------------------------------
 
-    def _connection(self) -> tuple[HTTPConnection, bool]:
+    def _connection(self, timeout: "float | None") -> tuple[HTTPConnection, bool]:
         """This thread's live connection; True when it is freshly opened."""
+        effective = self.timeout if timeout is None else timeout
         connection = getattr(self._local, "connection", None)
         if connection is not None:
+            if connection.timeout != effective:
+                connection.timeout = effective
+                if connection.sock is not None:
+                    connection.sock.settimeout(effective)
             return connection, False
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection = HTTPConnection(self.host, self.port, timeout=effective)
         self._local.connection = connection
         return connection, True
 
@@ -58,19 +114,81 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+    @staticmethod
+    def _idempotent(method: str, path: str) -> bool:
+        """Whether a request may safely be sent twice.
+
+        Queries are reads however they travel (the server answers ``POST
+        /query`` / ``POST /batch`` without mutating anything); ``/update``
+        and the index-management routes are not.
+        """
+        return method == "GET" or (method == "POST" and path in ("/query", "/batch"))
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: "dict | None" = None,
+        *,
+        timeout: "float | None" = None,
+    ) -> dict:
+        idempotent = self._idempotent(method, path)
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(
+                    method, path, payload, timeout=timeout, idempotent=idempotent
+                )
+            except ServiceOverloadedError as error:
+                if not idempotent or attempt >= self.max_retries:
+                    raise
+                delay = self.backoff_base * (2.0**attempt)
+                if error.retry_after is not None:
+                    delay = max(delay, error.retry_after)
+                delay = min(self.backoff_cap, delay)
+                # Jitter down by up to 50%: synchronized shed clients must
+                # not come back as one synchronized retry wave.
+                time.sleep(delay * (0.5 + random.random() * 0.5))
+                attempt += 1
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: "dict | None",
+        *,
+        timeout: "float | None",
+        idempotent: bool,
+        retried: bool = False,
+    ) -> dict:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
-        connection, fresh = self._connection()
+        connection, fresh = self._connection(timeout)
         try:
             connection.request(method, path, body=body, headers=headers)
         except (OSError, HTTPException) as error:
-            # Failed while *sending*: the server never processed the request,
-            # so one retry on a fresh connection is safe for any method (the
-            # usual cause is a keep-alive the server closed while idle).
             self._discard_connection()
-            if not fresh:
-                return self._request(method, path, payload)
+            if isinstance(error, TimeoutError):
+                raise ServiceError(
+                    f"{method} {path}: timed out sending the request"
+                ) from error
+            # Failed while *sending* — usually a keep-alive the server closed
+            # while idle.  The server may nonetheless have received (part of)
+            # the request before the failure surfaced here, so only
+            # idempotent reads are replayed on a fresh connection; a mutation
+            # fails fast rather than risk being applied twice.
+            if not fresh and not retried:
+                if idempotent:
+                    return self._request_once(
+                        method, path, payload,
+                        timeout=timeout, idempotent=idempotent, retried=True,
+                    )
+                raise ServiceError(
+                    f"{method} {path}: the persistent connection failed "
+                    f"mid-send ({error}); the request is NOT retried because "
+                    "the server may already have applied it — verify before "
+                    "re-sending"
+                ) from error
             raise ServiceError(
                 f"cannot reach {self.host}:{self.port}: {error}"
             ) from error
@@ -79,16 +197,26 @@ class ServiceClient:
             raw = response.read()
         except (OSError, HTTPException) as error:
             self._discard_connection()
-            if not fresh and method == "GET":
+            if isinstance(error, TimeoutError):
+                # The request may still be executing server-side; re-sending
+                # doubles the load exactly when the server is slowest.
+                raise ServiceError(
+                    f"{method} {path}: timed out waiting for the response"
+                ) from error
+            if not fresh and not retried and idempotent:
                 # The request may already have been processed server-side, so
-                # only idempotent reads are replayed; retrying a POST/DELETE
-                # here could apply a mutation twice.
-                return self._request(method, path, payload)
+                # only idempotent reads are replayed; re-sending a mutation
+                # here could apply it twice.
+                return self._request_once(
+                    method, path, payload,
+                    timeout=timeout, idempotent=idempotent, retried=True,
+                )
             # HTTPException covers non-HTTP peers (BadStatusLine etc.), so
             # every transport failure surfaces as one catchable ServiceError.
             raise ServiceError(
                 f"cannot reach {self.host}:{self.port}: {error}"
             ) from error
+        retry_after = self._retry_after(response)
         if response.will_close:
             self._discard_connection()
         try:
@@ -99,28 +227,37 @@ class ServiceClient:
             ) from None
         if response.status >= 400:
             message = decoded.get("error", raw.decode("utf-8", "replace"))
-            raise ServiceError(f"{method} {path}: {message}")
+            full = f"{method} {path}: {message}"
+            if response.status == 429:
+                raise ServiceOverloadedError(
+                    full, status=429, retry_after=retry_after
+                )
+            if response.status == 408:
+                raise ServiceTimeoutError(full, status=408)
+            raise ServiceHTTPError(full, status=response.status)
         return decoded
 
-    def _request_text(self, path: str) -> str:
+    @staticmethod
+    def _retry_after(response) -> "float | None":
+        header = response.getheader("Retry-After")
+        if header is None:
+            return None
+        try:
+            return float(header)
+        except ValueError:
+            return None
+
+    def _request_text(self, path: str, retried: bool = False) -> str:
         """GET a non-JSON endpoint (``/metrics``) as raw text."""
-        connection, fresh = self._connection()
+        connection, fresh = self._connection(None)
         try:
             connection.request("GET", path)
-        except (OSError, HTTPException) as error:
-            self._discard_connection()
-            if not fresh:
-                return self._request_text(path)
-            raise ServiceError(
-                f"cannot reach {self.host}:{self.port}: {error}"
-            ) from error
-        try:
             response = connection.getresponse()
             raw = response.read()
         except (OSError, HTTPException) as error:
             self._discard_connection()
-            if not fresh:
-                return self._request_text(path)
+            if not fresh and not retried:
+                return self._request_text(path, retried=True)
             raise ServiceError(
                 f"cannot reach {self.host}:{self.port}: {error}"
             ) from error
@@ -128,7 +265,7 @@ class ServiceClient:
             self._discard_connection()
         text = raw.decode("utf-8", "replace")
         if response.status >= 400:
-            raise ServiceError(f"GET {path}: {text.strip()}")
+            raise ServiceHTTPError(f"GET {path}: {text.strip()}", status=response.status)
         return text
 
     # -- endpoints -------------------------------------------------------------------
@@ -182,31 +319,59 @@ class ServiceClient:
             "POST", f"/indexes/{quote(name, safe='')}/checkpoint", {"force": force}
         )
 
-    def query(self, index: str, query_type: str, items: Iterable) -> dict:
-        return self._request(
-            "POST",
-            "/query",
-            {"index": index, "type": query_type, "items": [str(item) for item in items]},
-        )
+    def query(
+        self,
+        index: str,
+        query_type: str,
+        items: Iterable,
+        *,
+        deadline_ms: "float | None" = None,
+        timeout: "float | None" = None,
+    ) -> dict:
+        payload: dict = {
+            "index": index,
+            "type": query_type,
+            "items": [str(item) for item in items],
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("POST", "/query", payload, timeout=timeout)
 
-    def query_expr(self, index: str, expr) -> dict:
+    def query_expr(
+        self,
+        index: str,
+        expr,
+        *,
+        deadline_ms: "float | None" = None,
+        timeout: "float | None" = None,
+    ) -> dict:
         """Run one composite query expression.
 
         ``expr`` is a :class:`~repro.core.query.expr.Expr` or its wire-format
         dict (the server parses either shape of the ``expr`` payload).
         """
         wire = expr.to_dict() if hasattr(expr, "to_dict") else expr
-        return self._request("POST", "/query", {"index": index, "expr": wire})
+        payload: dict = {"index": index, "expr": wire}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("POST", "/query", payload, timeout=timeout)
 
     def batch(
-        self, queries: Sequence[dict], *, index: "str | None" = None
+        self,
+        queries: Sequence[dict],
+        *,
+        index: "str | None" = None,
+        deadline_ms: "float | None" = None,
+        timeout: "float | None" = None,
     ) -> list[dict]:
         """Run many queries at once; each dict holds ``expr`` or ``type``/``items``
-        (plus an optional per-query ``index``)."""
+        (plus an optional per-query ``index`` and ``deadline_ms``)."""
         payload: dict = {"queries": list(queries)}
         if index is not None:
             payload["index"] = index
-        return self._request("POST", "/batch", payload)["results"]
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("POST", "/batch", payload, timeout=timeout)["results"]
 
     def insert(
         self, index: str, transactions: Sequence[Iterable], *, flush: bool = False

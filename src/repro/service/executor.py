@@ -30,15 +30,17 @@ import json
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro import deadline as _deadline
 from repro.core.interfaces import QueryType
 from repro.core.query.expr import Expr, Leaf
 from repro.core.shard import ShardQueryStat
-from repro.errors import ServiceError, UnknownIndexError
+from repro.errors import DeadlineExceededError, OverloadedError, ServiceError, UnknownIndexError
 from repro.obs import trace as obs_trace
 from repro.obs.slowlog import SlowQueryLog
+from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.index_manager import IndexManager
 from repro.service.stats import ServingStats
@@ -51,27 +53,40 @@ class QueryRequest:
     """One query expression addressed to a named resident index.
 
     ``expr`` is stored normalized, so equal requests — however they were
-    phrased — share one cache slot and one in-flight future.
+    phrased — share one cache slot and one in-flight future.  ``deadline_ms``
+    is this request's wall-clock budget override (``None`` defers to the
+    executor's default); it is excluded from equality so requests differing
+    only in budget still share one cache slot and in-flight future.
     """
 
     index: str
     expr: Expr
+    deadline_ms: "float | None" = field(default=None, compare=False)
 
     @classmethod
-    def of(cls, index: str, expr: Expr) -> "QueryRequest":
+    def of(
+        cls, index: str, expr: Expr, *, deadline_ms: "float | None" = None
+    ) -> "QueryRequest":
         if not isinstance(expr, Expr):
             raise ServiceError(f"a query needs an expression, got {expr!r}")
-        return cls(index=index, expr=expr.normalize())
+        return cls(index=index, expr=expr.normalize(), deadline_ms=deadline_ms)
 
     @classmethod
     def coerce(
-        cls, index: str, query_type: "QueryType | str", items: Iterable
+        cls,
+        index: str,
+        query_type: "QueryType | str",
+        items: Iterable,
+        *,
+        deadline_ms: "float | None" = None,
     ) -> "QueryRequest":
         """Build a point-predicate request (the pre-expression calling style)."""
         item_set = frozenset(items)
         if not item_set:
             raise ServiceError("a containment query needs at least one item")
-        return cls.of(index, QueryType.parse(query_type).leaf(item_set))
+        return cls.of(
+            index, QueryType.parse(query_type).leaf(item_set), deadline_ms=deadline_ms
+        )
 
     @property
     def key(self) -> CacheKey:
@@ -164,9 +179,17 @@ class QueryExecutor:
         cache: "ResultCache | None" = None,
         max_workers: int = DEFAULT_WORKERS,
         slow_log: "SlowQueryLog | None" = None,
+        *,
+        max_queue: "int | None" = None,
+        max_inflight_per_index: "int | None" = None,
+        default_deadline_ms: "float | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"need at least one worker thread, got {max_workers}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ServiceError(
+                f"default_deadline_ms must be positive, got {default_deadline_ms}"
+            )
         # The executor's lookup cache and the manager's invalidation cache
         # must be the same object, or inserts would invalidate one while
         # queries keep reading stale entries from the other.
@@ -186,6 +209,12 @@ class QueryExecutor:
         self.max_workers = max_workers
         self.stats = ServingStats()
         self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
+        self.default_deadline_ms = default_deadline_ms
+        self.admission = AdmissionController(
+            max_workers,
+            max_queue=max_queue,
+            max_inflight_per_index=max_inflight_per_index,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
@@ -222,7 +251,24 @@ class QueryExecutor:
                     hit = self.cache.get(request.key)
                     if hit is not None:
                         return self._cached_outcome(request, hit, start)
-                primary = self._pool.submit(self._evaluate, request, start)
+                # Admission gates run only for primaries: cache hits are
+                # answered inline and piggybacks ride an already-admitted
+                # evaluation, so neither occupies a worker slot.  The
+                # deadline starts ticking *now* — queue wait counts against
+                # the request's budget.
+                deadline = self._arm(request)
+                try:
+                    self.admission.admit(request.index)
+                except OverloadedError as error:
+                    self.stats.record_shed(error.reason)
+                    self.stats.set_queue_depth(self.admission.queue_depth)
+                    raise
+                try:
+                    primary = self._pool.submit(self._evaluate, request, start, deadline)
+                except BaseException:
+                    self.admission.release(request.index, started=False)
+                    raise
+                self.stats.set_queue_depth(self.admission.queue_depth)
                 self._inflight[request.key] = primary
                 return primary
         return self._piggyback(request, primary, start)
@@ -247,8 +293,9 @@ class QueryExecutor:
         """Answer one point-predicate query, blocking until it resolves."""
         return self.submit(index, query_type, items).result()
 
-    def execute_batch(self, requests: Sequence[tuple]) -> list[QueryOutcome]:
-        """Answer a batch of ``(index, expr)`` pairs or ``(index, type, items)`` triples.
+    def execute_batch(self, requests: Sequence) -> list[QueryOutcome]:
+        """Answer a batch of requests, each a :class:`QueryRequest`, an
+        ``(index, expr)`` pair or an ``(index, type, items)`` triple.
 
         Every query is dispatched before any result is awaited, so the batch
         runs with the full concurrency of the pool; results come back in
@@ -256,7 +303,9 @@ class QueryExecutor:
         """
         futures = []
         for request in requests:
-            if len(request) == 2:
+            if isinstance(request, QueryRequest):
+                futures.append(self.submit_request(request))
+            elif len(request) == 2:
                 futures.append(self.submit_expr(*request))
             else:
                 futures.append(self.submit(*request))
@@ -274,6 +323,21 @@ class QueryExecutor:
         self.shutdown()
 
     # -- internals -------------------------------------------------------------------
+
+    def _arm(self, request: QueryRequest) -> "_deadline.Deadline | None":
+        """Build this request's deadline (override beats the server default).
+
+        Raises :class:`~repro.errors.DeadlineExceededError` on a non-positive
+        budget, before any admission slot is taken.
+        """
+        budget_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        if budget_ms is None:
+            return None
+        return _deadline.Deadline.after_ms(budget_ms)
 
     def _cached_outcome(
         self, request: QueryRequest, record_ids: tuple[int, ...], start: float
@@ -318,11 +382,25 @@ class QueryExecutor:
             trace=outcome.trace,
         )
 
-    def _evaluate(self, request: QueryRequest, start: float) -> QueryOutcome:
+    def _evaluate(
+        self,
+        request: QueryRequest,
+        start: float,
+        deadline: "_deadline.Deadline | None" = None,
+    ) -> QueryOutcome:
         """Worker body: run the query on its index and populate the cache."""
+        self.admission.started()
+        exec_start = time.perf_counter()
+        executed = False
         deregistered = False
+        token = None
         root = obs_trace.begin("query", index=request.index)
         try:
+            if deadline is not None:
+                # A request that spent its whole budget queued returns 408
+                # here without touching the index or reading a page.
+                deadline.check()
+                token = _deadline.activate(deadline)
             # The two spans partition the root's whole window (lookup, then
             # execute), so their durations sum to the end-to-end latency.
             with obs_trace.span("lookup"):
@@ -376,11 +454,17 @@ class QueryExecutor:
                 shard_stats=shard_stats,
             )
             self._maybe_log_slow(outcome)
+            executed = True
             return outcome
-        except BaseException:
+        except BaseException as error:
             self.stats.record_error(request.index)
+            if isinstance(error, DeadlineExceededError):
+                self.stats.record_deadline_expired(request.index)
+                self._log_expired(request, start)
             raise
         finally:
+            if token is not None:
+                _deadline.deactivate(token)
             # Abandon the root span on error paths (no-op after a clean finish).
             obs_trace.discard(root)
             # Error-path cleanup only: after the in-lock deregistration above,
@@ -389,6 +473,27 @@ class QueryExecutor:
             if not deregistered:
                 with self._inflight_lock:
                     self._inflight.pop(request.key, None)
+            # The slot frees whether the query finished, expired or failed —
+            # only completed executions feed the Retry-After EWMA (truncated
+            # times would drag the estimate down).
+            self.admission.release(
+                request.index,
+                started=True,
+                service_time_s=(time.perf_counter() - exec_start) if executed else None,
+            )
+            self.stats.set_queue_depth(self.admission.queue_depth)
+
+    def _log_expired(self, request: QueryRequest, start: float) -> None:
+        """Record a deadline expiry in the slow-query log (admission outcome)."""
+        log = self.slow_log
+        if log is None or not log.enabled:
+            return
+        log.record(
+            expr=json.dumps(request.expr.to_dict(), sort_keys=True),
+            latency_ms=(time.perf_counter() - start) * 1000.0,
+            index=request.index,
+            counters={"outcome": "deadline_expired"},
+        )
 
     def _piggyback(
         self, request: QueryRequest, primary: "Future[QueryOutcome]", start: float

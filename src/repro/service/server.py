@@ -26,12 +26,21 @@ Endpoints (all payloads JSON):
 * ``POST /indexes/<name>/checkpoint`` — flush deltas and publish a new
   on-disk generation, truncating the index's write-ahead log
   (``{"force"?: bool}``; durable indexes only);
-* ``POST /query``                — one query ``{"index", "type", "items"}``;
+* ``POST /query``                — one query ``{"index", "type", "items"}``
+  (or ``{"index", "expr"}``), with an optional ``"deadline_ms"`` wall-clock
+  budget override;
 * ``POST /batch``                — ``{"queries": [...]}``, answered
-  concurrently, results in request order;
+  concurrently, results in request order; ``"deadline_ms"`` applies per
+  query or as a batch default;
 * ``POST /update``               — insert and/or delete records
   (``{"index", "transactions"?, "deletes"?, "flush"?}``); affected cache
   entries drop, durable indexes write-ahead-log each change before acking.
+
+Overload control: ``max_queue`` / ``max_inflight_per_index`` bound how much
+work the executor will hold — excess requests are shed immediately with
+``429`` and a ``Retry-After`` hint; ``default_deadline_ms`` arms a wall-clock
+deadline per request (overridable with ``deadline_ms`` on the wire) and an
+expired query answers ``408`` after stopping at its next page access.
 
 With ``data_dir`` set, indexes are persisted under it and a restarted server
 reopens every one of them at construction — pages loaded, WAL replayed — in
@@ -60,11 +69,18 @@ from repro.core.query.expr import (
 )
 from repro.core.records import Dataset
 from repro.datasets.io import read_transactions
-from repro.errors import ReproError, ServiceError, UnknownIndexError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServiceError,
+    StorageError,
+    UnknownIndexError,
+)
 from repro.obs import trace as obs_trace
 from repro.obs.slowlog import SlowQueryLog
 from repro.service.cache import ResultCache
-from repro.service.executor import DEFAULT_WORKERS, QueryExecutor
+from repro.service.executor import DEFAULT_WORKERS, QueryExecutor, QueryRequest
 from repro.service.index_manager import IndexManager
 from repro.service.stats import (
     CHECKPOINT_AGE,
@@ -118,6 +134,9 @@ class ServiceServer:
         fsync: str = "always",
         shard_backend: str = "threads",
         shard_workers: "int | None" = None,
+        max_queue: "int | None" = None,
+        max_inflight_per_index: "int | None" = None,
+        default_deadline_ms: "float | None" = None,
     ) -> None:
         # One cache must serve both roles — executor lookups and manager
         # invalidation; a split pair would never see its entries invalidated.
@@ -165,6 +184,9 @@ class ServiceServer:
                 cache=self.cache,
                 max_workers=max_workers,
                 slow_log=SlowQueryLog(threshold_ms=slow_query_ms, sink=slow_query_log),
+                max_queue=max_queue,
+                max_inflight_per_index=max_inflight_per_index,
+                default_deadline_ms=default_deadline_ms,
             )
         self.manager.result_cache = self.cache
         self.slow_log = self.executor.slow_log
@@ -173,6 +195,15 @@ class ServiceServer:
             self.slow_log.threshold_ms = slow_query_ms
             if slow_query_log is not None:
                 self.slow_log.sink = Path(slow_query_log)
+        if executor is not None:
+            # Same pattern for overload control: a supplied executor keeps
+            # its admission controller; these parameters re-arm its bounds.
+            if max_queue is not None:
+                self.executor.admission.max_queue = max_queue
+            if max_inflight_per_index is not None:
+                self.executor.admission.max_inflight_per_index = max_inflight_per_index
+            if default_deadline_ms is not None:
+                self.executor.default_deadline_ms = default_deadline_ms
         if trace:
             obs_trace.configure(enabled=True, sample_every=trace_sample)
         #: Per-index recovery stats from opening the resident catalog (if any).
@@ -295,6 +326,7 @@ class ServiceServer:
     def stats(self) -> dict:
         return {
             "serving": self.executor.stats.as_dict(),
+            "admission": self.executor.admission.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else {"enabled": False},
             "indexes": self.manager.describe(),
         }
@@ -308,6 +340,7 @@ class ServiceServer:
         registry.gauge(
             "repro_resident_indexes", "Number of resident indexes"
         ).set(len(self.manager.names()))
+        self.executor.stats.set_queue_depth(self.executor.admission.queue_depth)
         if self.cache is not None:
             for key, value in self.cache.stats().items():
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -394,16 +427,24 @@ class ServiceServer:
         return {"index": name, **result}
 
     def run_query(self, payload: dict) -> dict:
-        outcome = self.executor.execute_expr(
-            self._field(payload, "index"), self._expr(payload)
+        request = QueryRequest.of(
+            self._field(payload, "index"),
+            self._expr(payload),
+            deadline_ms=self._deadline_ms(payload),
         )
-        return outcome.as_dict()
+        return self.executor.submit_request(request).result().as_dict()
 
     def run_batch(self, payload: dict) -> dict:
+        """Answer a batch concurrently.
+
+        A batch whose first unserved query is shed fails as a whole with 429
+        — partial answers over a single JSON response would be ambiguous.
+        """
         queries = payload.get("queries")
         if not isinstance(queries, list) or not queries:
             raise ServiceError("'queries' must be a non-empty list")
         default_index = payload.get("index")
+        default_deadline = self._deadline_ms(payload)
         pairs = []
         for query in queries:
             if not isinstance(query, dict):
@@ -413,7 +454,14 @@ class ServiceServer:
             index = query.get("index", default_index)
             if not index:
                 raise ServiceError("each batch query needs an 'index' (or a batch default)")
-            pairs.append((index, self._expr(query)))
+            deadline_ms = self._deadline_ms(query)
+            pairs.append(
+                QueryRequest.of(
+                    index,
+                    self._expr(query),
+                    deadline_ms=deadline_ms if deadline_ms is not None else default_deadline,
+                )
+            )
         outcomes = self.executor.execute_batch(pairs)
         return {
             "count": len(outcomes),
@@ -465,6 +513,16 @@ class ServiceServer:
         ]
 
     @staticmethod
+    def _deadline_ms(payload: dict) -> "float | None":
+        """Parse the optional per-request ``deadline_ms`` wall-clock budget."""
+        value = payload.get("deadline_ms")
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+            raise ServiceError("'deadline_ms' must be a positive number")
+        return float(value)
+
+    @staticmethod
     def _field(payload: dict, key: str) -> str:
         value = payload.get(key)
         if not value or not isinstance(value, str):
@@ -502,11 +560,15 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
             if not quiet:
                 super().log_message(format, *args)
 
-        def _send(self, status: int, payload: dict) -> None:
+        def _send(
+            self, status: int, payload: dict, headers: "dict | None" = None
+        ) -> None:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -518,8 +580,28 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
             self.end_headers()
             self.wfile.write(body)
 
-        def _error(self, status: int, message: str) -> None:
-            self._send(status, {"error": message})
+        def _error(
+            self,
+            status: int,
+            message: str,
+            *,
+            error_type: "str | None" = None,
+            retry_after: "float | None" = None,
+            reason: "str | None" = None,
+        ) -> None:
+            payload: dict = {"error": message}
+            if error_type is not None:
+                payload["error_type"] = error_type
+            if reason is not None:
+                payload["reason"] = reason
+            headers = None
+            if retry_after is not None:
+                payload["retry_after"] = round(retry_after, 3)
+                # Decimal seconds (our client parses floats); sub-second
+                # backoff hints would round to a useless 0 or a 20x-too-long
+                # 1 as the spec's integer delta-seconds.
+                headers = {"Retry-After": f"{retry_after:.3f}"}
+            self._send(status, payload, headers)
 
         def _body(self) -> dict:
             try:
@@ -549,14 +631,30 @@ def _make_handler(service: ServiceServer, quiet: bool) -> type:
             return payload
 
         def _dispatch(self, route) -> None:
+            # Ordered most-specific first; every branch names the error type
+            # in the body so the client can raise a typed exception without
+            # sniffing messages.
             try:
                 self._send(200, route())
+            except OverloadedError as error:
+                self._error(
+                    429,
+                    str(error),
+                    error_type="overloaded",
+                    retry_after=error.retry_after,
+                    reason=error.reason,
+                )
+            except DeadlineExceededError as error:
+                self._error(408, str(error), error_type="deadline_exceeded")
             except UnknownIndexError as error:
-                self._error(404, str(error))
+                self._error(404, str(error), error_type="unknown_index")
+            except StorageError as error:
+                # A storage failure is the server's fault, not the client's.
+                self._error(500, f"storage failure: {error}", error_type="storage")
             except ReproError as error:
-                self._error(400, str(error))
+                self._error(400, str(error), error_type=type(error).__name__)
             except Exception as error:  # pragma: no cover - defensive
-                self._error(500, f"internal error: {error}")
+                self._error(500, f"internal error: {error}", error_type="internal")
 
         # -- verbs -------------------------------------------------------------------
 

@@ -20,6 +20,9 @@ QUERY_LATENCY = "repro_query_latency_ms"
 SHARD_LATENCY = "repro_shard_latency_ms"
 QUERIES_TOTAL = "repro_queries_total"
 ERRORS_TOTAL = "repro_errors_total"
+SHED_TOTAL = "repro_shed_total"
+DEADLINE_EXPIRED_TOTAL = "repro_deadline_expired_total"
+QUEUE_DEPTH = "repro_admission_queue_depth"
 PAGE_ACCESSES_TOTAL = "repro_page_accesses_total"
 READS_TOTAL = "repro_reads_total"
 DECODED_TOTAL = "repro_decoded_lookups_total"
@@ -140,6 +143,9 @@ class ServingStats:
         self.executed = 0
         self.errors = 0
         self.errors_per_index: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+        self.deadline_expired = 0
+        self.deadline_expired_per_index: dict[str, int] = {}
         self.page_accesses = 0
         self.random_reads = 0
         self.sequential_reads = 0
@@ -254,6 +260,38 @@ class ServingStats:
             ERRORS_TOTAL, "Failed queries by index", index=index_name or "unknown"
         ).inc()
 
+    def record_shed(self, reason: str) -> None:
+        """Account one request rejected by an admission gate."""
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+        self.registry.counter(
+            SHED_TOTAL, "Requests shed by admission control, by gate", reason=reason
+        ).inc()
+
+    def record_deadline_expired(self, index_name: "str | None" = None) -> None:
+        """Account one request whose deadline expired before it finished.
+
+        Counted *in addition to* :meth:`record_error` — the deadline family
+        answers "how often do we time out", the error family "how often do we
+        fail" (a timeout is both).
+        """
+        with self._lock:
+            self.deadline_expired += 1
+            if index_name is not None:
+                self.deadline_expired_per_index[index_name] = (
+                    self.deadline_expired_per_index.get(index_name, 0) + 1
+                )
+        self.registry.counter(
+            DEADLINE_EXPIRED_TOTAL,
+            "Requests whose wall-clock deadline expired mid-execution",
+        ).inc()
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Publish the current admission-queue depth gauge."""
+        self.registry.gauge(
+            QUEUE_DEPTH, "Admitted requests waiting for a worker"
+        ).set(depth)
+
     def _sync_postings_metrics(self) -> None:
         """Mirror the posting-layer counters into the registry (delta-based).
 
@@ -306,6 +344,9 @@ class ServingStats:
                 "executed": self.executed,
                 "errors": self.errors,
                 "errors_per_index": dict(self.errors_per_index),
+                "shed": dict(self.shed),
+                "deadline_expired": self.deadline_expired,
+                "deadline_expired_per_index": dict(self.deadline_expired_per_index),
                 "page_accesses": self.page_accesses,
                 "random_reads": self.random_reads,
                 "sequential_reads": self.sequential_reads,

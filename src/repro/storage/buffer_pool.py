@@ -32,6 +32,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import deadline as _deadline
 from repro.errors import BufferPoolError
 from repro.obs import trace
 from repro.storage.pager import PageFile
@@ -93,6 +94,10 @@ class BufferPool:
         is the cached frame itself: callers that mutate it must also call
         :meth:`mark_dirty` so the change is flushed.
         """
+        # Page-access boundary: an expired query stops here, *before* the
+        # access is charged, so its ReadContext and the pool totals hold
+        # exactly the reads it performed — never a half-charged access.
+        _deadline.check()
         token = trace.stage_begin()
         try:
             with self._lock:
